@@ -1,0 +1,87 @@
+// Command sclgen emits SG-ML model file sets: the EPIC testbed demonstration
+// model of §IV-A or a parametric multi-substation scale model. The output
+// directory is consumable by sgmlc and rangectl, mirroring the paper's
+// workflow of preparing SCL + supplementary XML files for the processor.
+//
+// Usage:
+//
+//	sclgen -out models/epic                  # EPIC demonstration model
+//	sclgen -out models/scale -subs 5 -feeders 20
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/epic"
+	"repro/internal/sgmlconf"
+)
+
+func main() {
+	out := flag.String("out", "model", "output directory")
+	subs := flag.Int("subs", 0, "generate a scale model with this many substations (0 = EPIC model)")
+	feeders := flag.Int("feeders", 20, "feeder IEDs per substation (scale model)")
+	flag.Parse()
+
+	if err := run(*out, *subs, *feeders); err != nil {
+		fmt.Fprintln(os.Stderr, "sclgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out string, subs, feeders int) error {
+	if err := os.MkdirAll(out, 0o755); err != nil {
+		return err
+	}
+	var files map[string][]byte
+	if subs == 0 {
+		m, err := epic.NewModel()
+		if err != nil {
+			return err
+		}
+		files, err = m.Files()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("EPIC model: %d IEDs, 1 PLC, 1 SCADA\n", len(m.IEDs))
+	} else {
+		sm, err := epic.NewScaleModel(subs, feeders)
+		if err != nil {
+			return err
+		}
+		files = map[string][]byte{}
+		for name, doc := range sm.SCDs {
+			data, err := doc.Marshal()
+			if err != nil {
+				return err
+			}
+			files[name+".scd.xml"] = data
+		}
+		sed, err := sm.SED.Marshal()
+		if err != nil {
+			return err
+		}
+		files["multi.sed.xml"] = sed
+		iedCfg, err := sgmlconf.Marshal(sm.IEDConfigs)
+		if err != nil {
+			return err
+		}
+		files["ied_config.xml"] = iedCfg
+		powerCfg, err := sgmlconf.Marshal(sm.PowerConfig)
+		if err != nil {
+			return err
+		}
+		files["power_config.xml"] = powerCfg
+		fmt.Printf("scale model: %d substations, %d IEDs total\n", subs, sm.TotalIEDs)
+	}
+	for name, data := range files {
+		path := filepath.Join(out, name)
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("wrote %d files to %s\n", len(files), out)
+	return nil
+}

@@ -1,0 +1,251 @@
+package attack
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/kvbus"
+	"repro/internal/mms"
+	"repro/internal/netem"
+	"repro/internal/sgmlconf"
+
+	iedpkg "repro/internal/ied"
+)
+
+// rig: victim IED + victim client host + attacker, all on one switch.
+type rig struct {
+	net      *netem.Network
+	iedHost  *netem.Host
+	cliHost  *netem.Host
+	attacker *netem.Host
+	bus      *kvbus.Bus
+	ied      *iedpkg.IED
+}
+
+func newRig(t *testing.T) *rig {
+	t.Helper()
+	n := netem.NewNetwork()
+	if _, err := netem.NewSwitch(n, "sw", 4); err != nil {
+		t.Fatal(err)
+	}
+	mk := func(name string, last byte) *netem.Host {
+		h, err := netem.NewHost(n, name, netem.MAC{2, 0, 0, 0, 0, last}, netem.IPv4{10, 0, 0, last})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return h
+	}
+	iedHost := mk("gied1", 1)
+	cliHost := mk("cplc", 2)
+	attacker := mk("attacker", 3)
+	for i, h := range []*netem.Host{iedHost, cliHost, attacker} {
+		if _, err := n.Connect(h.Name(), 0, "sw", i, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := n.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(n.Stop)
+
+	bus := kvbus.New()
+	bus.SetFloat(kvbus.BusVoltageKey("epic", "BusA"), 1.0)
+	bus.SetBool(kvbus.BreakerStatusKey("epic", "CB1"), true)
+	entry := &sgmlconf.IEDEntry{
+		Name: "GIED1", Substation: "epic",
+		Measures: []sgmlconf.Measure{{Point: "busVoltage", Element: "BusA"}},
+		Controls: []sgmlconf.Control{{Breaker: "CB1"}},
+	}
+	d, err := iedpkg.New(iedHost, bus, iedpkg.Config{Name: "GIED1", Substation: "epic", Entry: entry})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Serve(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(d.Stop)
+	d.Step(time.Now())
+	return &rig{net: n, iedHost: iedHost, cliHost: cliHost, attacker: attacker, bus: bus, ied: d}
+}
+
+func TestFCIEnumerateAndInject(t *testing.T) {
+	r := newRig(t)
+	fci := NewFCI(r.attacker)
+	names, err := fci.Enumerate(r.iedHost.IP(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, n := range names {
+		if n == "LD0/XCBR1.Pos.Oper" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("control object not discovered: %v", names)
+	}
+	// Inject the breaker-open command (the Ukraine-style FCI).
+	if err := fci.InjectCommand(r.iedHost.IP(), 0, "LD0/XCBR1.Pos.Oper", mms.NewBool(false)); err != nil {
+		t.Fatal(err)
+	}
+	if r.bus.GetBool(kvbus.BreakerCmdKey("epic", "CB1"), true) {
+		t.Error("breaker command not injected")
+	}
+	if fci.Injected() != 1 {
+		t.Errorf("injected = %d", fci.Injected())
+	}
+}
+
+func TestMITMInterceptsAndModifies(t *testing.T) {
+	r := newRig(t)
+	// Victims talk first so their ARP caches have real entries to poison.
+	cli, err := mms.Dial(r.cliHost, r.iedHost.IP(), 0, mms.DialOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := cli.Read(iedpkg.RefVoltage())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Float != 1.0 {
+		t.Fatalf("baseline voltage = %v", v.Float)
+	}
+	cli.Close()
+
+	m := NewMITM(r.attacker, r.cliHost.IP(), r.iedHost.IP())
+	m.SetPayloadTamper(ScaleMMSFloats(0.5)) // halve every measurement (Fig 6)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if err := m.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond) // let poisoning take effect
+
+	// Victim caches must now point at the attacker.
+	if got := r.cliHost.ARPCache()[r.iedHost.IP()]; got != r.attacker.MAC() {
+		t.Fatalf("client cache not poisoned: %v", got)
+	}
+	if got := r.iedHost.ARPCache()[r.cliHost.IP()]; got != r.attacker.MAC() {
+		t.Fatalf("IED cache not poisoned: %v", got)
+	}
+
+	cli2, err := mms.Dial(r.cliHost, r.iedHost.IP(), 0, mms.DialOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := cli2.Read(iedpkg.RefVoltage())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli2.Close()
+	if v2.Float != 0.5 {
+		t.Errorf("MITM'd voltage = %v, want 0.5", v2.Float)
+	}
+	fwd, mod, _ := m.Stats()
+	if fwd == 0 || mod == 0 {
+		t.Errorf("stats fwd=%d mod=%d", fwd, mod)
+	}
+	// The victims observed unsolicited ARP replies — IDS footprint.
+	if len(r.cliHost.UnsolicitedARPs()) == 0 {
+		t.Error("no spoofing footprint on victim")
+	}
+
+	// Stop heals the caches; traffic goes direct and unmodified again.
+	m.Stop()
+	time.Sleep(50 * time.Millisecond)
+	if got := r.cliHost.ARPCache()[r.iedHost.IP()]; got != r.iedHost.MAC() {
+		t.Errorf("cache not healed: %v", got)
+	}
+	cli3, err := mms.Dial(r.cliHost, r.iedHost.IP(), 0, mms.DialOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli3.Close()
+	v3, err := cli3.Read(iedpkg.RefVoltage())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v3.Float != 1.0 {
+		t.Errorf("post-heal voltage = %v", v3.Float)
+	}
+}
+
+func TestMITMBlackhole(t *testing.T) {
+	r := newRig(t)
+	cli, err := mms.Dial(r.cliHost, r.iedHost.IP(), 0, mms.DialOptions{Timeout: 300 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	if _, err := cli.Read(iedpkg.RefVoltage()); err != nil {
+		t.Fatal(err)
+	}
+
+	m := NewMITM(r.attacker, r.cliHost.IP(), r.iedHost.IP())
+	m.SetBlackhole(true)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if err := m.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	defer m.Stop()
+	time.Sleep(50 * time.Millisecond)
+	if _, err := cli.Read(iedpkg.RefVoltage()); err == nil {
+		t.Error("read succeeded through blackhole")
+	}
+	_, _, dropped := m.Stats()
+	if dropped == 0 {
+		t.Error("no drops recorded")
+	}
+}
+
+func TestScaleMMSFloatsPreservesLength(t *testing.T) {
+	// Build a buffer with one encoded float and surrounding noise.
+	var payload []byte
+	payload = append(payload, 0x01, 0x02, 0x03)
+	payload = append(payload, 0x87, 9, 11, 0x3F, 0xF0, 0, 0, 0, 0, 0, 0) // 1.0
+	payload = append(payload, 0xFF)
+	fn := ScaleMMSFloats(2.0)
+	out, ok := fn(append([]byte(nil), payload...))
+	if !ok || len(out) != len(payload) {
+		t.Fatalf("len %d -> %d ok=%v", len(payload), len(out), ok)
+	}
+	// 1.0 * 2 = 2.0 = 0x4000000000000000.
+	if out[6] != 0x40 || out[7] != 0x00 {
+		t.Errorf("scaled bytes = % x", out[3:14])
+	}
+	if out[0] != 0x01 || out[len(out)-1] != 0xFF {
+		t.Error("noise bytes disturbed")
+	}
+}
+
+func TestScanPorts(t *testing.T) {
+	r := newRig(t)
+	results := ScanPorts(r.attacker, r.iedHost.IP(), []uint16{102, 502, 8080})
+	byPort := map[uint16]bool{}
+	for _, res := range results {
+		byPort[res.Port] = res.Open
+	}
+	if !byPort[102] {
+		t.Error("MMS port closed in scan")
+	}
+	if byPort[502] || byPort[8080] {
+		t.Error("phantom open ports")
+	}
+}
+
+func TestARPSweep(t *testing.T) {
+	r := newRig(t)
+	alive := ARPSweep(r.attacker, netem.IPv4{10, 0, 0, 0}, 1, 5, 50*time.Millisecond)
+	if len(alive) != 2 {
+		t.Fatalf("alive = %v, want 2 hosts", alive)
+	}
+	seen := map[netem.IPv4]bool{}
+	for _, ip := range alive {
+		seen[ip] = true
+	}
+	if !seen[r.iedHost.IP()] || !seen[r.cliHost.IP()] {
+		t.Errorf("sweep = %v", alive)
+	}
+}

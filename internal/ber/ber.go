@@ -1,0 +1,378 @@
+// Package ber implements a minimal ASN.1 BER-style tag-length-value codec.
+//
+// IEC 61850 application protocols (MMS, GOOSE) are defined over ASN.1 BER.
+// The cyber range does not need a full ASN.1 compiler; it needs interoperable,
+// byte-level TLV framing so that protocol messages are real encoded packets
+// that can be captured, replayed and tampered with on the emulated network.
+// This package provides exactly that: definite-length BER encoding with
+// context-specific, application and universal tag classes, plus helpers for
+// the primitive types the protocol stacks use (integer, boolean, string,
+// bit-string, float, timestamp).
+package ber
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Class is the BER tag class.
+type Class byte
+
+// Tag classes as defined by X.690.
+const (
+	ClassUniversal   Class = 0x00
+	ClassApplication Class = 0x40
+	ClassContext     Class = 0x80
+	ClassPrivate     Class = 0xC0
+)
+
+// Constructed marks a TLV whose value is itself a sequence of TLVs.
+const Constructed byte = 0x20
+
+// Errors returned by the decoder.
+var (
+	ErrTruncated    = errors.New("ber: truncated element")
+	ErrLengthForm   = errors.New("ber: unsupported length form")
+	ErrTagMismatch  = errors.New("ber: tag mismatch")
+	ErrValueRange   = errors.New("ber: value out of range")
+	ErrLongTag      = errors.New("ber: multi-byte tags unsupported")
+	ErrTrailingData = errors.New("ber: trailing data")
+)
+
+// TLV is a decoded BER element. For constructed elements, Children holds the
+// decoded sub-elements and Value holds the raw concatenated encoding.
+type TLV struct {
+	Tag      byte
+	Value    []byte
+	Children []TLV
+}
+
+// IsConstructed reports whether the element carries nested TLVs.
+func (t TLV) IsConstructed() bool { return t.Tag&Constructed != 0 }
+
+// TagNumber returns the low 5 bits of the identifier octet.
+func (t TLV) TagNumber() int { return int(t.Tag & 0x1F) }
+
+// Class returns the tag class of the element.
+func (t TLV) Class() Class { return Class(t.Tag & 0xC0) }
+
+// Encoder builds a BER byte stream. The zero value is ready to use.
+type Encoder struct {
+	buf []byte
+}
+
+// Bytes returns the encoded stream.
+func (e *Encoder) Bytes() []byte { return e.buf }
+
+// Len returns the number of bytes encoded so far.
+func (e *Encoder) Len() int { return len(e.buf) }
+
+// Reset discards the buffer contents, retaining capacity.
+func (e *Encoder) Reset() { e.buf = e.buf[:0] }
+
+// AppendTLV appends one element with the given identifier octet and value.
+func (e *Encoder) AppendTLV(tag byte, value []byte) {
+	e.buf = append(e.buf, tag)
+	e.buf = appendLength(e.buf, len(value))
+	e.buf = append(e.buf, value...)
+}
+
+// AppendConstructed appends a constructed element whose value is produced by
+// build. The length is back-patched after build runs, so nested encoders are
+// unnecessary.
+func (e *Encoder) AppendConstructed(tag byte, build func(*Encoder)) {
+	var inner Encoder
+	build(&inner)
+	e.AppendTLV(tag|Constructed, inner.Bytes())
+}
+
+// AppendInt appends a two's-complement integer with minimal octets.
+func (e *Encoder) AppendInt(tag byte, v int64) {
+	e.AppendTLV(tag, AppendIntBytes(nil, v))
+}
+
+// AppendUint appends an unsigned integer with minimal octets (a leading zero
+// octet is added when the high bit would otherwise flag a negative value).
+func (e *Encoder) AppendUint(tag byte, v uint64) {
+	e.AppendTLV(tag, AppendUintBytes(nil, v))
+}
+
+// AppendBool appends a boolean (0x00 / 0xFF per BER convention).
+func (e *Encoder) AppendBool(tag byte, v bool) {
+	b := byte(0x00)
+	if v {
+		b = 0xFF
+	}
+	e.AppendTLV(tag, []byte{b})
+}
+
+// AppendString appends a UTF-8 / visible string value.
+func (e *Encoder) AppendString(tag byte, s string) {
+	e.AppendTLV(tag, []byte(s))
+}
+
+// AppendFloat64 appends an IEEE-754 float in the 9-octet format used by MMS
+// floating-point (exponent-width octet followed by the big-endian IEEE bits).
+func (e *Encoder) AppendFloat64(tag byte, f float64) {
+	var v [9]byte
+	v[0] = 11 // exponent width of IEEE-754 double
+	binary.BigEndian.PutUint64(v[1:], math.Float64bits(f))
+	e.AppendTLV(tag, v[:])
+}
+
+// AppendFloat32 appends a single-precision IEEE-754 float (5-octet MMS form).
+func (e *Encoder) AppendFloat32(tag byte, f float32) {
+	var v [5]byte
+	v[0] = 8 // exponent width of IEEE-754 single
+	binary.BigEndian.PutUint32(v[1:], math.Float32bits(f))
+	e.AppendTLV(tag, v[:])
+}
+
+// AppendBitString appends a bit string with the given number of valid bits.
+// bits is packed MSB-first.
+func (e *Encoder) AppendBitString(tag byte, bits []byte, nbits int) {
+	unused := len(bits)*8 - nbits
+	if unused < 0 || unused > 7 {
+		unused = 0
+	}
+	v := make([]byte, 0, len(bits)+1)
+	v = append(v, byte(unused))
+	v = append(v, bits...)
+	e.AppendTLV(tag, v)
+}
+
+// AppendUTCTime appends an 8-octet IEC 61850 UtcTime: 4-octet seconds since
+// the epoch, 3-octet fraction, 1-octet time quality.
+func (e *Encoder) AppendUTCTime(tag byte, unixSec int64, fracNanos int64) {
+	var v [8]byte
+	binary.BigEndian.PutUint32(v[0:], uint32(unixSec))
+	frac := uint32((fracNanos << 24) / 1_000_000_000)
+	v[4] = byte(frac >> 16)
+	v[5] = byte(frac >> 8)
+	v[6] = byte(frac)
+	v[7] = 0x0A // leap-seconds known | 10 bits of accuracy
+	e.AppendTLV(tag, v[:])
+}
+
+// AppendIntBytes appends the minimal two's-complement encoding of v to dst.
+func AppendIntBytes(dst []byte, v int64) []byte {
+	n := 1
+	for ; n < 8; n++ {
+		if shifted := v >> (uint(n) * 8); shifted == 0 || shifted == -1 {
+			// Check the sign bit of the candidate top octet agrees.
+			top := byte(v >> (uint(n-1) * 8))
+			if (shifted == 0 && top&0x80 == 0) || (shifted == -1 && top&0x80 != 0) {
+				break
+			}
+		}
+	}
+	for i := n - 1; i >= 0; i-- {
+		dst = append(dst, byte(v>>(uint(i)*8)))
+	}
+	return dst
+}
+
+// AppendUintBytes appends the minimal unsigned encoding of v to dst, with a
+// leading zero octet when needed to keep the value non-negative under BER.
+func AppendUintBytes(dst []byte, v uint64) []byte {
+	n := 1
+	for ; n < 8; n++ {
+		if v>>(uint(n)*8) == 0 {
+			break
+		}
+	}
+	if v>>(uint(n-1)*8)&0x80 != 0 {
+		dst = append(dst, 0x00)
+	}
+	for i := n - 1; i >= 0; i-- {
+		dst = append(dst, byte(v>>(uint(i)*8)))
+	}
+	return dst
+}
+
+func appendLength(dst []byte, n int) []byte {
+	switch {
+	case n < 0x80:
+		return append(dst, byte(n))
+	case n <= 0xFF:
+		return append(dst, 0x81, byte(n))
+	case n <= 0xFFFF:
+		return append(dst, 0x82, byte(n>>8), byte(n))
+	case n <= 0xFFFFFF:
+		return append(dst, 0x83, byte(n>>16), byte(n>>8), byte(n))
+	default:
+		return append(dst, 0x84, byte(n>>24), byte(n>>16), byte(n>>8), byte(n))
+	}
+}
+
+// Decode parses one TLV from b and returns it with the number of bytes read.
+// Constructed elements are decoded recursively.
+func Decode(b []byte) (TLV, int, error) {
+	if len(b) < 2 {
+		return TLV{}, 0, ErrTruncated
+	}
+	tag := b[0]
+	if tag&0x1F == 0x1F {
+		return TLV{}, 0, ErrLongTag
+	}
+	length, lenBytes, err := decodeLength(b[1:])
+	if err != nil {
+		return TLV{}, 0, err
+	}
+	total := 1 + lenBytes + length
+	if total > len(b) {
+		return TLV{}, 0, ErrTruncated
+	}
+	t := TLV{Tag: tag, Value: b[1+lenBytes : total]}
+	if t.IsConstructed() {
+		children, err := DecodeAll(t.Value)
+		if err != nil {
+			return TLV{}, 0, fmt.Errorf("ber: decoding children of tag 0x%02x: %w", tag, err)
+		}
+		t.Children = children
+	}
+	return t, total, nil
+}
+
+// DecodeAll parses a concatenation of TLVs until b is exhausted.
+func DecodeAll(b []byte) ([]TLV, error) {
+	var out []TLV
+	for len(b) > 0 {
+		t, n, err := Decode(b)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		b = b[n:]
+	}
+	return out, nil
+}
+
+func decodeLength(b []byte) (length, n int, err error) {
+	if len(b) == 0 {
+		return 0, 0, ErrTruncated
+	}
+	first := b[0]
+	if first < 0x80 {
+		return int(first), 1, nil
+	}
+	numOctets := int(first & 0x7F)
+	if numOctets == 0 || numOctets > 4 {
+		return 0, 0, ErrLengthForm
+	}
+	if len(b) < 1+numOctets {
+		return 0, 0, ErrTruncated
+	}
+	for i := 0; i < numOctets; i++ {
+		length = length<<8 | int(b[1+i])
+	}
+	if length < 0 {
+		return 0, 0, ErrValueRange
+	}
+	return length, 1 + numOctets, nil
+}
+
+// Int decodes a two's-complement integer value.
+func (t TLV) Int() (int64, error) {
+	v := t.Value
+	if len(v) == 0 || len(v) > 8 {
+		return 0, ErrValueRange
+	}
+	var out int64
+	if v[0]&0x80 != 0 {
+		out = -1
+	}
+	for _, b := range v {
+		out = out<<8 | int64(b)
+	}
+	return out, nil
+}
+
+// Uint decodes an unsigned integer value.
+func (t TLV) Uint() (uint64, error) {
+	v := t.Value
+	if len(v) == 0 || len(v) > 9 || (len(v) == 9 && v[0] != 0) {
+		return 0, ErrValueRange
+	}
+	var out uint64
+	for _, b := range v {
+		out = out<<8 | uint64(b)
+	}
+	return out, nil
+}
+
+// Bool decodes a boolean value (any non-zero octet is true).
+func (t TLV) Bool() (bool, error) {
+	if len(t.Value) != 1 {
+		return false, ErrValueRange
+	}
+	return t.Value[0] != 0, nil
+}
+
+// String decodes the value as a string.
+func (t TLV) String() string { return string(t.Value) }
+
+// Float64 decodes an MMS floating-point value (5- or 9-octet form).
+func (t TLV) Float64() (float64, error) {
+	switch len(t.Value) {
+	case 9:
+		return math.Float64frombits(binary.BigEndian.Uint64(t.Value[1:])), nil
+	case 5:
+		return float64(math.Float32frombits(binary.BigEndian.Uint32(t.Value[1:]))), nil
+	default:
+		return 0, ErrValueRange
+	}
+}
+
+// BitString decodes the value as (bits, nbits).
+func (t TLV) BitString() ([]byte, int, error) {
+	if len(t.Value) == 0 {
+		return nil, 0, ErrValueRange
+	}
+	unused := int(t.Value[0])
+	if unused > 7 {
+		return nil, 0, ErrValueRange
+	}
+	bits := t.Value[1:]
+	return bits, len(bits)*8 - unused, nil
+}
+
+// UTCTime decodes an 8-octet IEC 61850 UtcTime into (unixSec, fracNanos).
+func (t TLV) UTCTime() (int64, int64, error) {
+	if len(t.Value) != 8 {
+		return 0, 0, ErrValueRange
+	}
+	sec := int64(binary.BigEndian.Uint32(t.Value[0:4]))
+	frac := int64(t.Value[4])<<16 | int64(t.Value[5])<<8 | int64(t.Value[6])
+	nanos := (frac * 1_000_000_000) >> 24
+	return sec, nanos, nil
+}
+
+// Child returns the first child with the given tag, or an error.
+func (t TLV) Child(tag byte) (TLV, error) {
+	for _, c := range t.Children {
+		if c.Tag == tag {
+			return c, nil
+		}
+	}
+	return TLV{}, fmt.Errorf("%w: no child with tag 0x%02x", ErrTagMismatch, tag)
+}
+
+// ChildN returns the i-th child, or an error if out of range.
+func (t TLV) ChildN(i int) (TLV, error) {
+	if i < 0 || i >= len(t.Children) {
+		return TLV{}, fmt.Errorf("%w: child index %d of %d", ErrValueRange, i, len(t.Children))
+	}
+	return t.Children[i], nil
+}
+
+// ContextTag builds a context-specific primitive identifier octet.
+func ContextTag(n int) byte { return byte(ClassContext) | byte(n&0x1F) }
+
+// ContextConstructed builds a context-specific constructed identifier octet.
+func ContextConstructed(n int) byte { return byte(ClassContext) | Constructed | byte(n&0x1F) }
+
+// ApplicationConstructed builds an application-class constructed identifier octet.
+func ApplicationConstructed(n int) byte { return byte(ClassApplication) | Constructed | byte(n&0x1F) }

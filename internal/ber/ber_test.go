@@ -1,0 +1,311 @@
+package ber
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestAppendIntBytesMinimal(t *testing.T) {
+	tests := []struct {
+		name string
+		v    int64
+		want []byte
+	}{
+		{"zero", 0, []byte{0x00}},
+		{"one", 1, []byte{0x01}},
+		{"minus one", -1, []byte{0xFF}},
+		{"127", 127, []byte{0x7F}},
+		{"128 needs two octets", 128, []byte{0x00, 0x80}},
+		{"-128", -128, []byte{0x80}},
+		{"-129", -129, []byte{0xFF, 0x7F}},
+		{"256", 256, []byte{0x01, 0x00}},
+		{"65535", 65535, []byte{0x00, 0xFF, 0xFF}},
+		{"max int64", math.MaxInt64, []byte{0x7F, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF}},
+		{"min int64", math.MinInt64, []byte{0x80, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := AppendIntBytes(nil, tt.v)
+			if !bytes.Equal(got, tt.want) {
+				t.Errorf("AppendIntBytes(%d) = %x, want %x", tt.v, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestIntRoundTrip(t *testing.T) {
+	f := func(v int64) bool {
+		var e Encoder
+		e.AppendInt(0x02, v)
+		tlv, n, err := Decode(e.Bytes())
+		if err != nil || n != e.Len() {
+			return false
+		}
+		got, err := tlv.Int()
+		return err == nil && got == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUintRoundTrip(t *testing.T) {
+	f := func(v uint64) bool {
+		var e Encoder
+		e.AppendUint(0x02, v)
+		tlv, _, err := Decode(e.Bytes())
+		if err != nil {
+			return false
+		}
+		got, err := tlv.Uint()
+		return err == nil && got == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFloat64RoundTrip(t *testing.T) {
+	f := func(v float64) bool {
+		var e Encoder
+		e.AppendFloat64(0x87, v)
+		tlv, _, err := Decode(e.Bytes())
+		if err != nil {
+			return false
+		}
+		got, err := tlv.Float64()
+		if err != nil {
+			return false
+		}
+		if math.IsNaN(v) {
+			return math.IsNaN(got)
+		}
+		return got == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFloat32RoundTrip(t *testing.T) {
+	var e Encoder
+	e.AppendFloat32(0x87, 3.25)
+	tlv, _, err := Decode(e.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := tlv.Float64()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 3.25 {
+		t.Errorf("Float64() = %v, want 3.25", got)
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	f := func(s string) bool {
+		var e Encoder
+		e.AppendString(0x1A, s)
+		tlv, _, err := Decode(e.Bytes())
+		return err == nil && tlv.String() == s
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBoolRoundTrip(t *testing.T) {
+	for _, v := range []bool{true, false} {
+		var e Encoder
+		e.AppendBool(0x83, v)
+		tlv, _, err := Decode(e.Bytes())
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := tlv.Bool()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != v {
+			t.Errorf("Bool() = %v, want %v", got, v)
+		}
+	}
+}
+
+func TestBitStringRoundTrip(t *testing.T) {
+	var e Encoder
+	e.AppendBitString(0x84, []byte{0b1100_0000, 0b1000_0000}, 10)
+	tlv, _, err := Decode(e.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bits, n, err := tlv.BitString()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 10 {
+		t.Errorf("nbits = %d, want 10", n)
+	}
+	if !bytes.Equal(bits, []byte{0b1100_0000, 0b1000_0000}) {
+		t.Errorf("bits = %08b", bits)
+	}
+}
+
+func TestUTCTimeRoundTrip(t *testing.T) {
+	var e Encoder
+	const sec, nanos = 1_700_000_000, 500_000_000
+	e.AppendUTCTime(0x91, sec, nanos)
+	tlv, _, err := Decode(e.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotSec, gotNanos, err := tlv.UTCTime()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotSec != sec {
+		t.Errorf("sec = %d, want %d", gotSec, sec)
+	}
+	// The 24-bit fraction loses precision; allow ~60ns.
+	if diff := gotNanos - nanos; diff < -60 || diff > 60 {
+		t.Errorf("nanos = %d, want ~%d", gotNanos, nanos)
+	}
+}
+
+func TestConstructedNesting(t *testing.T) {
+	var e Encoder
+	e.AppendConstructed(ContextConstructed(1), func(inner *Encoder) {
+		inner.AppendInt(ContextTag(0), 42)
+		inner.AppendString(ContextTag(1), "hello")
+		inner.AppendConstructed(ContextConstructed(2), func(deep *Encoder) {
+			deep.AppendBool(ContextTag(3), true)
+		})
+	})
+	tlv, n, err := Decode(e.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != e.Len() {
+		t.Errorf("consumed %d bytes of %d", n, e.Len())
+	}
+	if !tlv.IsConstructed() || len(tlv.Children) != 3 {
+		t.Fatalf("children = %d, want 3", len(tlv.Children))
+	}
+	c0, err := tlv.Child(ContextTag(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := c0.Int(); v != 42 {
+		t.Errorf("child 0 = %d, want 42", v)
+	}
+	c2, err := tlv.Child(ContextConstructed(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c2.Children) != 1 {
+		t.Fatalf("deep children = %d, want 1", len(c2.Children))
+	}
+	if b, _ := c2.Children[0].Bool(); !b {
+		t.Error("deep bool = false, want true")
+	}
+}
+
+func TestLongLengthForms(t *testing.T) {
+	for _, size := range []int{0, 1, 127, 128, 255, 256, 65535, 65536, 1 << 20} {
+		payload := bytes.Repeat([]byte{0xAB}, size)
+		var e Encoder
+		e.AppendTLV(0x04, payload)
+		tlv, n, err := Decode(e.Bytes())
+		if err != nil {
+			t.Fatalf("size %d: %v", size, err)
+		}
+		if n != e.Len() {
+			t.Errorf("size %d: consumed %d of %d", size, n, e.Len())
+		}
+		if !bytes.Equal(tlv.Value, payload) {
+			t.Errorf("size %d: payload mismatch", size)
+		}
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		in   []byte
+	}{
+		{"empty", nil},
+		{"single byte", []byte{0x02}},
+		{"truncated value", []byte{0x02, 0x05, 0x01}},
+		{"truncated long length", []byte{0x02, 0x82, 0x01}},
+		{"indefinite/overlong length", []byte{0x02, 0x85, 1, 2, 3, 4, 5, 6}},
+		{"multi-byte tag", []byte{0x1F, 0x81, 0x00}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, _, err := Decode(tt.in); err == nil {
+				t.Errorf("Decode(%x) succeeded, want error", tt.in)
+			}
+		})
+	}
+}
+
+func TestDecodeAllSequence(t *testing.T) {
+	var e Encoder
+	for i := int64(0); i < 10; i++ {
+		e.AppendInt(0x02, i)
+	}
+	elems, err := DecodeAll(e.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(elems) != 10 {
+		t.Fatalf("len = %d, want 10", len(elems))
+	}
+	for i, el := range elems {
+		if v, _ := el.Int(); v != int64(i) {
+			t.Errorf("elem %d = %d", i, v)
+		}
+	}
+}
+
+func TestDecodeAllRejectsGarbage(t *testing.T) {
+	var e Encoder
+	e.AppendInt(0x02, 7)
+	in := append(e.Bytes(), 0x02) // dangling tag byte
+	if _, err := DecodeAll(in); err == nil {
+		t.Error("DecodeAll with trailing garbage succeeded, want error")
+	}
+}
+
+func TestArbitraryBytesNeverPanic(t *testing.T) {
+	f := func(b []byte) bool {
+		_, _, _ = Decode(b) // must not panic
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestChildErrors(t *testing.T) {
+	var e Encoder
+	e.AppendConstructed(0x30, func(inner *Encoder) {
+		inner.AppendInt(0x02, 1)
+	})
+	tlv, _, err := Decode(e.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tlv.Child(0x99); err == nil {
+		t.Error("Child(0x99) succeeded, want error")
+	}
+	if _, err := tlv.ChildN(5); err == nil {
+		t.Error("ChildN(5) succeeded, want error")
+	}
+	if _, err := tlv.ChildN(0); err != nil {
+		t.Errorf("ChildN(0) error: %v", err)
+	}
+}

@@ -1,0 +1,191 @@
+package core
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/scada"
+	"repro/internal/sgmlconf"
+)
+
+// Failure injection: the compiled range must degrade gracefully under the
+// faults a real testbed exhibits — lossy cables, link flaps, dead devices —
+// because attack exercises routinely create exactly these conditions.
+
+// linkOf returns the access link of a named host.
+func linkOf(t *testing.T, r *CyberRange, host string) interface {
+	SetUp(bool)
+	SetLossRate(float64)
+} {
+	t.Helper()
+	for _, l := range r.Net.Links() {
+		devA, _, devB, _ := l.Endpoints()
+		if devA == host || devB == host {
+			return l
+		}
+	}
+	t.Fatalf("no link for host %q", host)
+	return nil
+}
+
+func TestRangeSurvivesLossyLinks(t *testing.T) {
+	r := compiledEPIC(t)
+	if err := r.Start(context.Background(), false); err != nil {
+		t.Fatal(err)
+	}
+	// 5% loss on the PLC's and TIED1's access links: TCP-lite must recover.
+	linkOf(t, r, "CPLC").SetLossRate(0.05)
+	linkOf(t, r, "TIED1").SetLossRate(0.05)
+	now := time.Now()
+	for i := 0; i < 6; i++ {
+		now = now.Add(r.Interval())
+		if err := r.StepAll(now); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p, err := r.HMI.Point("DP_MainVoltage")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Quality != scada.QualityGood {
+		t.Errorf("quality under loss = %v", p.Quality)
+	}
+	if p.Value < 0.9 || p.Value > 1.1 {
+		t.Errorf("value under loss = %v", p.Value)
+	}
+	if r.Net.Dropped() == 0 {
+		t.Error("loss rate produced no drops")
+	}
+}
+
+func TestRangeSurvivesLinkFlap(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow: dial/read timeouts through a dead link")
+	}
+	r := compiledEPIC(t)
+	if err := r.Start(context.Background(), false); err != nil {
+		t.Fatal(err)
+	}
+	now := time.Now()
+	step := func(n int) {
+		for i := 0; i < n; i++ {
+			now = now.Add(r.Interval())
+			_ = r.StepAll(now) // PLC scan errors are expected during the cut
+		}
+	}
+	step(2)
+	// Cut the CPLC's cable: the SCADA points sourced from it go comm-fail.
+	link := linkOf(t, r, "CPLC")
+	link.SetUp(false)
+	for i := 0; i < 2; i++ {
+		step(1)
+		r.HMI.PollOnce()
+	}
+	p, _ := r.HMI.Point("DP_MainVoltage")
+	if p.Quality != scada.QualityCommFail {
+		t.Fatalf("quality during cut = %v, want COMM_FAIL", p.Quality)
+	}
+	// MMS-sourced points from the (unaffected) IED stay good.
+	direct, _ := r.HMI.Point("DP_TieCurrent")
+	if direct.Quality != scada.QualityGood {
+		t.Errorf("unaffected source degraded: %v", direct.Quality)
+	}
+	// Restore: the poller reconnects and quality recovers.
+	link.SetUp(true)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		step(1)
+		r.HMI.PollOnce()
+		p, _ = r.HMI.Point("DP_MainVoltage")
+		if p.Quality == scada.QualityGood {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("never recovered: %v", p.Quality)
+		}
+	}
+	var fail, restore bool
+	for _, e := range r.HMI.Events() {
+		switch e.Kind {
+		case scada.EventCommFail:
+			fail = true
+		case scada.EventCommRestore:
+			restore = true
+		}
+	}
+	if !fail || !restore {
+		t.Error("comm fail/restore events missing")
+	}
+}
+
+func TestRangeSurvivesIEDDeath(t *testing.T) {
+	r := compiledEPIC(t)
+	if err := r.Start(context.Background(), false); err != nil {
+		t.Fatal(err)
+	}
+	now := time.Now()
+	step := func(n int) {
+		for i := 0; i < n; i++ {
+			now = now.Add(r.Interval())
+			_ = r.StepAll(now)
+		}
+	}
+	step(2)
+	// Kill TIED1 — the IED the PLC reads. The range keeps stepping.
+	r.IEDs["TIED1"].Stop()
+	step(3)
+	_, _, readErrs, _ := r.PLCs["CPLC"].Stats()
+	if readErrs == 0 {
+		t.Error("PLC did not record read errors after IED death")
+	}
+	// Physics and the other IEDs are unaffected.
+	res := r.Sim.LastResult()
+	if !res.Converged {
+		t.Error("simulation broke after device death")
+	}
+	if r.IEDs["GIED1"].Steps() == 0 {
+		t.Error("other IEDs stalled")
+	}
+	// SCADA marks the dead MMS source comm-fail, keeps others good.
+	r.HMI.PollOnce()
+	r.HMI.PollOnce()
+	dead, _ := r.HMI.Point("DP_TieCurrent")
+	if dead.Quality != scada.QualityCommFail {
+		t.Errorf("dead IED point quality = %v", dead.Quality)
+	}
+	alive, _ := r.HMI.Point("DP_GenBusVoltage")
+	if alive.Quality != scada.QualityGood {
+		t.Errorf("live IED point quality = %v", alive.Quality)
+	}
+}
+
+func TestSimulatorDivergenceIsReported(t *testing.T) {
+	// A scenario that drives the grid into collapse must surface an error
+	// from StepAll, not hang or silently wedge the range.
+	ms := epicModelSet(t)
+	ms.PowerConfig.Steps = []sgmlconf.ProfileStep{
+		// Pathological load: 10 GW on a 0.4 kV bus.
+		{AtMS: 200, Kind: "loadP", Element: "Home1", Value: 10000},
+	}
+	r, err := Compile(ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Stop()
+	if err := r.Start(context.Background(), false); err != nil {
+		t.Fatal(err)
+	}
+	var sawErr bool
+	now := time.Now()
+	for i := 0; i < 3; i++ {
+		now = now.Add(r.Interval())
+		if err := r.StepAll(now); err != nil {
+			sawErr = true
+			break
+		}
+	}
+	if !sawErr {
+		t.Error("grid collapse not reported")
+	}
+}

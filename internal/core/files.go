@@ -1,0 +1,130 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/plc"
+	"repro/internal/scl"
+	"repro/internal/sgmlconf"
+)
+
+// LoadModelFiles assembles a ModelSet from raw SG-ML files, keyed by file
+// name. File roles follow the naming conventions the generator emits and the
+// paper's toolchain expects:
+//
+//	*.scd.xml            SCD (one per substation; base name before .scd is the substation)
+//	*.ssd.xml            SSD (informational; the SCD carries the substation section)
+//	*.icd.xml            per-IED ICD (base name is the IED name)
+//	*.sed.xml            SED for multi-substation models
+//	ied_config.xml       IED Config XML
+//	scada_config.xml     SCADA Config XML
+//	power_config.xml     Power System Extra Config XML
+//	plc_config.xml       PLC mapping (may appear multiple times as <name>.plc_config.xml)
+//	*.plcopen.xml        IEC 61131-3 PLCopen control logic
+func LoadModelFiles(name string, files map[string][]byte) (*ModelSet, error) {
+	ms := &ModelSet{
+		Name: name,
+		SCDs: map[string]*scl.Document{},
+		ICDs: map[string]*scl.Document{},
+	}
+	var plcopen = map[string][]byte{} // pou name -> xml
+	var plcCfgs []*sgmlconf.PLCConfig
+	for fname, data := range files {
+		base := filepath.Base(fname)
+		switch {
+		case strings.HasSuffix(base, ".scd.xml"):
+			doc, err := scl.Parse(data)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", fname, err)
+			}
+			sub := strings.TrimSuffix(base, ".scd.xml")
+			if len(doc.Substations) == 1 {
+				sub = doc.Substations[0].Name
+			}
+			ms.SCDs[sub] = doc
+		case strings.HasSuffix(base, ".icd.xml"):
+			doc, err := scl.Parse(data)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", fname, err)
+			}
+			iedName := strings.TrimSuffix(base, ".icd.xml")
+			ms.ICDs[iedName] = doc
+		case strings.HasSuffix(base, ".sed.xml"):
+			sed, err := scl.ParseSED(data)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", fname, err)
+			}
+			ms.SED = sed
+		case base == "ied_config.xml":
+			cfg, err := sgmlconf.ParseIEDConfig(data)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", fname, err)
+			}
+			ms.IEDConfig = cfg
+		case base == "scada_config.xml":
+			cfg, err := sgmlconf.ParseSCADAConfig(data)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", fname, err)
+			}
+			ms.SCADAConfig = cfg
+		case base == "power_config.xml":
+			cfg, err := sgmlconf.ParsePowerConfig(data)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", fname, err)
+			}
+			ms.PowerConfig = cfg
+		case base == "plc_config.xml" || strings.HasSuffix(base, ".plc_config.xml"):
+			cfg, err := sgmlconf.ParsePLCConfig(data)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", fname, err)
+			}
+			plcCfgs = append(plcCfgs, cfg)
+		case strings.HasSuffix(base, ".plcopen.xml"):
+			pou, _, err := plc.ParsePLCopen(data)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", fname, err)
+			}
+			plcopen[strings.ToUpper(pou)] = data
+		case strings.HasSuffix(base, ".ssd.xml"), strings.HasSuffix(base, ".json"):
+			// SSD content is carried by the SCD; JSON artefacts are outputs.
+		default:
+			// Unknown files are ignored so model directories can carry docs.
+		}
+	}
+	for _, cfg := range plcCfgs {
+		spec := PLCSpec{Config: cfg}
+		if xmlData, ok := plcopen[strings.ToUpper(cfg.Name)]; ok {
+			spec.PLCopenXML = xmlData
+		} else {
+			return nil, fmt.Errorf("%w: PLC %q has no PLCopen logic file", ErrModel, cfg.Name)
+		}
+		ms.PLCs = append(ms.PLCs, spec)
+	}
+	if len(ms.SCDs) == 0 {
+		return nil, fmt.Errorf("%w: no SCD file in model set", ErrModel)
+	}
+	return ms, nil
+}
+
+// LoadModelDir reads every file in dir and assembles a ModelSet.
+func LoadModelDir(name, dir string) (*ModelSet, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	files := map[string][]byte{}
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		files[e.Name()] = data
+	}
+	return LoadModelFiles(name, files)
+}

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/epic"
+)
+
+func epicFiles(t *testing.T) map[string][]byte {
+	t.Helper()
+	m, err := epic.NewModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	files, err := m.Files()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return files
+}
+
+func TestLoadModelFiles(t *testing.T) {
+	ms, err := LoadModelFiles("epic", epicFiles(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms.SCDs) != 1 || ms.SCDs["EPIC"] == nil {
+		t.Errorf("SCDs = %v", ms.SCDs)
+	}
+	if len(ms.ICDs) != 8 {
+		t.Errorf("ICDs = %d", len(ms.ICDs))
+	}
+	if ms.IEDConfig == nil || ms.SCADAConfig == nil || ms.PowerConfig == nil {
+		t.Error("supplementary configs missing")
+	}
+	if len(ms.PLCs) != 1 || ms.PLCs[0].Config.Name != "CPLC" {
+		t.Errorf("PLCs = %+v", ms.PLCs)
+	}
+}
+
+func TestLoadModelFilesErrors(t *testing.T) {
+	t.Run("no SCD", func(t *testing.T) {
+		if _, err := LoadModelFiles("x", map[string][]byte{}); !errors.Is(err, ErrModel) {
+			t.Errorf("err = %v", err)
+		}
+	})
+	t.Run("corrupt SCD", func(t *testing.T) {
+		if _, err := LoadModelFiles("x", map[string][]byte{"a.scd.xml": []byte("junk")}); err == nil {
+			t.Error("junk accepted")
+		}
+	})
+	t.Run("corrupt IED config", func(t *testing.T) {
+		files := epicFiles(t)
+		files["ied_config.xml"] = []byte("junk")
+		if _, err := LoadModelFiles("x", files); err == nil {
+			t.Error("junk config accepted")
+		}
+	})
+	t.Run("PLC config without logic", func(t *testing.T) {
+		files := epicFiles(t)
+		delete(files, "cplc_logic.plcopen.xml")
+		if _, err := LoadModelFiles("x", files); !errors.Is(err, ErrModel) {
+			t.Errorf("err = %v", err)
+		}
+	})
+	t.Run("corrupt SED", func(t *testing.T) {
+		files := epicFiles(t)
+		files["multi.sed.xml"] = []byte("junk")
+		if _, err := LoadModelFiles("x", files); err == nil {
+			t.Error("junk SED accepted")
+		}
+	})
+}
+
+func TestLoadModelDir(t *testing.T) {
+	dir := t.TempDir()
+	for name, data := range epicFiles(t) {
+		if err := os.WriteFile(filepath.Join(dir, name), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A stray documentation file must be ignored.
+	os.WriteFile(filepath.Join(dir, "README.txt"), []byte("docs"), 0o644)
+	os.Mkdir(filepath.Join(dir, "subdir"), 0o755)
+
+	ms, err := LoadModelDir("epic", dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Compile(ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Stop()
+	if len(r.IEDs) != 8 {
+		t.Errorf("IEDs from dir = %d", len(r.IEDs))
+	}
+	if _, err := LoadModelDir("x", filepath.Join(dir, "nope")); err == nil {
+		t.Error("missing dir accepted")
+	}
+}

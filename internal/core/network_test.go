@@ -1,0 +1,175 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/netem"
+	"repro/internal/scl"
+	"repro/internal/sclmerge"
+)
+
+func commDoc(subnets int, apsPer int) *scl.Document {
+	doc := &scl.Document{
+		Header:        scl.Header{ID: "comm"},
+		Communication: &scl.Communication{},
+	}
+	// Minimal substation so validation passes when needed.
+	doc.Substations = []scl.Substation{{
+		Name: "S1",
+		VoltageLevels: []scl.VoltageLevel{{
+			Name: "VL", Voltage: scl.Voltage{Multiplier: "k", Value: 22},
+			Bays: []scl.Bay{{Name: "B", ConnectivityNodes: []scl.ConnectivityNode{{Name: "CN", PathName: "S1/VL/B/CN"}}}},
+		}},
+	}}
+	n := 1
+	for s := 0; s < subnets; s++ {
+		sn := scl.SubNetwork{Name: string(rune('A' + s)), Type: "8-MMS"}
+		for a := 0; a < apsPer; a++ {
+			name := "IED" + string(rune('A'+s)) + string(rune('0'+a))
+			doc.IEDs = append(doc.IEDs, scl.IED{
+				Name: name,
+				AccessPoints: []scl.AccessPoint{{Name: "AP1", Server: &scl.Server{
+					LDevices: []scl.LDevice{{Inst: "LD0"}},
+				}}},
+			})
+			sn.ConnectedAPs = append(sn.ConnectedAPs, scl.ConnectedAP{
+				IEDName: name, APName: "AP1",
+				Address: scl.Address{Ps: []scl.P{
+					{Type: "IP", Value: netem.IPv4{10, 0, byte(s), byte(n)}.String()},
+					{Type: "MAC-Address", Value: netem.MAC{2, 0, 0, 0, byte(s), byte(n)}.String()},
+				}},
+			})
+			n++
+		}
+		doc.Communication.SubNetworks = append(doc.Communication.SubNetworks, sn)
+	}
+	return doc
+}
+
+func TestGenerateNetworkSingleSubnet(t *testing.T) {
+	cons, err := sclmerge.SingleSubstation("S1", commDoc(1, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	built, err := GenerateNetwork(cons)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(built.Hosts) != 3 {
+		t.Errorf("hosts = %d", len(built.Hosts))
+	}
+	if len(built.Switches) != 1 {
+		t.Errorf("switches = %d, want 1 (no WAN for single subnet)", len(built.Switches))
+	}
+	// Hosts can actually exchange traffic.
+	if err := built.Net.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer built.Net.Stop()
+	a := built.Hosts["IEDA0"]
+	b := built.Hosts["IEDA1"]
+	if _, err := a.ResolveARP(b.IP(), time.Second); err != nil {
+		t.Errorf("ARP across generated LAN: %v", err)
+	}
+}
+
+func TestGenerateNetworkWAN(t *testing.T) {
+	cons, err := sclmerge.SingleSubstation("S1", commDoc(3, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cons.WAN = scl.WANConfig{LatencyMS: 1}
+	built, err := GenerateNetwork(cons)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(built.Switches) != 4 { // 3 subnet + WAN
+		t.Errorf("switches = %d", len(built.Switches))
+	}
+	if built.Switches["sw-wan"] == nil {
+		t.Fatal("no WAN switch")
+	}
+	if err := built.Net.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer built.Net.Stop()
+	// Cross-subnet reachability through the WAN switch, with latency.
+	a := built.Hosts["IEDA0"]
+	c := built.Hosts["IEDC1"]
+	start := time.Now()
+	if _, err := a.ResolveARP(c.IP(), 2*time.Second); err != nil {
+		t.Fatalf("cross-WAN ARP: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed < 2*time.Millisecond {
+		t.Errorf("WAN latency not applied: resolved in %v", elapsed)
+	}
+}
+
+func TestGenerateNetworkErrors(t *testing.T) {
+	t.Run("no communication", func(t *testing.T) {
+		doc := commDoc(1, 1)
+		doc.Communication = nil
+		cons := &sclmerge.Consolidated{Doc: doc}
+		if _, err := GenerateNetwork(cons); !errors.Is(err, ErrModel) {
+			t.Errorf("err = %v", err)
+		}
+	})
+	t.Run("missing IP", func(t *testing.T) {
+		doc := commDoc(1, 1)
+		doc.Communication.SubNetworks[0].ConnectedAPs[0].Address.Ps = nil
+		cons := &sclmerge.Consolidated{Doc: doc}
+		if _, err := GenerateNetwork(cons); !errors.Is(err, ErrModel) {
+			t.Errorf("err = %v", err)
+		}
+	})
+	t.Run("bad MAC", func(t *testing.T) {
+		doc := commDoc(1, 1)
+		doc.Communication.SubNetworks[0].ConnectedAPs[0].Address.Ps[1].Value = "zz"
+		cons := &sclmerge.Consolidated{Doc: doc}
+		if _, err := GenerateNetwork(cons); !errors.Is(err, ErrModel) {
+			t.Errorf("err = %v", err)
+		}
+	})
+}
+
+func TestGenerateNetworkDefaultMAC(t *testing.T) {
+	doc := commDoc(1, 1)
+	doc.Communication.SubNetworks[0].ConnectedAPs[0].Address.Ps =
+		doc.Communication.SubNetworks[0].ConnectedAPs[0].Address.Ps[:1] // IP only
+	cons := &sclmerge.Consolidated{Doc: doc}
+	built, err := GenerateNetwork(cons)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := built.Hosts["IEDA0"]
+	if h.MAC() == (netem.MAC{}) {
+		t.Error("no MAC derived")
+	}
+}
+
+func TestAttachHost(t *testing.T) {
+	cons, err := sclmerge.SingleSubstation("S1", commDoc(1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	built, err := GenerateNetwork(cons)
+	if err != nil {
+		t.Fatal(err)
+	}
+	attacker, err := built.AttachHost("attacker", netem.MAC{2, 0xBA, 0xD0, 0, 0, 1}, netem.IPv4{10, 0, 0, 99}, "sw-A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := built.Net.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer built.Net.Stop()
+	if _, err := attacker.ResolveARP(built.Hosts["IEDA0"].IP(), time.Second); err != nil {
+		t.Errorf("attached host unreachable: %v", err)
+	}
+	if _, err := built.AttachHost("x", netem.MAC{2}, netem.IPv4{10, 9, 9, 9}, "ghost"); !errors.Is(err, ErrModel) {
+		t.Errorf("attach to unknown switch err = %v", err)
+	}
+}

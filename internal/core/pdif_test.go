@@ -1,0 +1,128 @@
+package core
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/epic"
+	"repro/internal/netem"
+	"repro/internal/sv"
+)
+
+// TestPDIFWiringAcrossSubstations verifies the compiler's automatic R-SV
+// wiring: gateway IEDs of tied substations exchange tie-line currents and
+// stay quiet while the measurements agree.
+func TestPDIFWiringAcrossSubstations(t *testing.T) {
+	sm, err := epic.NewScaleModel(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := &ModelSet{Name: "pdif", SCDs: sm.SCDs, SED: sm.SED,
+		IEDConfig: sm.IEDConfigs, PowerConfig: sm.PowerConfig}
+	r, err := Compile(ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Stop()
+	if err := r.Start(context.Background(), false); err != nil {
+		t.Fatal(err)
+	}
+	// The tie breaker from the SED exists and is closed.
+	if sw := r.Grid.FindSwitch("S2_TieCB"); sw == nil {
+		t.Fatal("tie breaker not generated from SED")
+	}
+	now := time.Now()
+	for i := 0; i < 5; i++ {
+		now = now.Add(r.Interval())
+		if err := r.StepAll(now); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(10 * time.Millisecond) // let R-SV datagrams land
+	}
+	// Healthy tie: identical currents at both ends, no differential trip.
+	if trips := r.IEDs["S2_GW"].TripCount(); trips != 0 {
+		t.Errorf("healthy tie tripped PDIF %d times", trips)
+	}
+	if !r.Sim.LastResult().Buses["S2/VL22/Main/MainBus"].Energized {
+		t.Error("S2 dead on healthy tie")
+	}
+}
+
+// TestPDIFFalseDataInjection is the reference-[23] attack of the paper's
+// authors: forged R-SV samples (no authentication on the wire) convince the
+// S2 gateway that the remote current diverged, falsely tripping the tie and
+// blacking out substation 2.
+func TestPDIFFalseDataInjection(t *testing.T) {
+	sm, err := epic.NewScaleModel(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := &ModelSet{Name: "fdi", SCDs: sm.SCDs, SED: sm.SED,
+		IEDConfig: sm.IEDConfigs, PowerConfig: sm.PowerConfig}
+	r, err := Compile(ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Stop()
+	// Attacker on S2's LAN.
+	attacker, err := r.Built.AttachHost("attacker",
+		netem.MustMAC("02:ba:d0:00:00:77"), netem.MustIPv4("10.2.0.77"), "sw-S2-LAN")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Start(context.Background(), false); err != nil {
+		t.Fatal(err)
+	}
+	now := time.Now()
+	step := func() {
+		now = now.Add(r.Interval())
+		if err := r.StepAll(now); err != nil {
+			t.Fatal(err)
+		}
+	}
+	step()
+	step()
+	if r.IEDs["S2_GW"].TripCount() != 0 {
+		t.Fatal("tripped before injection")
+	}
+
+	// Forge R-SV: claim S1_GW measures 5 kA on the tie (true value ~0.01 kA).
+	sock, err := attacker.BindUDP(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sock.Close()
+	appID := rsvPairAppID("S1_GW", "S2_GW")
+	victim := r.Built.AddrOf["S2_GW"]
+	var smpCnt uint16 = 9000
+	inject := func() {
+		payload := sv.Marshal(appID, sv.Sample{
+			SvID: "S1_GW", SmpCnt: smpCnt, ConfRev: 1,
+			Values: []float64{5.0}, RefrTm: time.Now(),
+		})
+		smpCnt++
+		if err := sock.SendTo(victim, sv.RSVPort, payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Keep injecting across steps so the forged value is the freshest when
+	// the gateway drains its subscription; the 100 ms PDIF delay must elapse.
+	for i := 0; i < 4; i++ {
+		inject()
+		time.Sleep(15 * time.Millisecond)
+		step()
+	}
+	if trips := r.IEDs["S2_GW"].TripCount(); trips == 0 {
+		t.Fatal("forged R-SV did not trip PDIF")
+	}
+	// The false trip opened the tie: substation 2 is dark.
+	res := r.Sim.LastResult()
+	if res.Buses["S2/VL22/Main/MainBus"].Energized {
+		t.Error("S2 still energized after false trip")
+	}
+	if res.DeadBuses == 0 {
+		t.Error("no buses de-energised")
+	}
+	t.Logf("FDI on R-SV: %d buses de-energised by a forged sample", res.DeadBuses)
+}

@@ -1,0 +1,251 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/powerflow"
+	"repro/internal/powergrid"
+	"repro/internal/scl"
+	"repro/internal/sclmerge"
+	"repro/internal/sgmlconf"
+)
+
+// miniSSD builds a small single-substation document for the SSD-parser tests:
+// grid -- line L1 (CB1) -- BusB with load + gen, plus a transformer to a
+// low-voltage bus with another load.
+func miniSSD() *scl.Document {
+	sub := "S1"
+	mk := func(vl, bay, node string) string { return sub + "/" + vl + "/" + bay + "/" + node }
+	return &scl.Document{
+		Header: scl.Header{ID: "mini"},
+		Substations: []scl.Substation{{
+			Name: sub,
+			VoltageLevels: []scl.VoltageLevel{
+				{
+					Name:    "VL110",
+					Voltage: scl.Voltage{Unit: "V", Multiplier: "k", Value: 110},
+					Bays: []scl.Bay{
+						{
+							Name: "A",
+							ConductingEquipments: []scl.ConductingEquipment{
+								{Name: "Grid", Type: scl.TypeExternalGrid, Terminals: []scl.Terminal{{ConnectivityNode: mk("VL110", "A", "BusA")}}},
+							},
+							ConnectivityNodes: []scl.ConnectivityNode{{Name: "BusA", PathName: mk("VL110", "A", "BusA")}},
+						},
+						{
+							Name: "B",
+							ConductingEquipments: []scl.ConductingEquipment{
+								{Name: "L1", Type: scl.TypeLine, Terminals: []scl.Terminal{
+									{ConnectivityNode: mk("VL110", "A", "BusA")},
+									{ConnectivityNode: mk("VL110", "B", "BusB")},
+								}},
+								{Name: "CB1", Type: scl.TypeBreaker, Terminals: []scl.Terminal{
+									{ConnectivityNode: mk("VL110", "B", "BusB")},
+								}},
+								{Name: "LD1", Type: scl.TypeLoad, Terminals: []scl.Terminal{{ConnectivityNode: mk("VL110", "B", "BusB")}}},
+								{Name: "G1", Type: scl.TypeGenerator, Terminals: []scl.Terminal{{ConnectivityNode: mk("VL110", "B", "BusB")}}},
+								{Name: "C1", Type: scl.TypeCapacitor, Terminals: []scl.Terminal{{ConnectivityNode: mk("VL110", "B", "BusB")}}},
+							},
+							ConnectivityNodes: []scl.ConnectivityNode{{Name: "BusB", PathName: mk("VL110", "B", "BusB")}},
+						},
+					},
+				},
+				{
+					Name:    "VL20",
+					Voltage: scl.Voltage{Unit: "V", Multiplier: "k", Value: 20},
+					Bays: []scl.Bay{{
+						Name: "C",
+						ConductingEquipments: []scl.ConductingEquipment{
+							{Name: "CB2", Type: scl.TypeBreaker, Terminals: []scl.Terminal{
+								{ConnectivityNode: mk("VL20", "C", "BusC")},
+							}},
+							{Name: "LD2", Type: scl.TypeLoad, Terminals: []scl.Terminal{{ConnectivityNode: mk("VL20", "C", "BusC")}}},
+						},
+						ConnectivityNodes: []scl.ConnectivityNode{{Name: "BusC", PathName: mk("VL20", "C", "BusC")}},
+					}},
+				},
+			},
+			PowerTransformers: []scl.PowerTransformer{{
+				Name: "T1",
+				Windings: []scl.TransformerWinding{
+					{Name: "LV", Terminals: []scl.Terminal{{ConnectivityNode: mk("VL20", "C", "BusC")}}},
+					{Name: "HV", Terminals: []scl.Terminal{{ConnectivityNode: mk("VL110", "B", "BusB")}}},
+				},
+			}},
+		}},
+	}
+}
+
+func consOf(t *testing.T, doc *scl.Document) *sclmerge.Consolidated {
+	t.Helper()
+	cons, err := sclmerge.SingleSubstation("S1", doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cons
+}
+
+func TestGeneratePowerModel(t *testing.T) {
+	pc := &sgmlconf.PowerConfig{
+		BaseMVA: 100,
+		Elements: []sgmlconf.ElementParam{
+			{Kind: "load", Name: "LD1", PMW: 12, QMVAr: 3},
+			{Kind: "gen", Name: "G1", PMW: 5, VmPU: 1.01, MinQMVAr: -4, MaxQMVAr: 4},
+			{Kind: "extgrid", Name: "Grid", VmPU: 1.02},
+			{Kind: "line", Name: "L1", LengthKM: 12, ROhmPerKM: 0.05, XOhmPerKM: 0.38, MaxIKA: 0.6},
+			{Kind: "trafo", Name: "T1", SnMVA: 31.5, VKPercent: 11, VKRPercent: 0.6},
+			{Kind: "shunt", Name: "C1", QMVAr: -2},
+		},
+	}
+	grid, err := GeneratePowerModel("mini", consOf(t, miniSSD()), pc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(grid.Buses) != 3 {
+		t.Fatalf("buses = %d", len(grid.Buses))
+	}
+	l := grid.FindLine("L1")
+	if l == nil || l.LengthKM != 12 || l.MaxIKA != 0.6 {
+		t.Errorf("line = %+v", l)
+	}
+	if ld := grid.FindLoad("LD1"); ld == nil || ld.PMW != 12 || ld.QMVAr != 3 {
+		t.Errorf("load = %+v", ld)
+	}
+	if g := grid.FindGen("G1"); g == nil || g.PMW != 5 || g.VmPU != 1.01 || g.MaxQMVAr != 4 {
+		t.Errorf("gen = %+v", g)
+	}
+	if len(grid.Externals) != 1 || grid.Externals[0].VmPU != 1.02 {
+		t.Errorf("ext = %+v", grid.Externals)
+	}
+	if len(grid.Shunts) != 1 || grid.Shunts[0].QMVAr != -2 {
+		t.Errorf("shunt = %+v", grid.Shunts)
+	}
+	// Transformer: HV side must be the 110 kV bus despite winding order.
+	if len(grid.Trafos) != 1 {
+		t.Fatalf("trafos = %+v", grid.Trafos)
+	}
+	tr := grid.Trafos[0]
+	if tr.VnHVKV != 110 || tr.VnLVKV != 20 || tr.SnMVA != 31.5 {
+		t.Errorf("trafo = %+v", tr)
+	}
+	// Switches: CB1 guards its same-bay line; CB2 guards the trafo at BusC.
+	sw1 := grid.FindSwitch("CB1")
+	if sw1 == nil || sw1.Kind != powergrid.SwitchLine || sw1.Element != "L1" {
+		t.Errorf("CB1 = %+v", sw1)
+	}
+	sw2 := grid.FindSwitch("CB2")
+	if sw2 == nil || sw2.Kind != powergrid.SwitchTrafo || sw2.Element != "T1" {
+		t.Errorf("CB2 = %+v", sw2)
+	}
+	// The generated model actually solves.
+	res, err := powerflow.Solve(grid, powerflow.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DeadBuses != 0 {
+		t.Errorf("dead buses = %d", res.DeadBuses)
+	}
+}
+
+func TestGeneratePowerModelDefaults(t *testing.T) {
+	// No PowerConfig at all: every element gets profile defaults.
+	grid, err := GeneratePowerModel("mini", consOf(t, miniSSD()), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l := grid.FindLine("L1"); l.LengthKM != defLineLengthKM || l.XOhmPerKM != defLineX {
+		t.Errorf("default line = %+v", l)
+	}
+	if ld := grid.FindLoad("LD1"); ld.PMW != defLoadPMW {
+		t.Errorf("default load = %+v", ld)
+	}
+	if res, err := powerflow.Solve(grid, powerflow.Options{}); err != nil || !res.Converged {
+		t.Errorf("default model solve: %v", err)
+	}
+}
+
+func TestGeneratePowerModelBusBusBreaker(t *testing.T) {
+	doc := miniSSD()
+	// A two-terminal breaker becomes a coupler.
+	bayB := &doc.Substations[0].VoltageLevels[0].Bays[1]
+	bayB.ConnectivityNodes = append(bayB.ConnectivityNodes, scl.ConnectivityNode{
+		Name: "BusB2", PathName: "S1/VL110/B/BusB2",
+	})
+	bayB.ConductingEquipments = append(bayB.ConductingEquipments, scl.ConductingEquipment{
+		Name: "CBCouple", Type: scl.TypeBreaker,
+		Terminals: []scl.Terminal{
+			{ConnectivityNode: "S1/VL110/B/BusB"},
+			{ConnectivityNode: "S1/VL110/B/BusB2"},
+		},
+	})
+	grid, err := GeneratePowerModel("mini", consOf(t, doc), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw := grid.FindSwitch("CBCouple")
+	if sw == nil || sw.Kind != powergrid.SwitchBusBus {
+		t.Errorf("coupler = %+v", sw)
+	}
+}
+
+func TestGeneratePowerModelErrors(t *testing.T) {
+	t.Run("orphan breaker", func(t *testing.T) {
+		doc := miniSSD()
+		bayA := &doc.Substations[0].VoltageLevels[0].Bays[0]
+		bayA.ConductingEquipments = append(bayA.ConductingEquipments, scl.ConductingEquipment{
+			Name: "CBOrphan", Type: scl.TypeBreaker,
+			Terminals: []scl.Terminal{{ConnectivityNode: "S1/VL110/A/BusA"}},
+		})
+		// BusA has line L1 attached (from bay B), so this actually resolves;
+		// point it at a node with nothing instead.
+		bayA.ConductingEquipments[len(bayA.ConductingEquipments)-1].Terminals[0].ConnectivityNode = "S1/VL110/A/BusLonely"
+		bayA.ConnectivityNodes = append(bayA.ConnectivityNodes, scl.ConnectivityNode{Name: "BusLonely", PathName: "S1/VL110/A/BusLonely"})
+		if _, err := GeneratePowerModel("x", consOf(t, doc), nil); !errors.Is(err, ErrModel) {
+			t.Errorf("err = %v", err)
+		}
+	})
+	t.Run("unsupported equipment type", func(t *testing.T) {
+		doc := miniSSD()
+		bayA := &doc.Substations[0].VoltageLevels[0].Bays[0]
+		bayA.ConductingEquipments = append(bayA.ConductingEquipments, scl.ConductingEquipment{
+			Name: "Weird", Type: "XYZ",
+			Terminals: []scl.Terminal{{ConnectivityNode: "S1/VL110/A/BusA"}},
+		})
+		if _, err := GeneratePowerModel("x", consOf(t, doc), nil); !errors.Is(err, ErrModel) {
+			t.Errorf("err = %v", err)
+		}
+	})
+	t.Run("line with one terminal", func(t *testing.T) {
+		doc := miniSSD()
+		bayB := &doc.Substations[0].VoltageLevels[0].Bays[1]
+		bayB.ConductingEquipments[0].Terminals = bayB.ConductingEquipments[0].Terminals[:1]
+		if _, err := GeneratePowerModel("x", consOf(t, doc), nil); !errors.Is(err, ErrModel) {
+			t.Errorf("err = %v", err)
+		}
+	})
+	t.Run("tie to unknown node", func(t *testing.T) {
+		cons := consOf(t, miniSSD())
+		cons.Ties = []scl.Tie{{Name: "T", FromNode: "ghost", ToNode: "S1/VL110/A/BusA", LengthKM: 1, XOhmPerKM: 0.3}}
+		if _, err := GeneratePowerModel("x", cons, nil); !errors.Is(err, ErrModel) {
+			t.Errorf("err = %v", err)
+		}
+	})
+}
+
+func TestPowerEventsConversion(t *testing.T) {
+	pc := &sgmlconf.PowerConfig{Steps: []sgmlconf.ProfileStep{
+		{AtMS: 100, Kind: "loadScale", Element: "LD1", Value: 1.5},
+		{AtMS: 200, Kind: "switch", Element: "CB1", Value: 0},
+	}}
+	evs, err := PowerEvents(pc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 2 || evs[0].Kind != "loadScale" || evs[1].AtMS != 200 {
+		t.Errorf("events = %+v", evs)
+	}
+	if evs, err := PowerEvents(nil); err != nil || evs != nil {
+		t.Errorf("nil config: %v %v", evs, err)
+	}
+}

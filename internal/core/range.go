@@ -1,0 +1,453 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/ied"
+	"repro/internal/kvbus"
+	"repro/internal/mms"
+	"repro/internal/netem"
+	"repro/internal/plc"
+	"repro/internal/powergrid"
+	"repro/internal/powersim"
+	"repro/internal/scada"
+	"repro/internal/scl"
+	"repro/internal/sclmerge"
+	"repro/internal/sgmlconf"
+)
+
+// PLCSpec bundles a PLC's control logic with its I/O mapping.
+type PLCSpec struct {
+	Config *sgmlconf.PLCConfig
+	// PLCopenXML takes precedence over Logic when both are set.
+	PLCopenXML []byte
+	Logic      string // raw Structured Text
+}
+
+// ModelSet is the full SG-ML input of Fig 2: SCL files, the SED for
+// multi-substation models, and the supplementary XML configs.
+type ModelSet struct {
+	Name        string
+	SCDs        map[string]*scl.Document // substation name -> SCD
+	SED         *scl.SED
+	ICDs        map[string]*scl.Document // IED name -> ICD (optional)
+	IEDConfig   *sgmlconf.IEDConfig
+	SCADAConfig *sgmlconf.SCADAConfig
+	PowerConfig *sgmlconf.PowerConfig
+	PLCs        []PLCSpec
+	// SCADAHost names the node running the HMI (default "SCADA").
+	SCADAHost string
+}
+
+// CyberRange is a compiled, operational cyber range (Fig 1's architecture):
+// emulated network, virtual devices and the coupled power simulation.
+type CyberRange struct {
+	Name  string
+	Net   *netem.Network
+	Built *BuiltNetwork
+	Bus   *kvbus.Bus
+	Sim   *powersim.Simulator
+	Grid  *powergrid.Network
+	IEDs  map[string]*ied.IED
+	PLCs  map[string]*plc.PLC
+	HMI   *scada.HMI
+
+	cons     *sclmerge.Consolidated
+	interval time.Duration
+	started  bool
+	cancel   context.CancelFunc
+}
+
+// Compile runs the SG-ML Processor pipeline and assembles the range.
+// Nothing is started; call Start (real-time) or StepAll (deterministic).
+func Compile(ms *ModelSet) (*CyberRange, error) {
+	if ms.Name == "" {
+		ms.Name = "sgml-range"
+	}
+	if len(ms.SCDs) == 0 {
+		return nil, fmt.Errorf("%w: no SCD documents", ErrModel)
+	}
+
+	// Stage 1: merge (SSD Merger + SCD Merger of Fig 3).
+	var cons *sclmerge.Consolidated
+	var err error
+	if len(ms.SCDs) == 1 && ms.SED == nil {
+		for name, doc := range ms.SCDs {
+			cons, err = sclmerge.SingleSubstation(name, doc)
+		}
+	} else {
+		cons, err = sclmerge.MergeSCD(ms.SCDs, ms.SED)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	// Stage 2: power system simulation model (SSD Parser).
+	grid, err := GeneratePowerModel(ms.Name, cons, ms.PowerConfig)
+	if err != nil {
+		return nil, err
+	}
+
+	// Stage 3: cyber network emulation model (Mininet Launcher).
+	built, err := GenerateNetwork(cons)
+	if err != nil {
+		return nil, err
+	}
+
+	// Stage 4: coupling cache + simulator with scenario events.
+	bus := kvbus.New()
+	interval := 100 * time.Millisecond
+	if ms.PowerConfig != nil {
+		interval = ms.PowerConfig.Interval()
+	}
+	sim := powersim.New(grid, bus, powersim.Options{Interval: interval, EnforceQLimits: true})
+	if ms.PowerConfig != nil {
+		events := make([]powersim.Event, 0, len(ms.PowerConfig.Steps))
+		for _, s := range ms.PowerConfig.Steps {
+			ev, err := toSimEvent(s)
+			if err != nil {
+				return nil, err
+			}
+			events = append(events, ev)
+		}
+		sim.Schedule(events...)
+	}
+
+	r := &CyberRange{
+		Name: ms.Name, Net: built.Net, Built: built, Bus: bus, Sim: sim, Grid: grid,
+		IEDs: make(map[string]*ied.IED), PLCs: make(map[string]*plc.PLC),
+		cons: cons, interval: interval,
+	}
+
+	// Stage 5: virtual IED builder.
+	appIDs := gooseAppIDs(cons.Doc)
+	for i := range cons.Doc.IEDs {
+		sclIED := &cons.Doc.IEDs[i]
+		if isInfraNode(sclIED) {
+			continue
+		}
+		host, ok := built.Hosts[sclIED.Name]
+		if !ok {
+			continue // no network attachment: not instantiated
+		}
+		var entry *sgmlconf.IEDEntry
+		if ms.IEDConfig != nil {
+			entry = ms.IEDConfig.Find(sclIED.Name)
+		}
+		icd := ms.ICDs[sclIED.Name]
+		if icd == nil {
+			// Fall back to the IED's own section within the SCD.
+			icd = &scl.Document{IEDs: []scl.IED{*sclIED}}
+		}
+		cfg := ied.Config{
+			Name:       sclIED.Name,
+			Substation: ms.Name, // the simulator's kv namespace
+			ICD:        icd,
+			Entry:      entry,
+			GooseAppID: appIDs[sclIED.Name],
+			Period:     interval,
+		}
+		if entry != nil && entry.Protection.CILO != nil {
+			cfg.GuardAppID = appIDs[entry.Protection.CILO.GuardIED]
+		}
+		if entry != nil && entry.Protection.PDIF != nil {
+			// Differential protection needs the R-SV exchange with the remote
+			// IED: derive a deterministic shared APPID from the (sorted) pair
+			// and stream to the remote gateway's address.
+			remote := entry.Protection.PDIF.RemoteIED
+			peer, ok := built.AddrOf[remote]
+			if !ok {
+				return nil, fmt.Errorf("%w: IED %s PDIF remote %q has no network address", ErrModel, sclIED.Name, remote)
+			}
+			cfg.RSVAppID = rsvPairAppID(sclIED.Name, remote)
+			cfg.RSVPeers = []netem.IPv4{peer}
+		}
+		dev, err := ied.New(host, bus, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("%w: IED %s: %v", ErrModel, sclIED.Name, err)
+		}
+		r.IEDs[sclIED.Name] = dev
+	}
+
+	// Stage 6: virtual PLCs (OpenPLC61850).
+	for _, spec := range ms.PLCs {
+		if spec.Config == nil {
+			return nil, fmt.Errorf("%w: PLC spec without config", ErrModel)
+		}
+		if err := spec.Config.Validate(); err != nil {
+			return nil, err
+		}
+		hostName := spec.Config.Host
+		if hostName == "" {
+			hostName = spec.Config.Name
+		}
+		host, ok := built.Hosts[hostName]
+		if !ok {
+			return nil, fmt.Errorf("%w: PLC host %q not in communication section", ErrModel, hostName)
+		}
+		logic := spec.Logic
+		if len(spec.PLCopenXML) > 0 {
+			_, src, err := plc.ParsePLCopen(spec.PLCopenXML)
+			if err != nil {
+				return nil, err
+			}
+			logic = src
+		}
+		cfg := plc.Config{
+			Name:       spec.Config.Name,
+			ScanTime:   time.Duration(spec.Config.ScanMS) * time.Millisecond,
+			ModbusPort: uint16(spec.Config.ModbusPort),
+		}
+		for _, b := range spec.Config.Inputs {
+			cfg.Inputs = append(cfg.Inputs, plc.MMSBinding{Var: b.Var, IED: b.IED, Ref: mms.ObjectReference(b.Ref), Scale: b.Scale})
+		}
+		for _, b := range spec.Config.Outputs {
+			cfg.Outputs = append(cfg.Outputs, plc.MMSBinding{Var: b.Var, IED: b.IED, Ref: mms.ObjectReference(b.Ref), Scale: b.Scale})
+		}
+		for _, e := range spec.Config.Exposes {
+			kind := plc.ExposeInputReg
+			switch e.Kind {
+			case "discrete":
+				kind = plc.ExposeDiscrete
+			case "holding":
+				kind = plc.ExposeHolding
+			}
+			cfg.Expose = append(cfg.Expose, plc.ModbusBinding{Var: e.Var, Kind: kind, Addr: e.Addr, Scale: e.Scale})
+		}
+		for _, c := range spec.Config.Commands {
+			cfg.Commands = append(cfg.Commands, plc.CommandBinding{Coil: c.Coil, Var: c.Var})
+		}
+		p, err := plc.New(host, cfg, logic)
+		if err != nil {
+			return nil, err
+		}
+		r.PLCs[spec.Config.Name] = p
+	}
+
+	// Stage 7: SCADA (config parser + HMI).
+	if ms.SCADAConfig != nil {
+		scadaHost := ms.SCADAHost
+		if scadaHost == "" {
+			scadaHost = "SCADA"
+		}
+		host, ok := built.Hosts[scadaHost]
+		if !ok {
+			return nil, fmt.Errorf("%w: SCADA host %q not in communication section", ErrModel, scadaHost)
+		}
+		jsonData, err := ms.SCADAConfig.ToImportJSON()
+		if err != nil {
+			return nil, err
+		}
+		imp, err := sgmlconf.ParseImportJSON(jsonData)
+		if err != nil {
+			return nil, err
+		}
+		hmi, err := scada.New(host, imp)
+		if err != nil {
+			return nil, err
+		}
+		r.HMI = hmi
+	}
+	return r, nil
+}
+
+// isInfraNode reports whether the SCL IED entry is actually the PLC or
+// SCADA node (present in the communication section but not a virtual IED).
+func isInfraNode(i *scl.IED) bool {
+	switch strings.ToLower(i.Type) {
+	case "plc", "hmi", "scada":
+		return true
+	}
+	// No server section -> nothing to virtualise.
+	for _, ap := range i.AccessPoints {
+		if ap.Server != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// rsvPairAppID derives the shared R-SV APPID for a differential-protection
+// pair: both ends compute the same value from the sorted name pair, in the
+// 0x4000 range IEC 61850-9-2 reserves for SV.
+func rsvPairAppID(a, b string) uint16 {
+	if b < a {
+		a, b = b, a
+	}
+	var h uint32 = 2166136261
+	for _, c := range []byte(a + "|" + b) {
+		h ^= uint32(c)
+		h *= 16777619
+	}
+	return 0x4000 | uint16(h&0x0FFF)
+}
+
+// gooseAppIDs extracts each IED's GOOSE APPID from the communication section.
+func gooseAppIDs(doc *scl.Document) map[string]uint16 {
+	out := map[string]uint16{}
+	if doc.Communication == nil {
+		return out
+	}
+	for _, sn := range doc.Communication.SubNetworks {
+		for _, ap := range sn.ConnectedAPs {
+			for _, gse := range ap.GSEs {
+				if v := gse.Address.Get("APPID"); v != "" {
+					var appID uint16
+					if _, err := fmt.Sscanf(v, "%x", &appID); err == nil {
+						out[ap.IEDName] = appID
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+func toSimEvent(s sgmlconf.ProfileStep) (powersim.Event, error) {
+	kinds := map[string]powersim.EventKind{
+		"loadScale":   powersim.SetLoadScale,
+		"loadP":       powersim.SetLoadP,
+		"genP":        powersim.SetGenP,
+		"sgenP":       powersim.SetSGenP,
+		"switch":      powersim.SetSwitch,
+		"lineService": powersim.SetLineService,
+	}
+	k, ok := kinds[s.Kind]
+	if !ok {
+		return powersim.Event{}, fmt.Errorf("%w: step kind %q", ErrModel, s.Kind)
+	}
+	return powersim.Event{
+		At: time.Duration(s.AtMS) * time.Millisecond, Kind: k,
+		Element: s.Element, Value: s.Value,
+	}, nil
+}
+
+// Start brings the range up: network workers, one initial power-flow step
+// (so devices see live measurements), MMS servers, PLC southbound
+// associations, SCADA connections — then, in real-time mode, the periodic
+// loops of every component.
+func (r *CyberRange) Start(ctx context.Context, realTime bool) error {
+	if r.started {
+		return fmt.Errorf("%w: range already started", ErrModel)
+	}
+	r.started = true
+	if err := r.Net.Start(); err != nil {
+		return err
+	}
+	if _, err := r.Sim.Step(); err != nil {
+		return fmt.Errorf("core: initial power flow: %w", err)
+	}
+	for name, dev := range r.IEDs {
+		if err := dev.Serve(); err != nil {
+			return fmt.Errorf("core: IED %s: %w", name, err)
+		}
+		dev.Step(time.Now())
+	}
+	for name, p := range r.PLCs {
+		if err := p.ServeModbusOnly(); err != nil {
+			return fmt.Errorf("core: PLC %s: %w", name, err)
+		}
+	}
+	// Southbound associations (after IED servers are up).
+	for name, p := range r.PLCs {
+		spec := r.plcBindingsOf(name)
+		for iedName := range spec {
+			addr, ok := r.Built.AddrOf[iedName]
+			if !ok {
+				return fmt.Errorf("%w: PLC %s references unknown IED %q", ErrModel, name, iedName)
+			}
+			if err := p.ConnectIED(iedName, addr, 0); err != nil {
+				return fmt.Errorf("core: PLC %s -> IED %s: %w", name, iedName, err)
+			}
+		}
+	}
+	if r.HMI != nil {
+		r.HMI.Connect()
+	}
+	if realTime {
+		runCtx, cancel := context.WithCancel(ctx)
+		r.cancel = cancel
+		go r.Sim.Run(runCtx, nil)
+		for _, dev := range r.IEDs {
+			dev.Run(runCtx)
+		}
+		for _, p := range r.PLCs {
+			if err := p.Start(runCtx); err != nil {
+				cancel()
+				return err
+			}
+		}
+		if r.HMI != nil {
+			r.HMI.Run(runCtx)
+		}
+	}
+	return nil
+}
+
+// plcBindingsOf collects the distinct IED names a PLC talks to.
+func (r *CyberRange) plcBindingsOf(name string) map[string]bool {
+	out := map[string]bool{}
+	p := r.PLCs[name]
+	if p == nil {
+		return out
+	}
+	for _, b := range p.Bindings() {
+		out[b] = true
+	}
+	return out
+}
+
+// StepAll advances the whole range one simulation interval, deterministically:
+// physical solve, device protection passes, PLC scans, one HMI poll.
+func (r *CyberRange) StepAll(now time.Time) error {
+	if _, err := r.Sim.Step(); err != nil {
+		return err
+	}
+	names := make([]string, 0, len(r.IEDs))
+	for n := range r.IEDs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		r.IEDs[n].Step(now)
+	}
+	for _, p := range r.PLCs {
+		if err := p.Scan(now); err != nil {
+			return err
+		}
+	}
+	if r.HMI != nil {
+		r.HMI.PollOnce()
+	}
+	return nil
+}
+
+// Stop tears the range down in reverse dependency order.
+func (r *CyberRange) Stop() {
+	if r.cancel != nil {
+		r.cancel()
+	}
+	if r.HMI != nil {
+		r.HMI.Close()
+	}
+	for _, p := range r.PLCs {
+		p.Stop()
+	}
+	for _, dev := range r.IEDs {
+		dev.Stop()
+	}
+	r.Net.Stop()
+}
+
+// Interval returns the simulation step interval.
+func (r *CyberRange) Interval() time.Duration { return r.interval }
+
+// Topology renders the generated cyber network (the Fig 4 artefact).
+func (r *CyberRange) Topology() string { return r.Net.Topology() }
+
+// PowerSummary renders the generated power model (the Fig 5 artefact).
+func (r *CyberRange) PowerSummary() string { return r.Grid.Summary() }

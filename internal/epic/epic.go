@@ -1,0 +1,513 @@
+// Package epic generates the SG-ML model of the EPIC testbed used for the
+// paper's demonstration (§IV-A), plus a parametric multi-substation scale
+// model for the scalability experiment.
+//
+// EPIC (Electric Power and Intelligent Control, SUTD) has four segments —
+// generation, transmission, micro-grid and smart homes — with two
+// conventional generators, PV and battery storage, controllable home loads,
+// IEDs in every segment, one mediating PLC (CPLC) and a SCADA HMI, all in a
+// single substation. We cannot run against the physical testbed, so this
+// package emits a faithful synthetic SG-ML model of that published topology:
+// real SCL XML (SCD/SSD/ICDs), IEC 61131-3 PLCopen XML for the CPLC, and the
+// three supplementary SG-ML config files. The SG-ML Processor consumes these
+// files exactly as it would consume operator-provided ones.
+package epic
+
+import (
+	"fmt"
+
+	"repro/internal/plc"
+	"repro/internal/scl"
+	"repro/internal/sgmlconf"
+)
+
+// Segment names (Fig 4 / Fig 5 rounded rectangles).
+const (
+	SegGeneration   = "generation"
+	SegTransmission = "transmission"
+	SegMicrogrid    = "microgrid"
+	SegSmartHome    = "smarthome"
+)
+
+// IEDSpec describes one generated IED (used by tests and the processor).
+type IEDSpec struct {
+	Name    string
+	Segment string
+	IP      string
+	MAC     string
+	AppID   uint16
+}
+
+// Model is a complete generated SG-ML input set.
+type Model struct {
+	Substation  string
+	SCD         *scl.Document
+	ICDs        map[string]*scl.Document
+	IEDConfig   *sgmlconf.IEDConfig
+	SCADAConfig *sgmlconf.SCADAConfig
+	PowerConfig *sgmlconf.PowerConfig
+	PLCConfig   *sgmlconf.PLCConfig
+	PLCName     string
+	PLCLogic    string // Structured Text
+	PLCopenXML  []byte
+	IEDs        []IEDSpec
+}
+
+// cn builds a connectivity node path.
+func cn(sub, vl, bay, node string) string {
+	return sub + "/" + vl + "/" + bay + "/" + node
+}
+
+// CPLC control logic for the EPIC range: mediates SCADA commands to the
+// transmission breaker and raises an under-voltage alarm flag. This mirrors
+// the paper's CPLC role ("mediate the communication between IEDs and SCADA").
+const cplcLogic = `
+PROGRAM CPLC
+VAR_INPUT
+  mainVoltage : REAL;
+  tieCurrent : REAL;
+END_VAR
+VAR_OUTPUT
+  tieBreakerClose : BOOL := TRUE;
+  underVoltAlarm : BOOL;
+END_VAR
+VAR
+  manualTrip : BOOL;
+  alarmTimer : TON;
+END_VAR
+(* SCADA writes manualTrip via a Modbus coil; the PLC relays it to the IED *)
+tieBreakerClose := NOT manualTrip;
+(* debounced under-voltage alarm back to SCADA *)
+alarmTimer(IN := mainVoltage < 0.95 AND mainVoltage > 0.05, PT := T#500ms);
+underVoltAlarm := alarmTimer.Q;
+END_PROGRAM
+`
+
+// NewModel generates the EPIC cyber range model.
+func NewModel() (*Model, error) {
+	const sub = "EPIC"
+	m := &Model{
+		Substation: sub,
+		ICDs:       make(map[string]*scl.Document),
+		PLCName:    "CPLC",
+		PLCLogic:   cplcLogic,
+	}
+
+	// --- Physical single-line model (SSD content) -------------------------
+	// Generation segment: Gen1 (slack machine) + Gen2 on GenBus, breakers.
+	// Transmission: tie line GenBus -> MainBus with breaker CBTie.
+	// Micro-grid: line MainBus -> MicroBus (CBMicro), PV + battery.
+	// Smart homes: transformer MainBus -> HomeBus (0.4 kV), 4 loads.
+	vl22 := scl.VoltageLevel{
+		Name:    "VL22",
+		Voltage: scl.Voltage{Unit: "V", Multiplier: "k", Value: 22},
+		Bays: []scl.Bay{
+			{
+				Name: "GenBay",
+				ConductingEquipments: []scl.ConductingEquipment{
+					{Name: "Gen1", Type: scl.TypeExternalGrid, Terminals: []scl.Terminal{{ConnectivityNode: cn(sub, "VL22", "GenBay", "GenBus")}}},
+					{Name: "Gen2", Type: scl.TypeGenerator, Terminals: []scl.Terminal{{ConnectivityNode: cn(sub, "VL22", "GenBay", "GenBus")}}},
+				},
+				ConnectivityNodes: []scl.ConnectivityNode{
+					{Name: "GenBus", PathName: cn(sub, "VL22", "GenBay", "GenBus")},
+				},
+			},
+			{
+				Name: "TransBay",
+				ConductingEquipments: []scl.ConductingEquipment{
+					{Name: "TieLine", Type: scl.TypeLine, Terminals: []scl.Terminal{
+						{ConnectivityNode: cn(sub, "VL22", "GenBay", "GenBus")},
+						{ConnectivityNode: cn(sub, "VL22", "TransBay", "MainBus")},
+					}},
+					{Name: "CBTie", Type: scl.TypeBreaker, Terminals: []scl.Terminal{
+						{ConnectivityNode: cn(sub, "VL22", "TransBay", "MainBus")},
+					}},
+				},
+				ConnectivityNodes: []scl.ConnectivityNode{
+					{Name: "MainBus", PathName: cn(sub, "VL22", "TransBay", "MainBus")},
+				},
+			},
+			{
+				Name: "MicroBay",
+				ConductingEquipments: []scl.ConductingEquipment{
+					{Name: "MicroLine", Type: scl.TypeLine, Terminals: []scl.Terminal{
+						{ConnectivityNode: cn(sub, "VL22", "TransBay", "MainBus")},
+						{ConnectivityNode: cn(sub, "VL22", "MicroBay", "MicroBus")},
+					}},
+					{Name: "CBMicro", Type: scl.TypeBreaker, Terminals: []scl.Terminal{
+						{ConnectivityNode: cn(sub, "VL22", "MicroBay", "MicroBus")},
+					}},
+					{Name: "PV1", Type: scl.TypePV, Terminals: []scl.Terminal{{ConnectivityNode: cn(sub, "VL22", "MicroBay", "MicroBus")}}},
+					{Name: "Battery1", Type: scl.TypeBattery, Terminals: []scl.Terminal{{ConnectivityNode: cn(sub, "VL22", "MicroBay", "MicroBus")}}},
+				},
+				ConnectivityNodes: []scl.ConnectivityNode{
+					{Name: "MicroBus", PathName: cn(sub, "VL22", "MicroBay", "MicroBus")},
+				},
+			},
+		},
+	}
+	vl04 := scl.VoltageLevel{
+		Name:    "VL04",
+		Voltage: scl.Voltage{Unit: "V", Multiplier: "k", Value: 0.4},
+		Bays: []scl.Bay{
+			{
+				Name: "HomeBay",
+				ConductingEquipments: []scl.ConductingEquipment{
+					{Name: "CBHome", Type: scl.TypeBreaker, Terminals: []scl.Terminal{
+						{ConnectivityNode: cn(sub, "VL04", "HomeBay", "HomeBus")},
+					}},
+					{Name: "Home1", Type: scl.TypeLoad, Terminals: []scl.Terminal{{ConnectivityNode: cn(sub, "VL04", "HomeBay", "HomeBus")}}},
+					{Name: "Home2", Type: scl.TypeLoad, Terminals: []scl.Terminal{{ConnectivityNode: cn(sub, "VL04", "HomeBay", "HomeBus")}}},
+					{Name: "Home3", Type: scl.TypeLoad, Terminals: []scl.Terminal{{ConnectivityNode: cn(sub, "VL04", "HomeBay", "HomeBus")}}},
+					{Name: "Home4", Type: scl.TypeLoad, Terminals: []scl.Terminal{{ConnectivityNode: cn(sub, "VL04", "HomeBay", "HomeBus")}}},
+				},
+				ConnectivityNodes: []scl.ConnectivityNode{
+					{Name: "HomeBus", PathName: cn(sub, "VL04", "HomeBay", "HomeBus")},
+				},
+			},
+		},
+	}
+	substation := scl.Substation{
+		Name:          sub,
+		Desc:          "EPIC testbed replica: generation, transmission, micro-grid, smart homes",
+		VoltageLevels: []scl.VoltageLevel{vl22, vl04},
+		PowerTransformers: []scl.PowerTransformer{{
+			Name: "HomeTrafo",
+			Windings: []scl.TransformerWinding{
+				{Name: "HV", Terminals: []scl.Terminal{{ConnectivityNode: cn(sub, "VL22", "TransBay", "MainBus")}}},
+				{Name: "LV", Terminals: []scl.Terminal{{ConnectivityNode: cn(sub, "VL04", "HomeBay", "HomeBus")}}},
+			},
+		}},
+	}
+
+	// --- IEDs --------------------------------------------------------------
+	specs := []struct {
+		name, segment string
+		last          byte
+		classes       []string
+	}{
+		{"GIED1", SegGeneration, 11, []string{"MMXU", "XCBR", "PTOV", "PTUV", "CSWI"}},
+		{"GIED2", SegGeneration, 12, []string{"MMXU", "XCBR", "PTOV", "CSWI"}},
+		{"TIED1", SegTransmission, 21, []string{"MMXU", "XCBR", "PTOC", "CSWI"}},
+		{"TIED2", SegTransmission, 22, []string{"MMXU", "PTOV", "PTUV"}},
+		{"MIED1", SegMicrogrid, 31, []string{"MMXU", "XCBR", "PTOC", "CILO", "CSWI"}},
+		{"MIED2", SegMicrogrid, 32, []string{"MMXU", "PTUV"}},
+		{"SIED1", SegSmartHome, 41, []string{"MMXU", "XCBR", "PTOC", "CSWI"}},
+		{"SIED2", SegSmartHome, 42, []string{"MMXU", "PTUV"}},
+	}
+	var ieds []scl.IED
+	var caps []scl.ConnectedAP
+	for i, s := range specs {
+		appID := uint16(0x0100 + i + 1)
+		lns := make([]scl.LN, 0, len(s.classes))
+		for _, c := range s.classes {
+			lns = append(lns, scl.LN{LnClass: c, Inst: "1", LnType: c + "_T"})
+		}
+		ied := scl.IED{
+			Name: s.name, Type: "protection", Manufacturer: "SG-ML",
+			AccessPoints: []scl.AccessPoint{{
+				Name:   "AP1",
+				Server: &scl.Server{LDevices: []scl.LDevice{{Inst: "LD0", LN0: &scl.LN{LnClass: "LLN0"}, LNs: lns}}},
+			}},
+		}
+		ieds = append(ieds, ied)
+		ip := fmt.Sprintf("10.0.1.%d", s.last)
+		mac := fmt.Sprintf("00-0C-CD-01-00-%02X", s.last)
+		caps = append(caps, scl.ConnectedAP{
+			IEDName: s.name, APName: "AP1",
+			Address: scl.Address{Ps: []scl.P{
+				{Type: "IP", Value: ip},
+				{Type: "IP-SUBNET", Value: "255.255.255.0"},
+				{Type: "MAC-Address", Value: mac},
+			}},
+			GSEs: []scl.GSE{{
+				LDInst: "LD0", CBName: "gcb1",
+				Address: scl.Address{Ps: []scl.P{
+					{Type: "MAC-Address", Value: fmt.Sprintf("01-0C-CD-01-%02X-%02X", appID>>8, appID&0xFF)},
+					{Type: "APPID", Value: fmt.Sprintf("%04X", appID)},
+				}},
+			}},
+		})
+		m.IEDs = append(m.IEDs, IEDSpec{Name: s.name, Segment: s.segment, IP: ip, MAC: mac, AppID: appID})
+		// Per-IED ICD file (template document).
+		m.ICDs[s.name] = &scl.Document{
+			Header: scl.Header{ID: s.name + "-icd", ToolID: "sgml-epic"},
+			IEDs:   []scl.IED{ied},
+			DataTypeTemplates: &scl.DataTypeTemplates{
+				LNodeTypes: lnTypes(s.classes),
+			},
+		}
+	}
+	// CPLC and SCADA as communication nodes (no server section needed).
+	plcIED := scl.IED{Name: "CPLC", Type: "plc", Manufacturer: "OpenPLC61850"}
+	scadaIED := scl.IED{Name: "SCADA", Type: "hmi", Manufacturer: "SCADABR"}
+	ieds = append(ieds, plcIED, scadaIED)
+	caps = append(caps,
+		scl.ConnectedAP{IEDName: "CPLC", APName: "AP1", Address: scl.Address{Ps: []scl.P{
+			{Type: "IP", Value: "10.0.1.5"}, {Type: "IP-SUBNET", Value: "255.255.255.0"},
+			{Type: "MAC-Address", Value: "00-0C-CD-01-00-05"},
+		}}},
+		scl.ConnectedAP{IEDName: "SCADA", APName: "AP1", Address: scl.Address{Ps: []scl.P{
+			{Type: "IP", Value: "10.0.1.3"}, {Type: "IP-SUBNET", Value: "255.255.255.0"},
+			{Type: "MAC-Address", Value: "00-0C-CD-01-00-03"},
+		}}},
+	)
+
+	// Per-segment subnetworks mirror Fig 4: each EPIC segment has its own
+	// switch, joined through a central switch by the network builder.
+	segOf := map[string]string{
+		"GIED1": "GenLAN", "GIED2": "GenLAN",
+		"TIED1": "TransLAN", "TIED2": "TransLAN",
+		"MIED1": "MicroLAN", "MIED2": "MicroLAN",
+		"SIED1": "HomeLAN", "SIED2": "HomeLAN",
+		"CPLC": "ControlLAN", "SCADA": "ControlLAN",
+	}
+	subnets := map[string]*scl.SubNetwork{}
+	order := []string{"GenLAN", "TransLAN", "MicroLAN", "HomeLAN", "ControlLAN"}
+	for _, name := range order {
+		subnets[name] = &scl.SubNetwork{Name: name, Type: "8-MMS"}
+	}
+	for _, cap := range caps {
+		sn := subnets[segOf[cap.IEDName]]
+		sn.ConnectedAPs = append(sn.ConnectedAPs, cap)
+	}
+	var subNetworks []scl.SubNetwork
+	for _, name := range order {
+		subNetworks = append(subNetworks, *subnets[name])
+	}
+	m.SCD = &scl.Document{
+		Header:            scl.Header{ID: "epic-scd", Version: "1.0", ToolID: "sgml-epic"},
+		Substations:       []scl.Substation{substation},
+		IEDs:              ieds,
+		Communication:     &scl.Communication{SubNetworks: subNetworks},
+		DataTypeTemplates: &scl.DataTypeTemplates{LNodeTypes: lnTypes([]string{"MMXU", "XCBR", "PTOC", "PTOV", "PTUV", "CILO", "CSWI"})},
+	}
+
+	// --- Supplementary configs ---------------------------------------------
+	m.IEDConfig = &sgmlconf.IEDConfig{IEDs: []sgmlconf.IEDEntry{
+		{
+			Name: "GIED1", Substation: sub,
+			Protection: sgmlconf.Protection{
+				PTOV: &sgmlconf.PTOVConf{ThresholdPU: 1.10, DelayMS: 200, Bus: cn(sub, "VL22", "GenBay", "GenBus")},
+				PTUV: &sgmlconf.PTUVConf{ThresholdPU: 0.88, DelayMS: 300, Bus: cn(sub, "VL22", "GenBay", "GenBus")},
+			},
+			Measures: []sgmlconf.Measure{
+				{Point: "busVoltage", Element: cn(sub, "VL22", "GenBay", "GenBus")},
+			},
+			Controls: []sgmlconf.Control{{Breaker: "CBTie"}},
+		},
+		{
+			Name: "GIED2", Substation: sub,
+			Protection: sgmlconf.Protection{
+				PTOV: &sgmlconf.PTOVConf{ThresholdPU: 1.12, DelayMS: 200, Bus: cn(sub, "VL22", "GenBay", "GenBus")},
+			},
+			Measures: []sgmlconf.Measure{{Point: "busVoltage", Element: cn(sub, "VL22", "GenBay", "GenBus")}},
+		},
+		{
+			Name: "TIED1", Substation: sub,
+			Protection: sgmlconf.Protection{
+				// "generally 3 to 4 times the nominal current" (Table II).
+				PTOC: &sgmlconf.PTOCConf{ThresholdKA: 0.60, DelayMS: 150, Line: "TieLine"},
+			},
+			Measures: []sgmlconf.Measure{
+				{Point: "lineCurrent", Element: "TieLine"},
+				{Point: "lineP", Element: "TieLine"},
+				{Point: "lineQ", Element: "TieLine"},
+				{Point: "busVoltage", Element: cn(sub, "VL22", "TransBay", "MainBus")},
+			},
+			Controls: []sgmlconf.Control{{Breaker: "CBTie"}},
+		},
+		{
+			Name: "TIED2", Substation: sub,
+			Protection: sgmlconf.Protection{
+				PTOV: &sgmlconf.PTOVConf{ThresholdPU: 1.10, DelayMS: 200, Bus: cn(sub, "VL22", "TransBay", "MainBus")},
+				PTUV: &sgmlconf.PTUVConf{ThresholdPU: 0.90, DelayMS: 300, Bus: cn(sub, "VL22", "TransBay", "MainBus")},
+			},
+			Measures: []sgmlconf.Measure{{Point: "busVoltage", Element: cn(sub, "VL22", "TransBay", "MainBus")}},
+		},
+		{
+			Name: "MIED1", Substation: sub,
+			Protection: sgmlconf.Protection{
+				PTOC: &sgmlconf.PTOCConf{ThresholdKA: 0.30, DelayMS: 150, Line: "MicroLine"},
+				// Micro-grid breaker may only close when the tie breaker is
+				// closed (anti-islanding interlock).
+				CILO: &sgmlconf.CILOConf{GuardBreaker: "CBTie", GuardIED: "TIED1"},
+			},
+			Measures: []sgmlconf.Measure{
+				{Point: "lineCurrent", Element: "MicroLine"},
+				{Point: "busVoltage", Element: cn(sub, "VL22", "MicroBay", "MicroBus")},
+			},
+			Controls: []sgmlconf.Control{{Breaker: "CBMicro"}},
+		},
+		{
+			Name: "MIED2", Substation: sub,
+			Protection: sgmlconf.Protection{
+				PTUV: &sgmlconf.PTUVConf{ThresholdPU: 0.90, DelayMS: 300, Bus: cn(sub, "VL22", "MicroBay", "MicroBus")},
+			},
+			Measures: []sgmlconf.Measure{{Point: "busVoltage", Element: cn(sub, "VL22", "MicroBay", "MicroBus")}},
+		},
+		{
+			Name: "SIED1", Substation: sub,
+			Protection: sgmlconf.Protection{
+				PTOC: &sgmlconf.PTOCConf{ThresholdKA: 0.12, DelayMS: 150, Line: "HomeTrafo"},
+			},
+			Measures: []sgmlconf.Measure{{Point: "busVoltage", Element: cn(sub, "VL04", "HomeBay", "HomeBus")}},
+			Controls: []sgmlconf.Control{{Breaker: "CBHome"}},
+		},
+		{
+			Name: "SIED2", Substation: sub,
+			Protection: sgmlconf.Protection{
+				PTUV: &sgmlconf.PTUVConf{ThresholdPU: 0.90, DelayMS: 300, Bus: cn(sub, "VL04", "HomeBay", "HomeBus")},
+			},
+			Measures: []sgmlconf.Measure{{Point: "busVoltage", Element: cn(sub, "VL04", "HomeBay", "HomeBus")}},
+		},
+	}}
+
+	m.SCADAConfig = &sgmlconf.SCADAConfig{
+		DataSources: []sgmlconf.DataSource{
+			{Name: "cplc", Protocol: "modbus", Host: "CPLC", IP: "10.0.1.5", Port: 502, PollMS: 1000},
+			{Name: "tied1", Protocol: "mms", Host: "TIED1", IP: "10.0.1.21", Port: 102, PollMS: 2000},
+			{Name: "gied1", Protocol: "mms", Host: "GIED1", IP: "10.0.1.11", Port: 102, PollMS: 2000},
+		},
+		DataPoints: []sgmlconf.DataPoint{
+			{Name: "MainVoltage", Source: "cplc", Kind: "analog", Address: "30001", Scale: 0.001,
+				HasAlarm: true, AlarmLow: 0.90, AlarmHigh: 1.10},
+			{Name: "TieBreakerClose", Source: "cplc", Kind: "binary", Address: "10001"},
+			{Name: "UnderVoltAlarm", Source: "cplc", Kind: "binary", Address: "10002"},
+			{Name: "ManualTrip", Source: "cplc", Kind: "binary", Address: "1", Writable: true},
+			{Name: "TieCurrent", Source: "tied1", Kind: "analog", Address: "LD0/MMXU1.A.phsA"},
+			{Name: "TiePower", Source: "tied1", Kind: "analog", Address: "LD0/MMXU1.TotW"},
+			{Name: "GenBusVoltage", Source: "gied1", Kind: "analog", Address: "LD0/MMXU1.PhV.phsA",
+				HasAlarm: true, AlarmLow: 0.90, AlarmHigh: 1.10},
+			{Name: "TieBreakerOper", Source: "tied1", Kind: "binary", Address: "LD0/XCBR1.Pos.Oper", Writable: true},
+		},
+	}
+
+	m.PowerConfig = &sgmlconf.PowerConfig{
+		BaseMVA:    100,
+		IntervalMS: 100,
+		Elements: []sgmlconf.ElementParam{
+			{Kind: "extgrid", Name: "Gen1", VmPU: 1.00},
+			{Kind: "gen", Name: "Gen2", PMW: 4, VmPU: 1.00, MinQMVAr: -3, MaxQMVAr: 3},
+			{Kind: "sgen", Name: "PV1", PMW: 0.8},
+			{Kind: "sgen", Name: "Battery1", PMW: 0.5},
+			{Kind: "line", Name: "TieLine", LengthKM: 2, ROhmPerKM: 0.08, XOhmPerKM: 0.35, CNFPerKM: 10, MaxIKA: 0.8},
+			{Kind: "line", Name: "MicroLine", LengthKM: 1, ROhmPerKM: 0.10, XOhmPerKM: 0.35, CNFPerKM: 10, MaxIKA: 0.4},
+			{Kind: "trafo", Name: "HomeTrafo", SnMVA: 2, VKPercent: 6, VKRPercent: 0.8},
+			{Kind: "load", Name: "Home1", PMW: 0.4, QMVAr: 0.1},
+			{Kind: "load", Name: "Home2", PMW: 0.3, QMVAr: 0.08},
+			{Kind: "load", Name: "Home3", PMW: 0.35, QMVAr: 0.09},
+			{Kind: "load", Name: "Home4", PMW: 0.25, QMVAr: 0.06},
+		},
+		Steps: []sgmlconf.ProfileStep{
+			// A mild daily profile: homes ramp up, PV dips (cloud cover).
+			{AtMS: 0, Kind: "loadScale", Element: "Home1", Value: 1.0},
+			{AtMS: 5000, Kind: "loadScale", Element: "Home1", Value: 1.3},
+			{AtMS: 5000, Kind: "loadScale", Element: "Home2", Value: 1.2},
+			{AtMS: 8000, Kind: "sgenP", Element: "PV1", Value: 0.2},
+		},
+	}
+
+	m.PLCConfig = &sgmlconf.PLCConfig{
+		Name: "CPLC", Host: "CPLC", ScanMS: 100, ModbusPort: 502,
+		Inputs: []sgmlconf.PLCBinding{
+			{Var: "mainVoltage", IED: "TIED1", Ref: "LD0/MMXU1.PhV.phsA"},
+			{Var: "tieCurrent", IED: "TIED1", Ref: "LD0/MMXU1.A.phsA"},
+		},
+		Outputs: []sgmlconf.PLCBinding{
+			{Var: "tieBreakerClose", IED: "TIED1", Ref: "LD0/XCBR1.Pos.Oper"},
+		},
+		Exposes: []sgmlconf.PLCExpose{
+			{Var: "mainVoltage", Kind: "inputReg", Addr: 0, Scale: 1000},
+			{Var: "tieBreakerClose", Kind: "discrete", Addr: 0},
+			{Var: "underVoltAlarm", Kind: "discrete", Addr: 1},
+		},
+		Commands: []sgmlconf.PLCCommand{{Coil: 0, Var: "manualTrip"}},
+	}
+	if err := m.PLCConfig.Validate(); err != nil {
+		return nil, fmt.Errorf("epic: generated PLC config invalid: %w", err)
+	}
+
+	xml, err := plc.BuildPLCopen("CPLC", cplcLogic)
+	if err != nil {
+		return nil, err
+	}
+	m.PLCopenXML = xml
+	if err := m.SCD.Validate(); err != nil {
+		return nil, fmt.Errorf("epic: generated SCD invalid: %w", err)
+	}
+	if err := m.IEDConfig.Validate(); err != nil {
+		return nil, fmt.Errorf("epic: generated IED config invalid: %w", err)
+	}
+	if err := m.SCADAConfig.Validate(); err != nil {
+		return nil, fmt.Errorf("epic: generated SCADA config invalid: %w", err)
+	}
+	if err := m.PowerConfig.Validate(); err != nil {
+		return nil, fmt.Errorf("epic: generated power config invalid: %w", err)
+	}
+	return m, nil
+}
+
+// lnTypes emits LNodeType templates for the given classes.
+func lnTypes(classes []string) []scl.LNodeType {
+	out := make([]scl.LNodeType, 0, len(classes))
+	for _, c := range classes {
+		out = append(out, scl.LNodeType{
+			ID: c + "_T", LnClass: c,
+			DOs: []scl.DO{{Name: "Beh", Type: "ENS_T"}, {Name: "Op", Type: "ACT_T"}},
+		})
+	}
+	return out
+}
+
+// Files serialises the model into the on-disk SG-ML file set the paper's
+// toolchain consumes (Fig 2: "set of XML files used as the input").
+func (m *Model) Files() (map[string][]byte, error) {
+	out := make(map[string][]byte)
+	scd, err := m.SCD.Marshal()
+	if err != nil {
+		return nil, err
+	}
+	out["epic.scd.xml"] = scd
+	// SSD = substation-only view of the SCD.
+	ssd := &scl.Document{Header: scl.Header{ID: "epic-ssd", ToolID: "sgml-epic"}, Substations: m.SCD.Substations}
+	ssdXML, err := ssd.Marshal()
+	if err != nil {
+		return nil, err
+	}
+	out["epic.ssd.xml"] = ssdXML
+	for name, icd := range m.ICDs {
+		data, err := icd.Marshal()
+		if err != nil {
+			return nil, err
+		}
+		out[name+".icd.xml"] = data
+	}
+	iedCfg, err := sgmlconf.Marshal(m.IEDConfig)
+	if err != nil {
+		return nil, err
+	}
+	out["ied_config.xml"] = iedCfg
+	scadaCfg, err := sgmlconf.Marshal(m.SCADAConfig)
+	if err != nil {
+		return nil, err
+	}
+	out["scada_config.xml"] = scadaCfg
+	powerCfg, err := sgmlconf.Marshal(m.PowerConfig)
+	if err != nil {
+		return nil, err
+	}
+	out["power_config.xml"] = powerCfg
+	out["cplc_logic.plcopen.xml"] = m.PLCopenXML
+	plcCfg, err := sgmlconf.Marshal(m.PLCConfig)
+	if err != nil {
+		return nil, err
+	}
+	out["plc_config.xml"] = plcCfg
+	scadaJSON, err := m.SCADAConfig.ToImportJSON()
+	if err != nil {
+		return nil, err
+	}
+	out["scadabr_import.json"] = scadaJSON
+	return out, nil
+}

@@ -1,0 +1,213 @@
+package epic
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/plc"
+	"repro/internal/scl"
+	"repro/internal/st"
+)
+
+func TestNewModelStructure(t *testing.T) {
+	m, err := NewModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Substation != "EPIC" {
+		t.Errorf("substation = %q", m.Substation)
+	}
+	// 8 IEDs across the four segments.
+	if len(m.IEDs) != 8 {
+		t.Fatalf("IEDs = %d", len(m.IEDs))
+	}
+	segs := map[string]int{}
+	for _, s := range m.IEDs {
+		segs[s.Segment]++
+	}
+	for _, seg := range []string{SegGeneration, SegTransmission, SegMicrogrid, SegSmartHome} {
+		if segs[seg] != 2 {
+			t.Errorf("segment %s has %d IEDs, want 2", seg, segs[seg])
+		}
+	}
+	// SCD validates and classifies correctly.
+	if err := m.SCD.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.SCD.DetectKind() != scl.KindSCD {
+		t.Errorf("kind = %v", m.SCD.DetectKind())
+	}
+	// 5 subnetworks (per segment + control).
+	if got := len(m.SCD.Communication.SubNetworks); got != 5 {
+		t.Errorf("subnetworks = %d", got)
+	}
+	// Each IED has a usable ICD.
+	if len(m.ICDs) != 8 {
+		t.Errorf("ICDs = %d", len(m.ICDs))
+	}
+	for name, icd := range m.ICDs {
+		if icd.DetectKind() != scl.KindICD {
+			t.Errorf("%s ICD kind = %v", name, icd.DetectKind())
+		}
+		if err := icd.Validate(); err != nil {
+			t.Errorf("%s ICD invalid: %v", name, err)
+		}
+	}
+	// Protection features match the Table II design.
+	if !m.SCD.FindIED("TIED1").HasLNClass("PTOC") {
+		t.Error("TIED1 lacks PTOC")
+	}
+	if !m.SCD.FindIED("MIED1").HasLNClass("CILO") {
+		t.Error("MIED1 lacks CILO")
+	}
+	if m.IEDConfig.Find("TIED1").Protection.PTOC == nil {
+		t.Error("TIED1 config lacks PTOC thresholds")
+	}
+	if m.IEDConfig.Find("MIED1").Protection.CILO.GuardBreaker != "CBTie" {
+		t.Error("MIED1 interlock guard wrong")
+	}
+}
+
+func TestCPLCLogicCompiles(t *testing.T) {
+	m, err := NewModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := st.Parse(m.PLCLogic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Name != "CPLC" {
+		t.Errorf("program name = %q", prog.Name)
+	}
+	// And the PLCopen XML round-trips to the same logic.
+	name, src, err := plc.ParsePLCopen(m.PLCopenXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "CPLC" || !strings.Contains(src, "tieBreakerClose") {
+		t.Errorf("PLCopen round trip: name=%q", name)
+	}
+	if _, err := st.Parse(src); err != nil {
+		t.Errorf("round-tripped logic does not compile: %v", err)
+	}
+}
+
+func TestFilesComplete(t *testing.T) {
+	m, err := NewModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	files, err := m.Files()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"epic.scd.xml", "epic.ssd.xml", "ied_config.xml", "scada_config.xml",
+		"power_config.xml", "plc_config.xml", "cplc_logic.plcopen.xml", "scadabr_import.json",
+		"GIED1.icd.xml", "SIED2.icd.xml",
+	} {
+		if _, ok := files[want]; !ok {
+			t.Errorf("file %q missing", want)
+		}
+	}
+	// The serialized SCD parses back.
+	doc, err := scl.Parse(files["epic.scd.xml"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.FindIED("TIED1") == nil {
+		t.Error("SCD lost TIED1 in serialization")
+	}
+	// The SSD view is substation-only.
+	ssd, err := scl.Parse(files["epic.ssd.xml"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ssd.DetectKind() != scl.KindSSD {
+		t.Errorf("ssd kind = %v", ssd.DetectKind())
+	}
+}
+
+func TestScaleModel(t *testing.T) {
+	sm, err := NewScaleModel(5, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 5 substations * (20 feeders + 1 gateway) = 105 IEDs; the paper's 104 is
+	// matched by NewScaleModel(5, 20) with the slack substation's gateway
+	// acting as one of them — TotalIEDs is what the bench reports.
+	if sm.TotalIEDs != 105 {
+		t.Errorf("total IEDs = %d", sm.TotalIEDs)
+	}
+	if len(sm.SCDs) != 5 || len(sm.Substations) != 5 {
+		t.Fatalf("substations = %d", len(sm.SCDs))
+	}
+	if len(sm.SED.Ties) != 4 {
+		t.Errorf("ties = %d, want 4 (chain)", len(sm.SED.Ties))
+	}
+	for name, doc := range sm.SCDs {
+		if err := doc.Validate(); err != nil {
+			t.Errorf("%s invalid: %v", name, err)
+		}
+		if doc.DetectKind() != scl.KindSCD {
+			t.Errorf("%s kind = %v", name, doc.DetectKind())
+		}
+	}
+	if err := sm.SED.Validate(sm.SCDs); err != nil {
+		t.Errorf("SED invalid: %v", err)
+	}
+	if err := sm.IEDConfigs.Validate(); err != nil {
+		t.Errorf("IED configs invalid: %v", err)
+	}
+	if err := sm.PowerConfig.Validate(); err != nil {
+		t.Errorf("power config invalid: %v", err)
+	}
+	// Only the first substation carries the slack.
+	if sm.PowerConfig.Element("extgrid", "Grid") == nil {
+		t.Error("no external grid element")
+	}
+}
+
+func TestScaleModelBounds(t *testing.T) {
+	if _, err := NewScaleModel(0, 5); err == nil {
+		t.Error("zero substations accepted")
+	}
+	if _, err := NewScaleModel(2, 0); err == nil {
+		t.Error("zero feeders accepted")
+	}
+	sm, err := NewScaleModel(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sm.TotalIEDs != 2 || len(sm.SED.Ties) != 0 {
+		t.Errorf("minimal model: %d IEDs, %d ties", sm.TotalIEDs, len(sm.SED.Ties))
+	}
+}
+
+func TestDeterministicGeneration(t *testing.T) {
+	a, err := NewModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fa, err := a.Files()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, err := b.Files()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fa) != len(fb) {
+		t.Fatalf("file counts differ")
+	}
+	for name := range fa {
+		if string(fa[name]) != string(fb[name]) {
+			t.Errorf("file %q not deterministic", name)
+		}
+	}
+}

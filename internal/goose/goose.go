@@ -1,0 +1,347 @@
+// Package goose implements GOOSE (Generic Object Oriented Substation Event,
+// IEC 61850-8-1) publish/subscribe messaging, plus the routable R-GOOSE
+// variant, substituting libiec61850's GOOSE layer (§III-B).
+//
+// GOOSE carries device status (breaker positions, protection trips) between
+// IEDs as multicast Ethernet frames with EtherType 0x88B8. Publishers
+// retransmit each state with an increasing interval and bump stNum on state
+// changes / sqNum on retransmissions, exactly the semantics interlocking
+// (CILO, Table II) depends on. R-GOOSE wraps the same PDU in UDP for
+// inter-substation delivery through the WAN (SED gateways).
+package goose
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/ber"
+	"repro/internal/mms"
+	"repro/internal/netem"
+)
+
+// RGoosePort is the UDP port used for routable GOOSE.
+const RGoosePort = 102
+
+// Message is a decoded GOOSE PDU.
+type Message struct {
+	GocbRef   string
+	DatSet    string
+	GoID      string
+	Timestamp time.Time
+	StNum     uint32
+	SqNum     uint32
+	TTLMillis uint32
+	ConfRev   uint32
+	Values    []mms.Value
+	SrcMAC    netem.MAC
+}
+
+// Errors returned by the codec.
+var ErrBadPDU = errors.New("goose: malformed PDU")
+
+// goosePDU field tags (context-specific, after IEC 61850-8-1).
+const (
+	tagGocbRef  = 0x80
+	tagTTL      = 0x81
+	tagDatSet   = 0x82
+	tagGoID     = 0x83
+	tagT        = 0x84
+	tagStNum    = 0x85
+	tagSqNum    = 0x86
+	tagSim      = 0x87
+	tagConfRev  = 0x88
+	tagNdsCom   = 0x89
+	tagNumEnt   = 0x8A
+	tagAllData  = 0xAB
+	tagGoosePDU = 0x61 // APPLICATION 1 constructed
+)
+
+// Marshal encodes the message as APPID header + goosePDU, the payload of an
+// 0x88B8 Ethernet frame.
+func Marshal(appID uint16, m Message) []byte {
+	var pdu ber.Encoder
+	pdu.AppendConstructed(tagGoosePDU, func(e *ber.Encoder) {
+		e.AppendString(tagGocbRef, m.GocbRef)
+		e.AppendUint(tagTTL, uint64(m.TTLMillis))
+		e.AppendString(tagDatSet, m.DatSet)
+		e.AppendString(tagGoID, m.GoID)
+		e.AppendUTCTime(tagT, m.Timestamp.Unix(), int64(m.Timestamp.Nanosecond()))
+		e.AppendUint(tagStNum, uint64(m.StNum))
+		e.AppendUint(tagSqNum, uint64(m.SqNum))
+		e.AppendBool(tagSim, false)
+		e.AppendUint(tagConfRev, uint64(m.ConfRev))
+		e.AppendBool(tagNdsCom, false)
+		e.AppendUint(tagNumEnt, uint64(len(m.Values)))
+		e.AppendConstructed(tagAllData, func(data *ber.Encoder) {
+			for _, v := range m.Values {
+				mms.EncodeData(data, v)
+			}
+		})
+	})
+	// IEC 61850-8-1 session header: APPID, length, 2 reserved words.
+	out := make([]byte, 8, 8+pdu.Len())
+	binary.BigEndian.PutUint16(out[0:], appID)
+	binary.BigEndian.PutUint16(out[2:], uint16(8+pdu.Len()))
+	return append(out, pdu.Bytes()...)
+}
+
+// Unmarshal decodes an 0x88B8 payload. It returns the APPID and message.
+func Unmarshal(payload []byte) (uint16, Message, error) {
+	var m Message
+	if len(payload) < 8 {
+		return 0, m, fmt.Errorf("%w: short header", ErrBadPDU)
+	}
+	appID := binary.BigEndian.Uint16(payload[0:])
+	length := int(binary.BigEndian.Uint16(payload[2:]))
+	if length < 8 || length > len(payload) {
+		return 0, m, fmt.Errorf("%w: bad length %d", ErrBadPDU, length)
+	}
+	t, _, err := ber.Decode(payload[8:length])
+	if err != nil {
+		return 0, m, fmt.Errorf("%w: %v", ErrBadPDU, err)
+	}
+	if t.Tag != tagGoosePDU {
+		return 0, m, fmt.Errorf("%w: tag 0x%02x", ErrBadPDU, t.Tag)
+	}
+	for _, c := range t.Children {
+		switch c.Tag {
+		case tagGocbRef:
+			m.GocbRef = c.String()
+		case tagTTL:
+			v, _ := c.Uint()
+			m.TTLMillis = uint32(v)
+		case tagDatSet:
+			m.DatSet = c.String()
+		case tagGoID:
+			m.GoID = c.String()
+		case tagT:
+			sec, nanos, err := c.UTCTime()
+			if err == nil {
+				m.Timestamp = time.Unix(sec, nanos).UTC()
+			}
+		case tagStNum:
+			v, _ := c.Uint()
+			m.StNum = uint32(v)
+		case tagSqNum:
+			v, _ := c.Uint()
+			m.SqNum = uint32(v)
+		case tagConfRev:
+			v, _ := c.Uint()
+			m.ConfRev = uint32(v)
+		case tagAllData:
+			for _, d := range c.Children {
+				v, err := mms.DecodeData(d)
+				if err != nil {
+					return 0, m, fmt.Errorf("%w: data: %v", ErrBadPDU, err)
+				}
+				m.Values = append(m.Values, v)
+			}
+		}
+	}
+	if m.GocbRef == "" {
+		return 0, m, fmt.Errorf("%w: missing gocbRef", ErrBadPDU)
+	}
+	return appID, m, nil
+}
+
+// RetransmissionSchedule returns the delay before the n-th retransmission
+// (n starting at 1): fast initial bursts backing off to the heartbeat, the
+// standard GOOSE profile. The ablation bench compares this against a fixed
+// interval.
+func RetransmissionSchedule(n int, heartbeat time.Duration) time.Duration {
+	d := 2 * time.Millisecond
+	for i := 1; i < n; i++ {
+		d *= 2
+		if d >= heartbeat {
+			return heartbeat
+		}
+	}
+	if d >= heartbeat {
+		return heartbeat
+	}
+	return d
+}
+
+// PublisherConfig configures a GOOSE publisher.
+type PublisherConfig struct {
+	GocbRef   string
+	DatSet    string
+	GoID      string
+	AppID     uint16
+	ConfRev   uint32
+	Heartbeat time.Duration // max retransmission interval; default 1 s
+	// FixedInterval, when > 0, disables exponential backoff and retransmits
+	// at this fixed period (ablation mode).
+	FixedInterval time.Duration
+}
+
+// Publisher periodically multicasts the current dataset state.
+type Publisher struct {
+	cfg  PublisherConfig
+	host *netem.Host
+	mac  netem.MAC
+
+	mu      sync.Mutex
+	values  []mms.Value
+	stNum   uint32
+	sqNum   uint32
+	retrans int
+	timer   *time.Timer
+	stopped bool
+	sent    uint64
+	now     func() time.Time
+}
+
+// NewPublisher creates a publisher bound to a host NIC.
+func NewPublisher(h *netem.Host, cfg PublisherConfig) *Publisher {
+	if cfg.Heartbeat <= 0 {
+		cfg.Heartbeat = time.Second
+	}
+	return &Publisher{cfg: cfg, host: h, mac: netem.GooseMAC(cfg.AppID), now: time.Now}
+}
+
+// Publish announces a new dataset state: stNum increments, sqNum resets, and
+// the retransmission burst restarts.
+func (p *Publisher) Publish(values ...mms.Value) {
+	p.mu.Lock()
+	if p.stopped {
+		p.mu.Unlock()
+		return
+	}
+	p.values = append([]mms.Value(nil), values...)
+	p.stNum++
+	p.sqNum = 0
+	p.retrans = 0
+	p.sendLocked()
+	p.scheduleLocked()
+	p.mu.Unlock()
+}
+
+// Stop halts retransmission.
+func (p *Publisher) Stop() {
+	p.mu.Lock()
+	p.stopped = true
+	if p.timer != nil {
+		p.timer.Stop()
+	}
+	p.mu.Unlock()
+}
+
+// Sent reports frames transmitted (including retransmissions).
+func (p *Publisher) Sent() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.sent
+}
+
+// StNum returns the current state number.
+func (p *Publisher) StNum() uint32 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stNum
+}
+
+func (p *Publisher) sendLocked() {
+	ttl := 2 * p.nextDelayLocked()
+	msg := Message{
+		GocbRef:   p.cfg.GocbRef,
+		DatSet:    p.cfg.DatSet,
+		GoID:      p.cfg.GoID,
+		Timestamp: p.now(),
+		StNum:     p.stNum,
+		SqNum:     p.sqNum,
+		TTLMillis: uint32(ttl / time.Millisecond),
+		ConfRev:   p.cfg.ConfRev,
+		Values:    p.values,
+	}
+	payload := Marshal(p.cfg.AppID, msg)
+	p.host.SendFrame(netem.Frame{
+		Dst: p.mac, Src: p.host.MAC(), EtherType: netem.EtherTypeGOOSE, Payload: payload,
+	})
+	p.sent++
+	p.sqNum++
+}
+
+func (p *Publisher) nextDelayLocked() time.Duration {
+	if p.cfg.FixedInterval > 0 {
+		return p.cfg.FixedInterval
+	}
+	return RetransmissionSchedule(p.retrans+1, p.cfg.Heartbeat)
+}
+
+func (p *Publisher) scheduleLocked() {
+	if p.timer != nil {
+		p.timer.Stop()
+	}
+	delay := p.nextDelayLocked()
+	p.retrans++
+	p.timer = time.AfterFunc(delay, func() {
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		if p.stopped || p.stNum == 0 {
+			return
+		}
+		p.sendLocked()
+		p.scheduleLocked()
+	})
+}
+
+// Update is a decoded message delivered to a subscriber, annotated with
+// whether it announces a new state (stNum changed) or is a retransmission.
+type Update struct {
+	Message  Message
+	AppID    uint16
+	NewState bool
+}
+
+// Subscriber receives GOOSE messages for one APPID group.
+type Subscriber struct {
+	mu       sync.Mutex
+	lastSt   map[string]uint32 // gocbRef -> last stNum
+	received uint64
+	ch       chan Update
+}
+
+// Subscribe joins the multicast group for appID on the host and returns the
+// subscriber. The returned channel yields every received message; NewState
+// distinguishes fresh states from retransmissions.
+func Subscribe(h *netem.Host, appID uint16) *Subscriber {
+	s := &Subscriber{lastSt: make(map[string]uint32), ch: make(chan Update, 256)}
+	mac := netem.GooseMAC(appID)
+	h.JoinMulticast(mac)
+	h.HandleEtherType(netem.EtherTypeGOOSE, func(f netem.Frame) {
+		gotID, msg, err := Unmarshal(f.Payload)
+		if err != nil || gotID != appID {
+			return
+		}
+		msg.SrcMAC = f.Src
+		s.deliver(gotID, msg)
+	})
+	return s
+}
+
+func (s *Subscriber) deliver(appID uint16, msg Message) {
+	s.mu.Lock()
+	last, seen := s.lastSt[msg.GocbRef]
+	isNew := !seen || msg.StNum != last
+	s.lastSt[msg.GocbRef] = msg.StNum
+	s.received++
+	s.mu.Unlock()
+	select {
+	case s.ch <- Update{Message: msg, AppID: appID, NewState: isNew}:
+	default: // slow subscriber: GOOSE is fire-and-forget
+	}
+}
+
+// Updates returns the delivery channel.
+func (s *Subscriber) Updates() <-chan Update { return s.ch }
+
+// Received reports total messages seen (including retransmissions).
+func (s *Subscriber) Received() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.received
+}

@@ -1,0 +1,153 @@
+package goose
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/mms"
+	"repro/internal/netem"
+)
+
+// R-GOOSE: the same GOOSE PDU carried in UDP for routable, inter-substation
+// delivery (IEC TR 61850-90-5). The paper's gateways use it for
+// inter-substation protection (PDIF/CILO, §III-B). The emulated WAN has no
+// IP multicast, so the publisher unicasts to its configured peer gateways —
+// DESIGN.md records this substitution.
+
+// RPublisher sends R-GOOSE datagrams to a set of peer gateways.
+type RPublisher struct {
+	cfg   PublisherConfig
+	sock  *netem.UDPSocket
+	peers []netem.IPv4
+
+	mu      sync.Mutex
+	stNum   uint32
+	sqNum   uint32
+	values  []mms.Value
+	timer   *time.Timer
+	stopped bool
+	sent    uint64
+}
+
+// NewRPublisher binds an ephemeral UDP socket on the host.
+func NewRPublisher(h *netem.Host, cfg PublisherConfig, peers []netem.IPv4) (*RPublisher, error) {
+	if cfg.Heartbeat <= 0 {
+		cfg.Heartbeat = time.Second
+	}
+	sock, err := h.BindUDP(0)
+	if err != nil {
+		return nil, err
+	}
+	return &RPublisher{cfg: cfg, sock: sock, peers: append([]netem.IPv4(nil), peers...)}, nil
+}
+
+// Publish announces a new state to all peers, with heartbeat retransmission.
+func (p *RPublisher) Publish(values ...mms.Value) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.stopped {
+		return
+	}
+	p.values = append([]mms.Value(nil), values...)
+	p.stNum++
+	p.sqNum = 0
+	p.sendLocked()
+	p.scheduleLocked()
+}
+
+// Stop halts retransmission and closes the socket.
+func (p *RPublisher) Stop() {
+	p.mu.Lock()
+	p.stopped = true
+	if p.timer != nil {
+		p.timer.Stop()
+	}
+	p.mu.Unlock()
+	p.sock.Close()
+}
+
+// Sent reports datagrams transmitted across all peers.
+func (p *RPublisher) Sent() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.sent
+}
+
+func (p *RPublisher) sendLocked() {
+	msg := Message{
+		GocbRef:   p.cfg.GocbRef,
+		DatSet:    p.cfg.DatSet,
+		GoID:      p.cfg.GoID,
+		Timestamp: time.Now(),
+		StNum:     p.stNum,
+		SqNum:     p.sqNum,
+		TTLMillis: uint32(2 * p.cfg.Heartbeat / time.Millisecond),
+		ConfRev:   p.cfg.ConfRev,
+		Values:    p.values,
+	}
+	payload := Marshal(p.cfg.AppID, msg)
+	for _, peer := range p.peers {
+		if err := p.sock.SendTo(peer, RGoosePort, payload); err == nil {
+			p.sent++
+		}
+	}
+	p.sqNum++
+}
+
+func (p *RPublisher) scheduleLocked() {
+	if p.timer != nil {
+		p.timer.Stop()
+	}
+	p.timer = time.AfterFunc(p.cfg.Heartbeat, func() {
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		if p.stopped || p.stNum == 0 {
+			return
+		}
+		p.sendLocked()
+		p.scheduleLocked()
+	})
+}
+
+// RSubscriber receives R-GOOSE datagrams on the R-GOOSE UDP port.
+type RSubscriber struct {
+	sub  *Subscriber
+	sock *netem.UDPSocket
+	done chan struct{}
+}
+
+// SubscribeR binds the R-GOOSE port on the host and starts decoding.
+func SubscribeR(h *netem.Host, appID uint16) (*RSubscriber, error) {
+	sock, err := h.BindUDP(RGoosePort)
+	if err != nil {
+		return nil, err
+	}
+	rs := &RSubscriber{
+		sub:  &Subscriber{lastSt: make(map[string]uint32), ch: make(chan Update, 256)},
+		sock: sock,
+		done: make(chan struct{}),
+	}
+	go func() {
+		defer close(rs.done)
+		for m := range sock.Recv() {
+			gotID, msg, err := Unmarshal(m.Data)
+			if err != nil || gotID != appID {
+				continue
+			}
+			rs.sub.deliver(gotID, msg)
+		}
+	}()
+	return rs, nil
+}
+
+// Updates returns the delivery channel.
+func (rs *RSubscriber) Updates() <-chan Update { return rs.sub.Updates() }
+
+// Received reports total datagrams decoded.
+func (rs *RSubscriber) Received() uint64 { return rs.sub.Received() }
+
+// Close releases the socket and waits for the decoder to finish.
+func (rs *RSubscriber) Close() {
+	rs.sock.Close()
+	<-rs.done
+}

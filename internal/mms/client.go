@@ -1,0 +1,261 @@
+package mms
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/netem"
+)
+
+// Client errors.
+var (
+	ErrTimeout      = errors.New("mms: request timeout")
+	ErrClientClosed = errors.New("mms: client closed")
+	ErrNoInitiate   = errors.New("mms: association not initiated")
+)
+
+// ReportHandler receives unsolicited information reports.
+type ReportHandler func(ref ObjectReference, v Value)
+
+// Client is an MMS client association, used by SCADA, PLCs — and attackers
+// injecting false commands (§IV-B).
+type Client struct {
+	mu         sync.Mutex
+	conn       *netem.TCPConn
+	nextID     uint32
+	pending    map[uint32]chan pdu
+	onReport   ReportHandler
+	closed     bool
+	timeout    time.Duration
+	vendor     string
+	peerVendor string
+	peerModel  string
+	readerDone chan struct{}
+}
+
+// DialOptions tunes the client.
+type DialOptions struct {
+	Timeout  time.Duration // per-request; default 2 s
+	Vendor   string        // reported in initiate; default "sgml-client"
+	OnReport ReportHandler
+}
+
+// Dial opens a TCP association from the host and performs the MMS initiate
+// handshake.
+func Dial(h *netem.Host, ip netem.IPv4, port uint16, opts DialOptions) (*Client, error) {
+	if port == 0 {
+		port = DefaultPort
+	}
+	if opts.Timeout <= 0 {
+		opts.Timeout = 2 * time.Second
+	}
+	if opts.Vendor == "" {
+		opts.Vendor = "sgml-client"
+	}
+	conn, err := h.DialTCP(ip, port)
+	if err != nil {
+		return nil, fmt.Errorf("mms: dial %s:%d: %w", ip, port, err)
+	}
+	c := &Client{
+		conn:       conn,
+		pending:    make(map[uint32]chan pdu),
+		onReport:   opts.OnReport,
+		timeout:    opts.Timeout,
+		vendor:     opts.Vendor,
+		readerDone: make(chan struct{}),
+	}
+	// Initiate handshake happens before the reader goroutine owns the conn.
+	if err := writeFrame(conn, encodeInitiateRequest(opts.Vendor)); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	conn.SetReadDeadline(time.Now().Add(opts.Timeout))
+	payload, err := readFrame(conn)
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("%w: initiate: %v", ErrNoInitiate, err)
+	}
+	p, err := decodePDU(payload)
+	if err != nil || p.kind != tagInitiateResponse {
+		conn.Close()
+		return nil, fmt.Errorf("%w: unexpected initiate response", ErrNoInitiate)
+	}
+	if len(p.body.Children) >= 3 {
+		c.peerVendor = p.body.Children[1].String()
+		c.peerModel = p.body.Children[2].String()
+	}
+	conn.SetReadDeadline(time.Time{})
+	go c.readLoop()
+	return c, nil
+}
+
+// PeerIdentity returns the server's vendor and model from the initiate
+// response.
+func (c *Client) PeerIdentity() (vendor, model string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.peerVendor, c.peerModel
+}
+
+func (c *Client) readLoop() {
+	defer close(c.readerDone)
+	for {
+		payload, err := readFrame(c.conn)
+		if err != nil {
+			c.failAll()
+			return
+		}
+		p, err := decodePDU(payload)
+		if err != nil {
+			continue // tolerate garbage mid-association (tampering experiments)
+		}
+		switch p.kind {
+		case tagConfirmedResponse, tagConfirmedError:
+			c.mu.Lock()
+			ch := c.pending[p.invokeID]
+			delete(c.pending, p.invokeID)
+			c.mu.Unlock()
+			if ch != nil {
+				ch <- p
+			}
+		case tagUnconfirmed:
+			c.deliverReport(p)
+		}
+	}
+}
+
+func (c *Client) deliverReport(p pdu) {
+	c.mu.Lock()
+	h := c.onReport
+	c.mu.Unlock()
+	if h == nil || len(p.body.Children) == 0 {
+		return
+	}
+	svc := p.body.Children[0]
+	if len(svc.Children) < 2 {
+		return
+	}
+	ref, err := decodeObjectName(svc.Children[0])
+	if err != nil {
+		return
+	}
+	v, err := decodeValue(svc.Children[1])
+	if err != nil {
+		return
+	}
+	h(ref, v)
+}
+
+func (c *Client) failAll() {
+	c.mu.Lock()
+	for id, ch := range c.pending {
+		delete(c.pending, id)
+		close(ch)
+	}
+	c.mu.Unlock()
+}
+
+// roundTrip sends a confirmed request and waits for its response.
+func (c *Client) roundTrip(id uint32, payload []byte) (pdu, error) {
+	ch := make(chan pdu, 1)
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return pdu{}, ErrClientClosed
+	}
+	c.pending[id] = ch
+	c.mu.Unlock()
+
+	if err := writeFrame(c.conn, payload); err != nil {
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return pdu{}, err
+	}
+	select {
+	case p, ok := <-ch:
+		if !ok {
+			return pdu{}, ErrClientClosed
+		}
+		if p.kind == tagConfirmedError {
+			return pdu{}, errorFromCode(p.errCode)
+		}
+		return p, nil
+	case <-time.After(c.timeout):
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return pdu{}, ErrTimeout
+	}
+}
+
+func (c *Client) allocID() uint32 {
+	c.mu.Lock()
+	c.nextID++
+	id := c.nextID
+	c.mu.Unlock()
+	return id
+}
+
+// Read fetches the value of an object.
+func (c *Client) Read(ref ObjectReference) (Value, error) {
+	id := c.allocID()
+	p, err := c.roundTrip(id, encodeReadRequest(id, ref))
+	if err != nil {
+		return Value{}, fmt.Errorf("mms: read %s: %w", ref, err)
+	}
+	svc := p.body.Children[1]
+	if len(svc.Children) < 1 {
+		return Value{}, fmt.Errorf("mms: read %s: %w", ref, ErrBadPDU)
+	}
+	v, err := decodeValue(svc.Children[0])
+	if err != nil {
+		return Value{}, fmt.Errorf("mms: read %s: %w", ref, err)
+	}
+	return v, nil
+}
+
+// Write sets the value of an object (the control primitive: a breaker-open
+// command is a Write to the XCBR Pos.Oper object).
+func (c *Client) Write(ref ObjectReference, v Value) error {
+	id := c.allocID()
+	if _, err := c.roundTrip(id, encodeWriteRequest(id, ref, v)); err != nil {
+		return fmt.Errorf("mms: write %s: %w", ref, err)
+	}
+	return nil
+}
+
+// GetNameList lists object references, optionally filtered by prefix.
+func (c *Client) GetNameList(prefix string) ([]string, error) {
+	id := c.allocID()
+	p, err := c.roundTrip(id, encodeGetNameListRequest(id, prefix))
+	if err != nil {
+		return nil, fmt.Errorf("mms: getNameList: %w", err)
+	}
+	svc := p.body.Children[1]
+	names := make([]string, 0, len(svc.Children))
+	for _, child := range svc.Children {
+		names = append(names, child.String())
+	}
+	return names, nil
+}
+
+// Close concludes the association.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	_ = writeFrame(c.conn, encodeConclude())
+	err := c.conn.Close()
+	select {
+	case <-c.readerDone:
+	case <-time.After(time.Second):
+	}
+	return err
+}

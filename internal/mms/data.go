@@ -1,0 +1,11 @@
+package mms
+
+import "repro/internal/ber"
+
+// EncodeData appends the MMS Data encoding of v to e. GOOSE and SV payloads
+// (IEC 61850-8-1 / 9-2) reuse the MMS Data encoding for their dataset
+// members, so the GOOSE/SV stacks share this codec.
+func EncodeData(e *ber.Encoder, v Value) { encodeValue(e, v) }
+
+// DecodeData parses one MMS Data TLV (see EncodeData).
+func DecodeData(t ber.TLV) (Value, error) { return decodeValue(t) }

@@ -1,0 +1,255 @@
+package modbus
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/netem"
+)
+
+func pair(t *testing.T) (*netem.Host, *netem.Host) {
+	t.Helper()
+	n := netem.NewNetwork()
+	if _, err := netem.NewSwitch(n, "sw", 4); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := netem.NewHost(n, "plc", netem.MustMAC("02:00:00:00:00:01"), netem.MustIPv4("10.0.0.1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli, err := netem.NewHost(n, "scada", netem.MustMAC("02:00:00:00:00:02"), netem.MustIPv4("10.0.0.2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Connect("plc", 0, "sw", 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Connect("scada", 0, "sw", 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(n.Stop)
+	return srv, cli
+}
+
+func served(t *testing.T) (*Server, *Client) {
+	t.Helper()
+	srvHost, cliHost := pair(t)
+	srv := NewServer(64, 64, 128, 128)
+	if err := srv.Serve(srvHost, 0); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	cli, err := DialClient(cliHost, srvHost.IP(), 0, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cli.Close() })
+	return srv, cli
+}
+
+func TestReadInputRegisters(t *testing.T) {
+	srv, cli := served(t)
+	srv.SetInput(0, 1020) // e.g. voltage * 1000
+	srv.SetInput(1, 351)
+	got, err := cli.ReadInput(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 1020 || got[1] != 351 {
+		t.Errorf("input = %v", got)
+	}
+}
+
+func TestHoldingRegistersRoundTrip(t *testing.T) {
+	srv, cli := served(t)
+	if err := cli.WriteRegister(5, 777); err != nil {
+		t.Fatal(err)
+	}
+	if got := srv.Holding(5); got != 777 {
+		t.Errorf("server holding[5] = %d", got)
+	}
+	vals, err := cli.ReadHolding(5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vals[0] != 777 {
+		t.Errorf("read back %v", vals)
+	}
+}
+
+func TestWriteMultipleRegisters(t *testing.T) {
+	srv, cli := served(t)
+	want := []uint16{1, 2, 3, 65535}
+	if err := cli.WriteRegisters(10, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := cli.ReadHolding(10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("reg %d = %d, want %d", i, got[i], want[i])
+		}
+	}
+	_ = srv
+}
+
+func TestCoilsAndHook(t *testing.T) {
+	srv, cli := served(t)
+	var mu sync.Mutex
+	writes := map[uint16]bool{}
+	srv.OnCoilWrite(func(addr uint16, v bool) {
+		mu.Lock()
+		writes[addr] = v
+		mu.Unlock()
+	})
+	if err := cli.WriteCoil(3, true); err != nil {
+		t.Fatal(err)
+	}
+	if !srv.Coil(3) {
+		t.Error("coil not set")
+	}
+	if err := cli.WriteCoils(8, []bool{true, false, true}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := cli.ReadCoils(8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got[0] || got[1] || !got[2] {
+		t.Errorf("coils = %v", got)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if !writes[3] || !writes[8] || writes[9] || !writes[10] {
+		t.Errorf("hook writes = %v", writes)
+	}
+}
+
+func TestDiscreteInputs(t *testing.T) {
+	srv, cli := served(t)
+	srv.SetDiscrete(0, true)
+	srv.SetDiscrete(2, true)
+	got, err := cli.ReadDiscreteInputs(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got[0] || got[1] || !got[2] {
+		t.Errorf("discrete = %v", got)
+	}
+}
+
+func TestRegisterWriteHook(t *testing.T) {
+	srv, cli := served(t)
+	got := make(chan uint16, 1)
+	srv.OnRegisterWrite(func(addr uint16, v uint16) {
+		if addr == 20 {
+			got <- v
+		}
+	})
+	if err := cli.WriteRegister(20, 444); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case v := <-got:
+		if v != 444 {
+			t.Errorf("hook value = %d", v)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("hook not fired")
+	}
+}
+
+func TestExceptions(t *testing.T) {
+	_, cli := served(t)
+	// Out-of-range address.
+	if _, err := cli.ReadHolding(1000, 4); !errors.Is(err, ErrException) {
+		t.Errorf("out of range err = %v", err)
+	}
+	var ex *ExceptionError
+	_, err := cli.ReadHolding(1000, 4)
+	if !errors.As(err, &ex) || ex.Code != ExIllegalAddress {
+		t.Errorf("exception = %+v", ex)
+	}
+	// Zero count.
+	if _, err := cli.ReadCoils(0, 0); !errors.Is(err, ErrException) {
+		t.Errorf("zero count err = %v", err)
+	}
+}
+
+func TestConcurrentPolling(t *testing.T) {
+	srv, cli := served(t)
+	srv.SetInput(0, 42)
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 20; j++ {
+				if _, err := cli.ReadInput(0, 1); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if srv.Requests() < 160 {
+		t.Errorf("requests = %d", srv.Requests())
+	}
+}
+
+func TestServerCloseBreaksClient(t *testing.T) {
+	srv, cli := served(t)
+	srv.Close()
+	if _, err := cli.ReadInput(0, 1); err == nil {
+		t.Error("read succeeded after server close")
+	}
+}
+
+func TestMultipleClients(t *testing.T) {
+	srvHost, cliHost := pair(t)
+	srv := NewServer(8, 8, 8, 8)
+	if err := srv.Serve(srvHost, 0); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	srv.SetInput(0, 7)
+	for i := 0; i < 3; i++ {
+		cli, err := DialClient(cliHost, srvHost.IP(), 0, time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := cli.ReadInput(0, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[0] != 7 {
+			t.Errorf("client %d read %v", i, got)
+		}
+		cli.Close()
+	}
+}
+
+func TestBoundsSettersIgnoreOutOfRange(t *testing.T) {
+	srv := NewServer(1, 1, 1, 1)
+	srv.SetInput(-1, 5)
+	srv.SetInput(99, 5)
+	srv.SetDiscrete(99, true)
+	srv.SetHolding(99, 5)
+	srv.SetCoil(99, true)
+	if srv.Coil(99) || srv.Holding(99) != 0 {
+		t.Error("out-of-range access leaked")
+	}
+}

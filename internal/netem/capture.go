@@ -1,0 +1,148 @@
+package netem
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// CapturedFrame is one frame observed by a Capture.
+type CapturedFrame struct {
+	Time  time.Time
+	Link  string
+	Dir   string
+	Frame Frame
+}
+
+// Capture is an in-memory packet capture (the range's tcpdump). Attach it to
+// a Network with Attach; it records every frame crossing every link, bounded
+// by a ring of maxFrames.
+type Capture struct {
+	mu     sync.Mutex
+	frames []CapturedFrame
+	max    int
+	total  uint64
+}
+
+// NewCapture returns a capture retaining up to maxFrames frames.
+func NewCapture(maxFrames int) *Capture {
+	if maxFrames <= 0 {
+		maxFrames = 65536
+	}
+	return &Capture{max: maxFrames}
+}
+
+// Attach registers the capture as a tap on the network.
+func (c *Capture) Attach(n *Network) {
+	n.Tap(func(link *Link, dir string, f Frame) {
+		c.mu.Lock()
+		c.total++
+		if len(c.frames) >= c.max {
+			copy(c.frames, c.frames[1:])
+			c.frames = c.frames[:len(c.frames)-1]
+		}
+		c.frames = append(c.frames, CapturedFrame{Time: time.Now(), Link: link.String(), Dir: dir, Frame: f})
+		c.mu.Unlock()
+	})
+}
+
+// Frames returns a snapshot of retained frames.
+func (c *Capture) Frames() []CapturedFrame {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]CapturedFrame(nil), c.frames...)
+}
+
+// Total reports every frame seen, including those evicted from the ring.
+func (c *Capture) Total() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.total
+}
+
+// Filter returns retained frames matching the predicate.
+func (c *Capture) Filter(keep func(CapturedFrame) bool) []CapturedFrame {
+	var out []CapturedFrame
+	for _, f := range c.Frames() {
+		if keep(f) {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// CountEtherType counts retained frames with the given EtherType.
+func (c *Capture) CountEtherType(et uint16) int {
+	return len(c.Filter(func(cf CapturedFrame) bool { return cf.Frame.EtherType == et }))
+}
+
+// Dump renders a tcpdump-style text listing of up to n most recent frames.
+func (c *Capture) Dump(n int) string {
+	frames := c.Frames()
+	if n > 0 && len(frames) > n {
+		frames = frames[len(frames)-n:]
+	}
+	var sb strings.Builder
+	for _, cf := range frames {
+		fmt.Fprintf(&sb, "%s %-28s %s\n", cf.Time.Format("15:04:05.000000"), cf.Dir, describeFrame(cf.Frame))
+	}
+	return sb.String()
+}
+
+func describeFrame(f Frame) string {
+	switch f.EtherType {
+	case EtherTypeARP:
+		p, err := UnmarshalARP(f.Payload)
+		if err != nil {
+			return "ARP <malformed>"
+		}
+		if p.Op == ARPRequest {
+			return fmt.Sprintf("ARP who-has %s tell %s", p.TargetIP, p.SenderIP)
+		}
+		return fmt.Sprintf("ARP reply %s is-at %s", p.SenderIP, p.SenderMAC)
+	case EtherTypeIPv4:
+		p, err := UnmarshalIP(f.Payload)
+		if err != nil {
+			return "IP <malformed>"
+		}
+		switch p.Protocol {
+		case IPProtoUDP:
+			if d, err := UnmarshalUDP(p.Payload); err == nil {
+				return fmt.Sprintf("UDP %s:%d > %s:%d len=%d", p.Src, d.SrcPort, p.Dst, d.DstPort, len(d.Payload))
+			}
+		case IPProtoTCP:
+			if s, err := unmarshalTCP(p.Payload); err == nil {
+				return fmt.Sprintf("TCP %s:%d > %s:%d %s seq=%d ack=%d len=%d",
+					p.Src, s.SrcPort, p.Dst, s.DstPort, tcpFlagString(s.Flags), s.Seq, s.Ack, len(s.Payload))
+			}
+		}
+		return fmt.Sprintf("IP %s > %s proto=%d", p.Src, p.Dst, p.Protocol)
+	case EtherTypeGOOSE:
+		return fmt.Sprintf("GOOSE %s > %s len=%d", f.Src, f.Dst, len(f.Payload))
+	case EtherTypeSV:
+		return fmt.Sprintf("SV %s > %s len=%d", f.Src, f.Dst, len(f.Payload))
+	default:
+		return f.String()
+	}
+}
+
+func tcpFlagString(fl byte) string {
+	var parts []string
+	if fl&tcpSYN != 0 {
+		parts = append(parts, "SYN")
+	}
+	if fl&tcpFIN != 0 {
+		parts = append(parts, "FIN")
+	}
+	if fl&tcpRST != 0 {
+		parts = append(parts, "RST")
+	}
+	if fl&tcpACK != 0 {
+		parts = append(parts, "ACK")
+	}
+	if len(parts) == 0 {
+		return "."
+	}
+	return strings.Join(parts, "|")
+}

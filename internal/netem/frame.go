@@ -1,0 +1,237 @@
+package netem
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// EtherType values used on the range.
+const (
+	EtherTypeIPv4  uint16 = 0x0800
+	EtherTypeARP   uint16 = 0x0806
+	EtherTypeGOOSE uint16 = 0x88B8
+	EtherTypeSV    uint16 = 0x88BA
+)
+
+// IP protocol numbers.
+const (
+	IPProtoTCP byte = 6
+	IPProtoUDP byte = 17
+)
+
+// Frame is an Ethernet-II frame. Payload is the raw encoded upper-layer
+// bytes, so frames can be captured, replayed and tampered with byte-level
+// fidelity.
+type Frame struct {
+	Dst       MAC
+	Src       MAC
+	EtherType uint16
+	Payload   []byte
+}
+
+// Clone deep-copies the frame so taps and tamper hooks can mutate safely.
+func (f Frame) Clone() Frame {
+	c := f
+	c.Payload = append([]byte(nil), f.Payload...)
+	return c
+}
+
+func (f Frame) String() string {
+	return fmt.Sprintf("%s -> %s type=0x%04x len=%d", f.Src, f.Dst, f.EtherType, len(f.Payload))
+}
+
+// ARP operation codes.
+const (
+	ARPRequest uint16 = 1
+	ARPReply   uint16 = 2
+)
+
+// ARPPacket is an ARP request or reply for IPv4-over-Ethernet.
+type ARPPacket struct {
+	Op        uint16
+	SenderMAC MAC
+	SenderIP  IPv4
+	TargetMAC MAC
+	TargetIP  IPv4
+}
+
+// Marshal encodes the packet in standard ARP wire format.
+func (p ARPPacket) Marshal() []byte {
+	b := make([]byte, 28)
+	binary.BigEndian.PutUint16(b[0:], 1)      // HTYPE ethernet
+	binary.BigEndian.PutUint16(b[2:], 0x0800) // PTYPE IPv4
+	b[4], b[5] = 6, 4                         // HLEN, PLEN
+	binary.BigEndian.PutUint16(b[6:], p.Op)
+	copy(b[8:], p.SenderMAC[:])
+	copy(b[14:], p.SenderIP[:])
+	copy(b[18:], p.TargetMAC[:])
+	copy(b[24:], p.TargetIP[:])
+	return b
+}
+
+// UnmarshalARP decodes an ARP packet.
+func UnmarshalARP(b []byte) (ARPPacket, error) {
+	var p ARPPacket
+	if len(b) < 28 {
+		return p, fmt.Errorf("netem: short ARP packet (%d bytes)", len(b))
+	}
+	p.Op = binary.BigEndian.Uint16(b[6:])
+	copy(p.SenderMAC[:], b[8:14])
+	copy(p.SenderIP[:], b[14:18])
+	copy(p.TargetMAC[:], b[18:24])
+	copy(p.TargetIP[:], b[24:28])
+	return p, nil
+}
+
+// IPPacket is a simplified IPv4 packet (no options, no fragmentation — the
+// emulated LAN has no path-MTU constraints).
+type IPPacket struct {
+	Src      IPv4
+	Dst      IPv4
+	Protocol byte
+	TTL      byte
+	Payload  []byte
+}
+
+// Marshal encodes a 20-byte header plus payload. The checksum field is
+// computed so captures look authentic.
+func (p IPPacket) Marshal() []byte {
+	totalLen := 20 + len(p.Payload)
+	b := make([]byte, totalLen)
+	b[0] = 0x45 // version 4, IHL 5
+	binary.BigEndian.PutUint16(b[2:], uint16(totalLen))
+	ttl := p.TTL
+	if ttl == 0 {
+		ttl = 64
+	}
+	b[8] = ttl
+	b[9] = p.Protocol
+	copy(b[12:], p.Src[:])
+	copy(b[16:], p.Dst[:])
+	binary.BigEndian.PutUint16(b[10:], ipChecksum(b[:20]))
+	copy(b[20:], p.Payload)
+	return b
+}
+
+// UnmarshalIP decodes a simplified IPv4 packet.
+func UnmarshalIP(b []byte) (IPPacket, error) {
+	var p IPPacket
+	if len(b) < 20 {
+		return p, fmt.Errorf("netem: short IP packet (%d bytes)", len(b))
+	}
+	if b[0]>>4 != 4 {
+		return p, fmt.Errorf("netem: not IPv4 (version %d)", b[0]>>4)
+	}
+	ihl := int(b[0]&0x0F) * 4
+	if ihl < 20 || len(b) < ihl {
+		return p, fmt.Errorf("netem: bad IHL %d", ihl)
+	}
+	totalLen := int(binary.BigEndian.Uint16(b[2:]))
+	if totalLen > len(b) || totalLen < ihl {
+		return p, fmt.Errorf("netem: bad total length %d", totalLen)
+	}
+	p.TTL = b[8]
+	p.Protocol = b[9]
+	copy(p.Src[:], b[12:16])
+	copy(p.Dst[:], b[16:20])
+	p.Payload = b[ihl:totalLen]
+	return p, nil
+}
+
+func ipChecksum(hdr []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(hdr); i += 2 {
+		if i == 10 {
+			continue // checksum field itself
+		}
+		sum += uint32(binary.BigEndian.Uint16(hdr[i:]))
+	}
+	for sum>>16 != 0 {
+		sum = sum&0xFFFF + sum>>16
+	}
+	return ^uint16(sum)
+}
+
+// UDPDatagram is a UDP header plus payload.
+type UDPDatagram struct {
+	SrcPort uint16
+	DstPort uint16
+	Payload []byte
+}
+
+// Marshal encodes the datagram (checksum zero — permitted for IPv4).
+func (d UDPDatagram) Marshal() []byte {
+	b := make([]byte, 8+len(d.Payload))
+	binary.BigEndian.PutUint16(b[0:], d.SrcPort)
+	binary.BigEndian.PutUint16(b[2:], d.DstPort)
+	binary.BigEndian.PutUint16(b[4:], uint16(8+len(d.Payload)))
+	copy(b[8:], d.Payload)
+	return b
+}
+
+// UnmarshalUDP decodes a UDP datagram.
+func UnmarshalUDP(b []byte) (UDPDatagram, error) {
+	var d UDPDatagram
+	if len(b) < 8 {
+		return d, fmt.Errorf("netem: short UDP datagram (%d bytes)", len(b))
+	}
+	d.SrcPort = binary.BigEndian.Uint16(b[0:])
+	d.DstPort = binary.BigEndian.Uint16(b[2:])
+	length := int(binary.BigEndian.Uint16(b[4:]))
+	if length < 8 || length > len(b) {
+		return d, fmt.Errorf("netem: bad UDP length %d", length)
+	}
+	d.Payload = b[8:length]
+	return d, nil
+}
+
+// TCP segment flags.
+const (
+	tcpFIN byte = 1 << 0
+	tcpSYN byte = 1 << 1
+	tcpRST byte = 1 << 2
+	tcpACK byte = 1 << 4
+)
+
+// tcpSegment is a simplified TCP segment (fixed 20-byte header).
+type tcpSegment struct {
+	SrcPort uint16
+	DstPort uint16
+	Seq     uint32
+	Ack     uint32
+	Flags   byte
+	Window  uint16
+	Payload []byte
+}
+
+func (s tcpSegment) marshal() []byte {
+	b := make([]byte, 20+len(s.Payload))
+	binary.BigEndian.PutUint16(b[0:], s.SrcPort)
+	binary.BigEndian.PutUint16(b[2:], s.DstPort)
+	binary.BigEndian.PutUint32(b[4:], s.Seq)
+	binary.BigEndian.PutUint32(b[8:], s.Ack)
+	b[12] = 5 << 4 // data offset
+	b[13] = s.Flags
+	binary.BigEndian.PutUint16(b[14:], s.Window)
+	copy(b[20:], s.Payload)
+	return b
+}
+
+func unmarshalTCP(b []byte) (tcpSegment, error) {
+	var s tcpSegment
+	if len(b) < 20 {
+		return s, fmt.Errorf("netem: short TCP segment (%d bytes)", len(b))
+	}
+	s.SrcPort = binary.BigEndian.Uint16(b[0:])
+	s.DstPort = binary.BigEndian.Uint16(b[2:])
+	s.Seq = binary.BigEndian.Uint32(b[4:])
+	s.Ack = binary.BigEndian.Uint32(b[8:])
+	off := int(b[12]>>4) * 4
+	if off < 20 || off > len(b) {
+		return s, fmt.Errorf("netem: bad TCP data offset %d", off)
+	}
+	s.Flags = b[13]
+	s.Window = binary.BigEndian.Uint16(b[14:])
+	s.Payload = b[off:]
+	return s, nil
+}

@@ -1,0 +1,425 @@
+package netem
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// UDPMessage is one received datagram.
+type UDPMessage struct {
+	From     IPv4
+	FromPort uint16
+	Data     []byte
+}
+
+// UDPSocket is a bound UDP port on a host.
+type UDPSocket struct {
+	host *Host
+	port uint16
+	recv chan UDPMessage
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// Recv returns the receive channel; it is closed when the socket closes.
+func (s *UDPSocket) Recv() <-chan UDPMessage { return s.recv }
+
+// SendTo transmits a datagram to ip:port.
+func (s *UDPSocket) SendTo(ip IPv4, port uint16, data []byte) error {
+	d := UDPDatagram{SrcPort: s.port, DstPort: port, Payload: data}
+	return s.host.SendIP(ip, IPProtoUDP, d.Marshal())
+}
+
+// Close releases the port.
+func (s *UDPSocket) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	s.host.mu.Lock()
+	delete(s.host.udpSocks, s.port)
+	s.host.mu.Unlock()
+	close(s.recv)
+}
+
+func (s *UDPSocket) deliver(m UDPMessage) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	select {
+	case s.recv <- m:
+	default: // slow consumer: datagram loss, as UDP permits
+	}
+}
+
+type arpEntry struct {
+	mac MAC
+}
+
+type pendingSend struct {
+	pkt IPPacket
+}
+
+// Host errors.
+var (
+	ErrPortBound   = errors.New("netem: port already bound")
+	ErrHostClosed  = errors.New("netem: host closed")
+	ErrNoRoute     = errors.New("netem: no route")
+	ErrARPTimeout  = errors.New("netem: ARP resolution timeout")
+	ErrConnRefused = errors.New("netem: connection refused")
+	ErrConnTimeout = errors.New("netem: connection timeout")
+	ErrConnReset   = errors.New("netem: connection reset")
+	ErrConnClosed  = errors.New("netem: connection closed")
+)
+
+// Host is an end node: one NIC (port 0), an ARP/IPv4/UDP/TCP-lite stack,
+// multicast group membership for GOOSE/SV, promiscuous capture and raw frame
+// injection. All the range's virtual devices (IEDs, PLC, SCADA, attacker
+// boxes) are Hosts.
+type Host struct {
+	name string
+	net  *Network
+
+	mu          sync.Mutex
+	mac         MAC
+	ip          IPv4
+	arpCache    map[IPv4]arpEntry
+	arpPending  map[IPv4][]pendingSend
+	udpSocks    map[uint16]*UDPSocket
+	tcpConns    map[connKey]*TCPConn
+	listeners   map[uint16]*Listener
+	multicast   map[MAC]bool
+	etherHooks  map[uint16]func(Frame)
+	promiscuous func(Frame)
+	forwarding  bool
+	fwdTamper   func(IPPacket) (IPPacket, bool)
+	nextPort    uint16
+	arpSpoofLog []ARPPacket // unsolicited replies observed (for IDS-style tests)
+}
+
+// NewHost creates a host and registers it with the fabric.
+func NewHost(n *Network, name string, mac MAC, ip IPv4) (*Host, error) {
+	h := &Host{
+		name:       name,
+		net:        n,
+		mac:        mac,
+		ip:         ip,
+		arpCache:   make(map[IPv4]arpEntry),
+		arpPending: make(map[IPv4][]pendingSend),
+		udpSocks:   make(map[uint16]*UDPSocket),
+		tcpConns:   make(map[connKey]*TCPConn),
+		listeners:  make(map[uint16]*Listener),
+		multicast:  make(map[MAC]bool),
+		etherHooks: make(map[uint16]func(Frame)),
+		nextPort:   49152,
+	}
+	if err := n.AddDevice(h); err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+// Name implements Device.
+func (h *Host) Name() string { return h.name }
+
+// MAC returns the interface hardware address.
+func (h *Host) MAC() MAC {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.mac
+}
+
+// IP returns the interface address.
+func (h *Host) IP() IPv4 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.ip
+}
+
+// SetPromiscuous installs a sniffer receiving every frame arriving at the
+// NIC, before normal processing. Pass nil to disable.
+func (h *Host) SetPromiscuous(fn func(Frame)) {
+	h.mu.Lock()
+	h.promiscuous = fn
+	h.mu.Unlock()
+}
+
+// SetForwarding enables IP forwarding: packets arriving for other IPs are
+// re-sent to their true destination, optionally rewritten by tamper. This is
+// the attacker-side half of the MITM case study (Fig 6).
+func (h *Host) SetForwarding(on bool, tamper func(IPPacket) (IPPacket, bool)) {
+	h.mu.Lock()
+	h.forwarding = on
+	h.fwdTamper = tamper
+	h.mu.Unlock()
+}
+
+// HandleEtherType installs a raw handler for an EtherType (GOOSE, SV).
+func (h *Host) HandleEtherType(et uint16, fn func(Frame)) {
+	h.mu.Lock()
+	h.etherHooks[et] = fn
+	h.mu.Unlock()
+}
+
+// JoinMulticast subscribes the NIC to a group address.
+func (h *Host) JoinMulticast(mac MAC) {
+	h.mu.Lock()
+	h.multicast[mac] = true
+	h.mu.Unlock()
+}
+
+// SendFrame injects a raw Ethernet frame (attacker primitive; also used by
+// the GOOSE/SV publishers).
+func (h *Host) SendFrame(f Frame) {
+	h.net.Transmit(h.name, 0, f)
+}
+
+// ARPCache returns a copy of the current cache (tests, IDS assertions).
+func (h *Host) ARPCache() map[IPv4]MAC {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make(map[IPv4]MAC, len(h.arpCache))
+	for ip, e := range h.arpCache {
+		out[ip] = e.mac
+	}
+	return out
+}
+
+// UnsolicitedARPs returns ARP replies observed without a matching request —
+// the footprint an ARP-spoofing detector would alarm on.
+func (h *Host) UnsolicitedARPs() []ARPPacket {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]ARPPacket(nil), h.arpSpoofLog...)
+}
+
+// HandleFrame implements Device; runs on the host's worker goroutine.
+func (h *Host) HandleFrame(_ int, f Frame) {
+	h.mu.Lock()
+	sniffer := h.promiscuous
+	myMAC := h.mac
+	isGroup := f.Dst.IsBroadcast() || (f.Dst.IsMulticast() && h.multicast[f.Dst])
+	hook := h.etherHooks[f.EtherType]
+	h.mu.Unlock()
+
+	if sniffer != nil {
+		sniffer(f.Clone())
+	}
+	forMe := f.Dst == myMAC || isGroup
+	if !forMe && f.Dst.IsMulticast() {
+		return // not subscribed
+	}
+
+	switch f.EtherType {
+	case EtherTypeARP:
+		if forMe || f.Dst.IsBroadcast() {
+			h.handleARP(f)
+		}
+	case EtherTypeIPv4:
+		if f.Dst == myMAC || f.Dst.IsBroadcast() {
+			h.handleIP(f)
+		}
+	default:
+		if hook != nil && forMe {
+			hook(f)
+		}
+	}
+}
+
+func (h *Host) handleARP(f Frame) {
+	pkt, err := UnmarshalARP(f.Payload)
+	if err != nil {
+		return
+	}
+	h.mu.Lock()
+	_, hadPending := h.arpPending[pkt.SenderIP]
+	// Learn/overwrite the sender mapping. Accepting unsolicited replies is
+	// the classic ARP weakness the MITM case study exploits.
+	h.arpCache[pkt.SenderIP] = arpEntry{mac: pkt.SenderMAC}
+	if pkt.Op == ARPReply && !hadPending {
+		h.arpSpoofLog = append(h.arpSpoofLog, pkt)
+	}
+	queued := h.arpPending[pkt.SenderIP]
+	delete(h.arpPending, pkt.SenderIP)
+	myIP, myMAC := h.ip, h.mac
+	h.mu.Unlock()
+
+	// Flush sends blocked on this resolution.
+	for _, ps := range queued {
+		h.sendPacketTo(pkt.SenderMAC, ps.pkt)
+	}
+	if pkt.Op == ARPRequest && pkt.TargetIP == myIP {
+		reply := ARPPacket{
+			Op:        ARPReply,
+			SenderMAC: myMAC, SenderIP: myIP,
+			TargetMAC: pkt.SenderMAC, TargetIP: pkt.SenderIP,
+		}
+		h.SendFrame(Frame{Dst: pkt.SenderMAC, Src: myMAC, EtherType: EtherTypeARP, Payload: reply.Marshal()})
+	}
+}
+
+func (h *Host) handleIP(f Frame) {
+	pkt, err := UnmarshalIP(f.Payload)
+	if err != nil {
+		return
+	}
+	h.mu.Lock()
+	myIP := h.ip
+	fwd, tamper := h.forwarding, h.fwdTamper
+	h.mu.Unlock()
+
+	if pkt.Dst != myIP && pkt.Dst != BroadcastIP {
+		// Mis-delivered (e.g. our MAC was poisoned into someone's cache).
+		if fwd {
+			if tamper != nil {
+				np, ok := tamper(pkt)
+				if !ok {
+					return
+				}
+				pkt = np
+			}
+			if pkt.TTL <= 1 {
+				return
+			}
+			pkt.TTL--
+			// Forward verbatim — source address and payload preserved — to
+			// the true destination MAC (re-resolved via our own ARP cache).
+			h.routeIP(pkt)
+		}
+		return
+	}
+
+	switch pkt.Protocol {
+	case IPProtoUDP:
+		d, err := UnmarshalUDP(pkt.Payload)
+		if err != nil {
+			return
+		}
+		h.mu.Lock()
+		sock := h.udpSocks[d.DstPort]
+		h.mu.Unlock()
+		if sock != nil {
+			sock.deliver(UDPMessage{From: pkt.Src, FromPort: d.SrcPort, Data: d.Payload})
+		}
+	case IPProtoTCP:
+		seg, err := unmarshalTCP(pkt.Payload)
+		if err != nil {
+			return
+		}
+		h.handleTCP(pkt.Src, seg)
+	}
+}
+
+// SendIP routes an IP payload to dst, resolving the MAC via ARP as needed.
+func (h *Host) SendIP(dst IPv4, proto byte, payload []byte) error {
+	h.mu.Lock()
+	src := h.ip
+	h.mu.Unlock()
+	h.routeIP(IPPacket{Src: src, Dst: dst, Protocol: proto, Payload: payload})
+	return nil
+}
+
+// routeIP delivers a fully-formed packet (source preserved — also the
+// forwarding path of a MITM node), resolving the destination MAC via ARP.
+func (h *Host) routeIP(pkt IPPacket) {
+	if pkt.Dst == BroadcastIP {
+		h.mu.Lock()
+		myMAC := h.mac
+		h.mu.Unlock()
+		h.SendFrame(Frame{Dst: BroadcastMAC, Src: myMAC, EtherType: EtherTypeIPv4, Payload: pkt.Marshal()})
+		return
+	}
+	h.mu.Lock()
+	entry, ok := h.arpCache[pkt.Dst]
+	if ok {
+		h.mu.Unlock()
+		h.sendPacketTo(entry.mac, pkt)
+		return
+	}
+	// Queue behind an ARP request. A request is (re)sent on every queued
+	// attempt so a lost request (down link, lossy cable) is retried by the
+	// caller's next send rather than stalling the queue.
+	h.arpPending[pkt.Dst] = append(h.arpPending[pkt.Dst], pendingSend{pkt: pkt})
+	first := len(h.arpPending[pkt.Dst]) == 1
+	myIP, myMAC := h.ip, h.mac
+	dst := pkt.Dst
+	h.mu.Unlock()
+	req := ARPPacket{Op: ARPRequest, SenderMAC: myMAC, SenderIP: myIP, TargetIP: dst}
+	h.SendFrame(Frame{Dst: BroadcastMAC, Src: myMAC, EtherType: EtherTypeARP, Payload: req.Marshal()})
+	if first {
+		// Expire the pending queue if no reply ever arrives.
+		time.AfterFunc(500*time.Millisecond, func() {
+			h.mu.Lock()
+			delete(h.arpPending, dst)
+			h.mu.Unlock()
+		})
+	}
+}
+
+func (h *Host) sendPacketTo(dstMAC MAC, pkt IPPacket) {
+	h.mu.Lock()
+	myMAC := h.mac
+	h.mu.Unlock()
+	h.SendFrame(Frame{Dst: dstMAC, Src: myMAC, EtherType: EtherTypeIPv4, Payload: pkt.Marshal()})
+}
+
+// BindUDP binds a UDP port; port 0 picks an ephemeral port.
+func (h *Host) BindUDP(port uint16) (*UDPSocket, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if port == 0 {
+		port = h.ephemeralLocked()
+	}
+	if _, used := h.udpSocks[port]; used {
+		return nil, fmt.Errorf("%w: udp/%d", ErrPortBound, port)
+	}
+	s := &UDPSocket{host: h, port: port, recv: make(chan UDPMessage, 256)}
+	h.udpSocks[port] = s
+	return s, nil
+}
+
+func (h *Host) ephemeralLocked() uint16 {
+	for {
+		h.nextPort++
+		if h.nextPort < 49152 {
+			h.nextPort = 49152
+		}
+		p := h.nextPort
+		_, udpUsed := h.udpSocks[p]
+		_, lnUsed := h.listeners[p]
+		if !udpUsed && !lnUsed {
+			return p
+		}
+	}
+}
+
+// ResolveARP performs (or reuses) an ARP resolution synchronously, for
+// callers that need the MAC itself (e.g. recon tooling).
+func (h *Host) ResolveARP(ip IPv4, timeout time.Duration) (MAC, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		h.mu.Lock()
+		e, ok := h.arpCache[ip]
+		h.mu.Unlock()
+		if ok {
+			return e.mac, nil
+		}
+		if time.Now().After(deadline) {
+			return MAC{}, fmt.Errorf("%w: %s", ErrARPTimeout, ip)
+		}
+		h.mu.Lock()
+		myIP, myMAC := h.ip, h.mac
+		h.mu.Unlock()
+		req := ARPPacket{Op: ARPRequest, SenderMAC: myMAC, SenderIP: myIP, TargetIP: ip}
+		h.SendFrame(Frame{Dst: BroadcastMAC, Src: myMAC, EtherType: EtherTypeARP, Payload: req.Marshal()})
+		time.Sleep(2 * time.Millisecond)
+	}
+}

@@ -1,0 +1,360 @@
+package netem
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Device is anything attachable to the network fabric: switches and hosts.
+// HandleFrame is invoked from the device's single worker goroutine, so device
+// implementations need no internal locking against concurrent frame delivery.
+type Device interface {
+	Name() string
+	HandleFrame(inPort int, f Frame)
+}
+
+// TapFunc observes frames traversing a link. dir is "a->b" or "b->a".
+type TapFunc func(link *Link, dir string, f Frame)
+
+// TamperFunc may rewrite or drop a frame in flight on a link. Returning
+// ok=false drops the frame. Used for failure injection; host-level MITM goes
+// through ARP spoofing instead.
+type TamperFunc func(f Frame) (Frame, bool)
+
+type endpoint struct {
+	dev  string
+	port int
+}
+
+// Link is a full-duplex cable between two device ports.
+type Link struct {
+	A, B    endpoint
+	Latency time.Duration
+
+	mu       sync.Mutex
+	lossRate float64 // 0..1, applied per frame with a deterministic generator
+	up       bool
+	tamper   TamperFunc
+}
+
+// SetLossRate sets the per-frame drop probability (0..1).
+func (l *Link) SetLossRate(r float64) {
+	l.mu.Lock()
+	l.lossRate = r
+	l.mu.Unlock()
+}
+
+// SetUp brings the link up or down (cable pull / restore).
+func (l *Link) SetUp(up bool) {
+	l.mu.Lock()
+	l.up = up
+	l.mu.Unlock()
+}
+
+// Up reports whether the link is carrying traffic.
+func (l *Link) Up() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.up
+}
+
+// SetTamper installs a frame rewrite/drop hook (nil to remove).
+func (l *Link) SetTamper(fn TamperFunc) {
+	l.mu.Lock()
+	l.tamper = fn
+	l.mu.Unlock()
+}
+
+// Endpoints returns the two attachment points of the link.
+func (l *Link) Endpoints() (devA string, portA int, devB string, portB int) {
+	return l.A.dev, l.A.port, l.B.dev, l.B.port
+}
+
+func (l *Link) String() string {
+	return fmt.Sprintf("%s[%d] <-> %s[%d]", l.A.dev, l.A.port, l.B.dev, l.B.port)
+}
+
+type inbound struct {
+	port  int
+	frame Frame
+}
+
+type devEntry struct {
+	dev   Device
+	inbox chan inbound
+}
+
+// Errors reported by the fabric.
+var (
+	ErrDuplicateDevice = errors.New("netem: duplicate device name")
+	ErrUnknownDevice   = errors.New("netem: unknown device")
+	ErrPortInUse       = errors.New("netem: port already linked")
+	ErrStarted         = errors.New("netem: network already started")
+	ErrNotStarted      = errors.New("netem: network not started")
+)
+
+// Network is the emulated fabric: a registry of devices joined by links, with
+// a worker goroutine per device delivering frames in arrival order.
+type Network struct {
+	mu      sync.Mutex
+	devices map[string]*devEntry
+	links   []*Link
+	linkAt  map[endpoint]*Link
+	taps    []TapFunc
+	started bool
+	done    chan struct{}
+	wg      sync.WaitGroup
+	rng     uint64 // deterministic loss generator
+	dropped uint64 // frames lost to loss-rate, tamper or full inboxes
+}
+
+// NewNetwork returns an empty fabric.
+func NewNetwork() *Network {
+	return &Network{
+		devices: make(map[string]*devEntry),
+		linkAt:  make(map[endpoint]*Link),
+		done:    make(chan struct{}),
+		rng:     0x9E3779B97F4A7C15,
+	}
+}
+
+// AddDevice registers a device. Must be called before Start.
+func (n *Network) AddDevice(d Device) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.started {
+		return ErrStarted
+	}
+	if _, dup := n.devices[d.Name()]; dup {
+		return fmt.Errorf("%w: %q", ErrDuplicateDevice, d.Name())
+	}
+	n.devices[d.Name()] = &devEntry{dev: d, inbox: make(chan inbound, 4096)}
+	return nil
+}
+
+// Connect cables devA's portA to devB's portB.
+func (n *Network) Connect(devA string, portA int, devB string, portB int, latency time.Duration) (*Link, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.devices[devA]; !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownDevice, devA)
+	}
+	if _, ok := n.devices[devB]; !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownDevice, devB)
+	}
+	a := endpoint{devA, portA}
+	b := endpoint{devB, portB}
+	if _, used := n.linkAt[a]; used {
+		return nil, fmt.Errorf("%w: %s[%d]", ErrPortInUse, devA, portA)
+	}
+	if _, used := n.linkAt[b]; used {
+		return nil, fmt.Errorf("%w: %s[%d]", ErrPortInUse, devB, portB)
+	}
+	l := &Link{A: a, B: b, Latency: latency, up: true}
+	n.links = append(n.links, l)
+	n.linkAt[a] = l
+	n.linkAt[b] = l
+	return l, nil
+}
+
+// Tap registers a global capture callback observing every link crossing.
+func (n *Network) Tap(fn TapFunc) {
+	n.mu.Lock()
+	n.taps = append(n.taps, fn)
+	n.mu.Unlock()
+}
+
+// Start launches the per-device workers.
+func (n *Network) Start() error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.started {
+		return ErrStarted
+	}
+	n.started = true
+	for _, e := range n.devices {
+		e := e
+		n.wg.Add(1)
+		go func() {
+			defer n.wg.Done()
+			for {
+				select {
+				case <-n.done:
+					return
+				case m := <-e.inbox:
+					e.dev.HandleFrame(m.port, m.frame)
+				}
+			}
+		}()
+	}
+	return nil
+}
+
+// Stop halts delivery and waits for workers to drain.
+func (n *Network) Stop() {
+	n.mu.Lock()
+	if !n.started {
+		n.mu.Unlock()
+		return
+	}
+	select {
+	case <-n.done:
+		n.mu.Unlock()
+		return // already stopped
+	default:
+	}
+	close(n.done)
+	n.mu.Unlock()
+	n.wg.Wait()
+}
+
+// Dropped reports frames lost to loss rate, tamper drops, down links and
+// inbox overflow.
+func (n *Network) Dropped() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.dropped
+}
+
+// Transmit sends a frame out of (dev, port). Unlinked ports silently drop, as
+// on real hardware with no cable. Called by devices; safe from any goroutine.
+func (n *Network) Transmit(dev string, port int, f Frame) {
+	from := endpoint{dev, port}
+	n.mu.Lock()
+	link := n.linkAt[from]
+	taps := n.taps
+	n.mu.Unlock()
+	if link == nil {
+		return
+	}
+
+	link.mu.Lock()
+	up := link.up
+	tamper := link.tamper
+	loss := link.lossRate
+	link.mu.Unlock()
+	if !up {
+		n.countDrop()
+		return
+	}
+	if loss > 0 && n.randFloat() < loss {
+		n.countDrop()
+		return
+	}
+	if tamper != nil {
+		nf, ok := tamper(f.Clone())
+		if !ok {
+			n.countDrop()
+			return
+		}
+		f = nf
+	}
+
+	var to endpoint
+	dir := ""
+	if from == link.A {
+		to, dir = link.B, link.A.dev+"->"+link.B.dev
+	} else {
+		to, dir = link.A, link.B.dev+"->"+link.A.dev
+	}
+	for _, tap := range taps {
+		tap(link, dir, f.Clone())
+	}
+
+	deliver := func() {
+		n.mu.Lock()
+		entry := n.devices[to.dev]
+		n.mu.Unlock()
+		if entry == nil {
+			return
+		}
+		select {
+		case entry.inbox <- inbound{port: to.port, frame: f}:
+		case <-n.done:
+		default:
+			n.countDrop() // inbox overflow: congestion drop
+		}
+	}
+	if link.Latency > 0 {
+		time.AfterFunc(link.Latency, deliver)
+	} else {
+		deliver()
+	}
+}
+
+func (n *Network) countDrop() {
+	n.mu.Lock()
+	n.dropped++
+	n.mu.Unlock()
+}
+
+// randFloat is a cheap deterministic xorshift in [0,1).
+func (n *Network) randFloat() float64 {
+	n.mu.Lock()
+	x := n.rng
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	n.rng = x
+	n.mu.Unlock()
+	return float64(x>>11) / float64(1<<53)
+}
+
+// Topology renders the fabric as a deterministic text diagram; the Fig 4
+// reproduction prints this for the generated EPIC network.
+func (n *Network) Topology() string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	names := make([]string, 0, len(n.devices))
+	for name := range n.devices {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "devices: %d, links: %d\n", len(n.devices), len(n.links))
+	for _, name := range names {
+		d := n.devices[name].dev
+		switch h := d.(type) {
+		case *Host:
+			fmt.Fprintf(&sb, "  host   %-16s ip=%s mac=%s\n", name, h.IP(), h.MAC())
+		case *Switch:
+			fmt.Fprintf(&sb, "  switch %-16s ports=%d\n", name, h.NumPorts())
+		default:
+			fmt.Fprintf(&sb, "  device %-16s\n", name)
+		}
+	}
+	links := append([]*Link(nil), n.links...)
+	sort.Slice(links, func(i, j int) bool { return links[i].String() < links[j].String() })
+	for _, l := range links {
+		fmt.Fprintf(&sb, "  link   %s", l)
+		if l.Latency > 0 {
+			fmt.Fprintf(&sb, " latency=%v", l.Latency)
+		}
+		if !l.Up() {
+			sb.WriteString(" DOWN")
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// Device returns a registered device by name, or nil.
+func (n *Network) Device(name string) Device {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if e, ok := n.devices[name]; ok {
+		return e.dev
+	}
+	return nil
+}
+
+// Links returns all links (for scenario scripting, e.g. cable pulls).
+func (n *Network) Links() []*Link {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return append([]*Link(nil), n.links...)
+}

@@ -1,0 +1,74 @@
+package netem
+
+import "sync"
+
+// Switch is a MAC-learning Ethernet switch. Unicast frames to a learned
+// address go out the learned port; unknown unicast, broadcast and multicast
+// frames flood all ports except the ingress. This matches the L2 behaviour
+// the MITM case study relies on: after ARP poisoning, the switch dutifully
+// delivers redirected traffic to the attacker's port.
+type Switch struct {
+	name  string
+	ports int
+	net   *Network
+
+	mu    sync.Mutex
+	table map[MAC]int // learned MAC -> port
+}
+
+// NewSwitch creates a switch with the given port count and registers it.
+func NewSwitch(n *Network, name string, ports int) (*Switch, error) {
+	s := &Switch{name: name, ports: ports, net: n, table: make(map[MAC]int)}
+	if err := n.AddDevice(s); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Name implements Device.
+func (s *Switch) Name() string { return s.name }
+
+// NumPorts returns the port count.
+func (s *Switch) NumPorts() int { return s.ports }
+
+// HandleFrame implements Device.
+func (s *Switch) HandleFrame(inPort int, f Frame) {
+	s.mu.Lock()
+	// Learn the source address (unless it is a group address).
+	if !f.Src.IsMulticast() {
+		s.table[f.Src] = inPort
+	}
+	outPort, known := s.table[f.Dst]
+	s.mu.Unlock()
+
+	if known && !f.Dst.IsMulticast() && !f.Dst.IsBroadcast() {
+		if outPort != inPort {
+			s.net.Transmit(s.name, outPort, f)
+		}
+		return
+	}
+	// Flood.
+	for p := 0; p < s.ports; p++ {
+		if p != inPort {
+			s.net.Transmit(s.name, p, f)
+		}
+	}
+}
+
+// MACTable returns a copy of the learned forwarding table.
+func (s *Switch) MACTable() map[MAC]int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[MAC]int, len(s.table))
+	for k, v := range s.table {
+		out[k] = v
+	}
+	return out
+}
+
+// FlushMACTable clears learned addresses (e.g. topology change).
+func (s *Switch) FlushMACTable() {
+	s.mu.Lock()
+	s.table = make(map[MAC]int)
+	s.mu.Unlock()
+}

@@ -1,0 +1,204 @@
+// Package plc implements the virtual PLC of the cyber range — the
+// OpenPLC61850 substitute (§III-B).
+//
+// "OpenPLC61850 supports Modbus communication protocol (for interacting with
+// SCADA) and IEC 61850 MMS protocol towards IEDs. OpenPLC61850 requires a set
+// of ICD files corresponding to the IEDs that it interacts with, as well as
+// an IEC 61131-3 PLCopen XML file that contains control logic."
+//
+// The runtime executes a classic scan cycle: read inputs (MMS reads from
+// IEDs + Modbus command intake from SCADA), execute the Structured Text
+// program (internal/st), write outputs (MMS control writes + Modbus register
+// exposure). Control logic is loaded from IEC 61131-3 PLCopen XML.
+package plc
+
+import (
+	"encoding/xml"
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// ErrPLCopen is returned for malformed PLCopen XML documents.
+var ErrPLCopen = errors.New("plc: invalid PLCopen XML")
+
+// PLCopen XML (IEC 61131-3 TC6) subset: project → types → pous → pou with an
+// ST body. Variables may be declared in the <interface> section or directly
+// in VAR blocks inside the ST source; both are supported.
+
+// Project is the root element.
+type Project struct {
+	XMLName    xml.Name   `xml:"project"`
+	FileHeader FileHeader `xml:"fileHeader"`
+	Types      Types      `xml:"types"`
+}
+
+// FileHeader identifies the creating tool.
+type FileHeader struct {
+	CompanyName string `xml:"companyName,attr"`
+	ProductName string `xml:"productName,attr"`
+}
+
+// Types wraps the POU list.
+type Types struct {
+	Pous []Pou `xml:"pous>pou"`
+}
+
+// Pou is one program organisation unit.
+type Pou struct {
+	Name      string        `xml:"name,attr"`
+	PouType   string        `xml:"pouType,attr"`
+	Interface *PouInterface `xml:"interface"`
+	Body      PouBody       `xml:"body"`
+}
+
+// PouInterface declares variables outside the ST text.
+type PouInterface struct {
+	LocalVars  []VarList `xml:"localVars"`
+	InputVars  []VarList `xml:"inputVars"`
+	OutputVars []VarList `xml:"outputVars"`
+}
+
+// VarList is one variable group.
+type VarList struct {
+	Variables []Variable `xml:"variable"`
+}
+
+// Variable is one declared variable with its type element.
+type Variable struct {
+	Name         string  `xml:"name,attr"`
+	Type         VarType `xml:"type"`
+	InitialValue *struct {
+		SimpleValue struct {
+			Value string `xml:"value,attr"`
+		} `xml:"simpleValue"`
+	} `xml:"initialValue"`
+}
+
+// VarType holds the type as a child element name (<BOOL/>, <INT/>, ...).
+type VarType struct {
+	Inner string `xml:",innerxml"`
+}
+
+// Name extracts the element name of the type.
+func (t VarType) Name() string {
+	s := strings.TrimSpace(t.Inner)
+	s = strings.TrimPrefix(s, "<")
+	for i, r := range s {
+		if r == '/' || r == '>' || r == ' ' {
+			return strings.ToUpper(s[:i])
+		}
+	}
+	return strings.ToUpper(s)
+}
+
+// PouBody carries the ST source.
+type PouBody struct {
+	ST *STBody `xml:"ST"`
+}
+
+// STBody holds the source text, directly or wrapped in an xhtml element.
+type STBody struct {
+	XHTML *struct {
+		Text string `xml:",chardata"`
+	} `xml:"xhtml"`
+	Text string `xml:",chardata"`
+}
+
+// Source returns the ST text.
+func (b *STBody) Source() string {
+	if b.XHTML != nil && strings.TrimSpace(b.XHTML.Text) != "" {
+		return b.XHTML.Text
+	}
+	return b.Text
+}
+
+// ParsePLCopen extracts the ST source of the first program POU. Interface
+// variables are converted into VAR blocks prepended to the source so the ST
+// compiler sees a complete program.
+func ParsePLCopen(data []byte) (name, source string, err error) {
+	var proj Project
+	if err := xml.Unmarshal(data, &proj); err != nil {
+		return "", "", fmt.Errorf("%w: %v", ErrPLCopen, err)
+	}
+	if proj.XMLName.Local != "project" {
+		return "", "", fmt.Errorf("%w: root element %q", ErrPLCopen, proj.XMLName.Local)
+	}
+	for _, pou := range proj.Types.Pous {
+		if pou.PouType != "" && pou.PouType != "program" {
+			continue
+		}
+		if pou.Body.ST == nil {
+			return "", "", fmt.Errorf("%w: POU %q has no ST body", ErrPLCopen, pou.Name)
+		}
+		src := pou.Body.ST.Source()
+		var sb strings.Builder
+		if pou.Interface != nil {
+			writeVarBlock(&sb, "VAR_INPUT", pou.Interface.InputVars)
+			writeVarBlock(&sb, "VAR_OUTPUT", pou.Interface.OutputVars)
+			writeVarBlock(&sb, "VAR", pou.Interface.LocalVars)
+		}
+		sb.WriteString(src)
+		return pou.Name, sb.String(), nil
+	}
+	return "", "", fmt.Errorf("%w: no program POU", ErrPLCopen)
+}
+
+func writeVarBlock(sb *strings.Builder, keyword string, lists []VarList) {
+	total := 0
+	for _, l := range lists {
+		total += len(l.Variables)
+	}
+	if total == 0 {
+		return
+	}
+	sb.WriteString(keyword)
+	sb.WriteString("\n")
+	for _, l := range lists {
+		for _, v := range l.Variables {
+			sb.WriteString("  ")
+			sb.WriteString(v.Name)
+			sb.WriteString(" : ")
+			sb.WriteString(v.Type.Name())
+			if v.InitialValue != nil && v.InitialValue.SimpleValue.Value != "" {
+				sb.WriteString(" := ")
+				sb.WriteString(v.InitialValue.SimpleValue.Value)
+			}
+			sb.WriteString(";\n")
+		}
+	}
+	sb.WriteString("END_VAR\n")
+}
+
+// BuildPLCopen wraps ST source into a PLCopen XML document (used by the EPIC
+// model generator to emit the artefacts a real OpenPLC deployment consumes).
+func BuildPLCopen(pouName, source string) ([]byte, error) {
+	proj := struct {
+		XMLName    xml.Name `xml:"project"`
+		XMLNS      string   `xml:"xmlns,attr"`
+		FileHeader struct {
+			CompanyName string `xml:"companyName,attr"`
+			ProductName string `xml:"productName,attr"`
+		} `xml:"fileHeader"`
+		Pou struct {
+			Name    string `xml:"name,attr"`
+			PouType string `xml:"pouType,attr"`
+			Body    struct {
+				ST struct {
+					Text string `xml:",cdata"`
+				} `xml:"ST"`
+			} `xml:"body"`
+		} `xml:"types>pous>pou"`
+	}{}
+	proj.XMLNS = "http://www.plcopen.org/xml/tc6_0201"
+	proj.FileHeader.CompanyName = "SG-ML"
+	proj.FileHeader.ProductName = "sgml-processor"
+	proj.Pou.Name = pouName
+	proj.Pou.PouType = "program"
+	proj.Pou.Body.ST.Text = source
+	body, err := xml.MarshalIndent(proj, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append([]byte(xml.Header), body...), nil
+}

@@ -1,0 +1,716 @@
+// Package powerflow implements a steady-state AC power-flow solver.
+//
+// It is the reproduction's substitute for Pandapower (§III-B of the paper):
+// a Newton-Raphson solver over the bus/branch model of internal/powergrid,
+// producing Pandapower-shaped results (vm_pu, va_degree, line p/q/i/loading).
+// Like Pandapower it is a one-shot solver; internal/powersim re-runs it
+// periodically (e.g. every 100 ms) with updated breaker states and load
+// profiles to obtain the cyber range's discrete physical dynamics.
+//
+// Features beyond a toy solver, all exercised by the EPIC model:
+//   - two-winding transformers with off-nominal taps,
+//   - bus-bus coupler switches (fused via union-find),
+//   - line/transformer switches opening branches,
+//   - island detection with per-island slack election (an island containing a
+//     generator keeps running — e.g. the EPIC micro-grid — while a sourceless
+//     island is de-energised),
+//   - optional generator reactive-power limit enforcement (PV→PQ switching),
+//   - warm starts from a previous solution for the 100 ms loop.
+package powerflow
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"repro/internal/powergrid"
+)
+
+// Frequency of the simulated system in Hz (IEC grids are 50 Hz).
+const Frequency = 50.0
+
+// ErrNotConverged is returned when NR fails to reach tolerance.
+var ErrNotConverged = errors.New("powerflow: did not converge")
+
+// Options tunes the solver.
+type Options struct {
+	MaxIterations  int     // default 30
+	ToleranceMVA   float64 // mismatch tolerance in MVA; default 1e-6 * BaseMVA
+	EnforceQLimits bool    // switch PV buses to PQ at their Q limits
+	// WarmStart, when non-nil, seeds bus voltages from a previous result
+	// (matched by bus name). Buses absent from the warm start use flat start.
+	WarmStart *Result
+}
+
+// BusResult holds per-bus solution values.
+type BusResult struct {
+	VmPU      float64
+	VaDeg     float64
+	PMW       float64 // net injection
+	QMVAr     float64
+	Energized bool
+}
+
+// BranchResult holds per-branch flows (lines and transformers).
+type BranchResult struct {
+	FromBus        string
+	ToBus          string
+	PFromMW        float64
+	QFromMVAr      float64
+	PToMW          float64
+	QToMVAr        float64
+	IFromKA        float64
+	IToKA          float64
+	LoadingPercent float64
+	PLossMW        float64
+	InService      bool
+}
+
+// Result is a complete power-flow solution.
+type Result struct {
+	Converged  bool
+	Iterations int
+	Buses      map[string]BusResult
+	Lines      map[string]BranchResult
+	Trafos     map[string]BranchResult
+	// ExtGrids reports the slack injections per external grid name.
+	ExtGrids map[string]struct{ PMW, QMVAr float64 }
+	// GenQMVAr reports solved reactive power for voltage-controlled gens.
+	GenQMVAr map[string]float64
+	// Islands is the number of energised electrical islands.
+	Islands int
+	// DeadBuses counts de-energised buses.
+	DeadBuses int
+}
+
+// TotalLoadMW sums bus withdrawals (for sanity checks in tests).
+func (r *Result) TotalLoadMW(n *powergrid.Network) float64 {
+	var sum float64
+	for _, l := range n.Loads {
+		if l.InService {
+			if b, ok := r.Buses[l.Bus]; ok && b.Energized {
+				sum += l.PMW * scalingOf(l)
+			}
+		}
+	}
+	return sum
+}
+
+func scalingOf(l powergrid.Load) float64 {
+	if l.Scaling == 0 {
+		return 1
+	}
+	return l.Scaling
+}
+
+// bus solve types
+type busKind int
+
+const (
+	busPQ busKind = iota + 1
+	busPV
+	busSlack
+	busDead
+)
+
+// node is a fused electrical node (one or more buses joined by closed
+// bus-bus switches).
+type node struct {
+	kind    busKind
+	vm, va  float64 // current estimate, pu / radians
+	pSpec   float64 // specified net injection, pu
+	qSpec   float64
+	vSet    float64 // voltage setpoint for PV/slack
+	buses   []int   // powergrid bus indices mapped to this node
+	qMin    float64 // aggregate gen Q limits, pu
+	qMax    float64
+	hasQLim bool
+	island  int
+}
+
+type branch struct {
+	kind     string // "line" or "trafo"
+	name     string
+	fromNode int
+	toNode   int
+	fromBus  string // original bus names for reporting
+	toBus    string
+	y        complex128 // series admittance, pu
+	yshFrom  complex128 // shunt admittance at from side, pu
+	yshTo    complex128
+	tap      complex128 // off-nominal ratio at from side
+	maxIKA   float64
+	vnFromKV float64
+	vnToKV   float64
+	inSvc    bool
+}
+
+// Solve runs an AC power flow on the network.
+func Solve(n *powergrid.Network, opts Options) (*Result, error) {
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.MaxIterations <= 0 {
+		opts.MaxIterations = 30
+	}
+	tol := opts.ToleranceMVA
+	if tol <= 0 {
+		tol = 1e-6 * n.BaseMVA
+	}
+	tolPU := tol / n.BaseMVA
+
+	p := newProblem(n, opts)
+	if err := p.assignIslands(); err != nil {
+		return nil, err
+	}
+	p.buildYbus()
+
+	res, err := p.iterate(opts.MaxIterations, tolPU)
+	if err != nil {
+		return res, err
+	}
+	if opts.EnforceQLimits {
+		// Re-solve with PV→PQ switching until no more violations (bounded).
+		for pass := 0; pass < 5; pass++ {
+			if !p.clampQViolations() {
+				break
+			}
+			res, err = p.iterate(opts.MaxIterations, tolPU)
+			if err != nil {
+				return res, err
+			}
+		}
+	}
+	return res, nil
+}
+
+type problem struct {
+	net      *powergrid.Network
+	nodes    []node
+	busNode  []int // bus index -> node index
+	branches []branch
+	// Ybus dense complex, node-major.
+	y    []complex128
+	nn   int
+	opts Options
+}
+
+func newProblem(n *powergrid.Network, opts Options) *problem {
+	p := &problem{net: n, opts: opts}
+	nb := len(n.Buses)
+
+	// Union-find over buses to fuse closed bus-bus couplers.
+	parent := make([]int, nb)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[rb] = ra
+		}
+	}
+	for _, sw := range n.Switches {
+		if sw.Kind == powergrid.SwitchBusBus && sw.Closed {
+			union(n.BusIndex(sw.Bus), n.BusIndex(sw.Element))
+		}
+	}
+
+	// Allocate nodes for representatives.
+	repToNode := make(map[int]int)
+	p.busNode = make([]int, nb)
+	for i := 0; i < nb; i++ {
+		r := find(i)
+		ni, ok := repToNode[r]
+		if !ok {
+			ni = len(p.nodes)
+			repToNode[r] = ni
+			p.nodes = append(p.nodes, node{kind: busPQ, vm: 1, vSet: 1, qMin: math.Inf(-1), qMax: math.Inf(1)})
+		}
+		p.busNode[i] = ni
+		p.nodes[ni].buses = append(p.nodes[ni].buses, i)
+	}
+
+	// Injections and bus types.
+	base := n.BaseMVA
+	nodeOf := func(busName string) *node { return &p.nodes[p.busNode[n.BusIndex(busName)]] }
+	for _, l := range n.Loads {
+		if !l.InService {
+			continue
+		}
+		nd := nodeOf(l.Bus)
+		s := scalingOf(l)
+		nd.pSpec -= l.PMW * s / base
+		nd.qSpec -= l.QMVAr * s / base
+	}
+	for _, s := range n.Shunts {
+		if !s.InService {
+			continue
+		}
+		// Constant-admittance shunt folded into Ybus later via a synthetic
+		// branch-less entry; approximate as constant power at V≈1 for
+		// simplicity of the Jacobian (adequate for breaker-level studies).
+		nd := nodeOf(s.Bus)
+		nd.pSpec -= s.PMW / base
+		nd.qSpec -= s.QMVAr / base
+	}
+	for _, g := range n.SGens {
+		if !g.InService {
+			continue
+		}
+		nd := nodeOf(g.Bus)
+		nd.pSpec += g.PMW / base
+		nd.qSpec += g.QMVAr / base
+	}
+	for _, g := range n.Gens {
+		if !g.InService {
+			continue
+		}
+		nd := nodeOf(g.Bus)
+		nd.pSpec += g.PMW / base
+		nd.kind = busPV
+		nd.vSet = g.VmPU
+		nd.vm = g.VmPU
+		if g.MinQMVAr != 0 || g.MaxQMVAr != 0 {
+			nd.hasQLim = true
+			nd.qMin = g.MinQMVAr / base
+			nd.qMax = g.MaxQMVAr / base
+		}
+	}
+	for _, e := range n.Externals {
+		nd := nodeOf(e.Bus)
+		nd.kind = busSlack
+		nd.vSet = e.VmPU
+		nd.vm = e.VmPU
+		nd.va = e.VaDeg * math.Pi / 180
+	}
+
+	// Warm start.
+	if ws := opts.WarmStart; ws != nil {
+		for bi, b := range n.Buses {
+			if br, ok := ws.Buses[b.Name]; ok && br.Energized && br.VmPU > 0.1 {
+				nd := &p.nodes[p.busNode[bi]]
+				if nd.kind == busPQ {
+					nd.vm = br.VmPU
+					nd.va = br.VaDeg * math.Pi / 180
+				}
+			}
+		}
+	}
+
+	// Branches.
+	for _, l := range n.Lines {
+		inSvc := n.LineConnected(l.Name)
+		fi, ti := p.busNode[n.BusIndex(l.FromBus)], p.busNode[n.BusIndex(l.ToBus)]
+		vn := n.Buses[n.BusIndex(l.FromBus)].VnKV
+		zBase := vn * vn / base
+		z := complex(l.ROhmPerKM*l.LengthKM/zBase, l.XOhmPerKM*l.LengthKM/zBase)
+		var y complex128
+		if z != 0 {
+			y = 1 / z
+		}
+		// Shunt susceptance from capacitance: b = ωC (total), split per end.
+		bTot := 2 * math.Pi * Frequency * l.CNFPerKM * 1e-9 * l.LengthKM * zBase
+		ysh := complex(0, bTot/2)
+		p.branches = append(p.branches, branch{
+			kind: "line", name: l.Name, fromNode: fi, toNode: ti,
+			fromBus: l.FromBus, toBus: l.ToBus,
+			y: y, yshFrom: ysh, yshTo: ysh, tap: 1,
+			maxIKA: l.MaxIKA, vnFromKV: vn, vnToKV: n.Buses[n.BusIndex(l.ToBus)].VnKV,
+			inSvc: inSvc,
+		})
+	}
+	for _, tr := range n.Trafos {
+		inSvc := n.TrafoConnected(tr.Name)
+		hvIdx, lvIdx := n.BusIndex(tr.HVBus), n.BusIndex(tr.LVBus)
+		fi, ti := p.busNode[hvIdx], p.busNode[lvIdx]
+		// Impedance referred to transformer rating, converted to system base.
+		zk := tr.VKPercent / 100 * base / tr.SnMVA
+		rk := tr.VKRPercent / 100 * base / tr.SnMVA
+		xk := math.Sqrt(math.Max(zk*zk-rk*rk, 1e-12))
+		y := 1 / complex(rk, xk)
+		// Off-nominal tap: rated voltages vs connected bus nominals, plus taps.
+		tapFactor := 1 + float64(tr.TapPos)*tr.TapStepPC/100
+		aHV := tr.VnHVKV * tapFactor / n.Buses[hvIdx].VnKV
+		aLV := tr.VnLVKV / n.Buses[lvIdx].VnKV
+		ratio := complex(aHV/aLV, 0)
+		p.branches = append(p.branches, branch{
+			kind: "trafo", name: tr.Name, fromNode: fi, toNode: ti,
+			fromBus: tr.HVBus, toBus: tr.LVBus,
+			y: y, tap: ratio,
+			maxIKA:   tr.SnMVA / (math.Sqrt(3) * n.Buses[hvIdx].VnKV),
+			vnFromKV: n.Buses[hvIdx].VnKV, vnToKV: n.Buses[lvIdx].VnKV,
+			inSvc: inSvc,
+		})
+	}
+	p.nn = len(p.nodes)
+	return p
+}
+
+// assignIslands labels connected components, elects per-island slacks, and
+// marks sourceless islands dead.
+func (p *problem) assignIslands() error {
+	adj := make([][]int, p.nn)
+	for _, br := range p.branches {
+		if !br.inSvc {
+			continue
+		}
+		adj[br.fromNode] = append(adj[br.fromNode], br.toNode)
+		adj[br.toNode] = append(adj[br.toNode], br.fromNode)
+	}
+	island := make([]int, p.nn)
+	for i := range island {
+		island[i] = -1
+	}
+	next := 0
+	for s := 0; s < p.nn; s++ {
+		if island[s] != -1 {
+			continue
+		}
+		queue := []int{s}
+		island[s] = next
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, v := range adj[u] {
+				if island[v] == -1 {
+					island[v] = next
+					queue = append(queue, v)
+				}
+			}
+		}
+		next++
+	}
+	hasSlack := make([]bool, next)
+	genNode := make([]int, next)
+	for i := range genNode {
+		genNode[i] = -1
+	}
+	for ni := range p.nodes {
+		p.nodes[ni].island = island[ni]
+		switch p.nodes[ni].kind {
+		case busSlack:
+			hasSlack[island[ni]] = true
+		case busPV:
+			if genNode[island[ni]] == -1 {
+				genNode[island[ni]] = ni
+			}
+		}
+	}
+	for isl := 0; isl < next; isl++ {
+		if hasSlack[isl] {
+			continue
+		}
+		if g := genNode[isl]; g != -1 {
+			// Promote the island's first generator to slack (micro-grid mode).
+			p.nodes[g].kind = busSlack
+			p.nodes[g].vm = p.nodes[g].vSet
+			p.nodes[g].va = 0
+			continue
+		}
+		// Sourceless island: de-energise.
+		for ni := range p.nodes {
+			if p.nodes[ni].island == isl {
+				p.nodes[ni].kind = busDead
+				p.nodes[ni].vm = 0
+			}
+		}
+	}
+	return nil
+}
+
+func (p *problem) buildYbus() {
+	p.y = make([]complex128, p.nn*p.nn)
+	for _, br := range p.branches {
+		if !br.inSvc {
+			continue
+		}
+		f, t := br.fromNode, br.toNode
+		a := br.tap
+		a2 := a * a
+		p.y[f*p.nn+f] += (br.y + br.yshFrom) / a2
+		p.y[t*p.nn+t] += br.y + br.yshTo
+		p.y[f*p.nn+t] -= br.y / a
+		p.y[t*p.nn+f] -= br.y / a
+	}
+}
+
+// calcPQ computes net injections at a node under current voltages.
+func (p *problem) calcPQ(i int) (float64, float64) {
+	vi := p.nodes[i].vm
+	ti := p.nodes[i].va
+	var pc, qc float64
+	row := p.y[i*p.nn : (i+1)*p.nn]
+	for k := 0; k < p.nn; k++ {
+		yik := row[k]
+		if yik == 0 {
+			continue
+		}
+		g, b := real(yik), imag(yik)
+		vk := p.nodes[k].vm
+		dt := ti - p.nodes[k].va
+		ct, st := math.Cos(dt), math.Sin(dt)
+		pc += vi * vk * (g*ct + b*st)
+		qc += vi * vk * (g*st - b*ct)
+	}
+	return pc, qc
+}
+
+func (p *problem) iterate(maxIter int, tolPU float64) (*Result, error) {
+	// Index the unknowns: angles for PV+PQ, magnitudes for PQ.
+	angIdx := make([]int, 0, p.nn)
+	magIdx := make([]int, 0, p.nn)
+	for i, nd := range p.nodes {
+		switch nd.kind {
+		case busPQ:
+			angIdx = append(angIdx, i)
+			magIdx = append(magIdx, i)
+		case busPV:
+			angIdx = append(angIdx, i)
+		}
+	}
+	na, nm := len(angIdx), len(magIdx)
+	dim := na + nm
+	converged := false
+	iters := 0
+
+	if dim > 0 {
+		angPos := make(map[int]int, na)
+		for j, i := range angIdx {
+			angPos[i] = j
+		}
+		magPos := make(map[int]int, nm)
+		for j, i := range magIdx {
+			magPos[i] = na + j
+		}
+		jac := make([]float64, dim*dim)
+		rhs := make([]float64, dim)
+
+		for iters = 1; iters <= maxIter; iters++ {
+			// Mismatches.
+			maxMis := 0.0
+			pc := make([]float64, p.nn)
+			qc := make([]float64, p.nn)
+			for _, i := range angIdx {
+				pc[i], qc[i] = p.calcPQ(i)
+			}
+			for j, i := range angIdx {
+				rhs[j] = p.nodes[i].pSpec - pc[i]
+				if m := math.Abs(rhs[j]); m > maxMis {
+					maxMis = m
+				}
+			}
+			for j, i := range magIdx {
+				rhs[na+j] = p.nodes[i].qSpec - qc[i]
+				if m := math.Abs(rhs[na+j]); m > maxMis {
+					maxMis = m
+				}
+			}
+			if maxMis < tolPU {
+				converged = true
+				break
+			}
+			// Jacobian.
+			for i := range jac {
+				jac[i] = 0
+			}
+			for _, i := range angIdx {
+				vi, ti := p.nodes[i].vm, p.nodes[i].va
+				row := p.y[i*p.nn : (i+1)*p.nn]
+				ri := angPos[i]
+				var riQ int
+				hasQ := p.nodes[i].kind == busPQ
+				if hasQ {
+					riQ = magPos[i]
+				}
+				for k := 0; k < p.nn; k++ {
+					yik := row[k]
+					if yik == 0 && i != k {
+						continue
+					}
+					g, b := real(yik), imag(yik)
+					vk := p.nodes[k].vm
+					if i == k {
+						// Diagonals.
+						jac[ri*dim+ri] = -qc[i] - b*vi*vi // H_ii
+						if cm, ok := magPos[i]; ok {
+							jac[ri*dim+cm] = pc[i]/vi + g*vi // N_ii
+						}
+						if hasQ {
+							jac[riQ*dim+ri] = pc[i] - g*vi*vi        // J_ii
+							jac[riQ*dim+magPos[i]] = qc[i]/vi - b*vi // L_ii
+						}
+						continue
+					}
+					dt := ti - p.nodes[k].va
+					ct, st := math.Cos(dt), math.Sin(dt)
+					if ck, ok := angPos[k]; ok {
+						jac[ri*dim+ck] = vi * vk * (g*st - b*ct) // H_ik
+						if hasQ {
+							jac[riQ*dim+ck] = -vi * vk * (g*ct + b*st) // J_ik
+						}
+					}
+					if cm, ok := magPos[k]; ok {
+						jac[ri*dim+cm] = vi * (g*ct + b*st) // N_ik
+						if hasQ {
+							jac[riQ*dim+cm] = vi * (g*st - b*ct) // L_ik
+						}
+					}
+				}
+			}
+			dx, err := solveDense(jac, rhs)
+			if err != nil {
+				return p.buildResult(false, iters), fmt.Errorf("iteration %d: %w", iters, err)
+			}
+			for j, i := range angIdx {
+				p.nodes[i].va += dx[j]
+			}
+			for j, i := range magIdx {
+				p.nodes[i].vm += dx[na+j]
+				if p.nodes[i].vm < 0.01 {
+					p.nodes[i].vm = 0.01
+				}
+			}
+		}
+	} else {
+		converged = true // only slack/dead nodes: trivially solved
+	}
+
+	res := p.buildResult(converged, iters)
+	if !converged {
+		return res, fmt.Errorf("%w after %d iterations", ErrNotConverged, iters)
+	}
+	return res, nil
+}
+
+// clampQViolations converts PV nodes violating their Q limits to PQ nodes at
+// the limit. Reports whether anything changed.
+func (p *problem) clampQViolations() bool {
+	changed := false
+	for i := range p.nodes {
+		nd := &p.nodes[i]
+		if nd.kind != busPV || !nd.hasQLim {
+			continue
+		}
+		_, q := p.calcPQ(i)
+		qGen := q - nd.qSpec // reactive the machine must provide beyond spec
+		switch {
+		case qGen > nd.qMax:
+			nd.kind = busPQ
+			nd.qSpec += nd.qMax
+			changed = true
+		case qGen < nd.qMin:
+			nd.kind = busPQ
+			nd.qSpec += nd.qMin
+			changed = true
+		}
+	}
+	return changed
+}
+
+func (p *problem) buildResult(converged bool, iters int) *Result {
+	n := p.net
+	base := n.BaseMVA
+	res := &Result{
+		Converged:  converged,
+		Iterations: iters,
+		Buses:      make(map[string]BusResult, len(n.Buses)),
+		Lines:      make(map[string]BranchResult),
+		Trafos:     make(map[string]BranchResult),
+		ExtGrids:   make(map[string]struct{ PMW, QMVAr float64 }),
+		GenQMVAr:   make(map[string]float64),
+	}
+	islands := map[int]bool{}
+	for bi, b := range n.Buses {
+		nd := p.nodes[p.busNode[bi]]
+		energized := nd.kind != busDead
+		if energized {
+			islands[nd.island] = true
+		}
+		pc, qc := 0.0, 0.0
+		if energized && converged {
+			pc, qc = p.calcPQ(p.busNode[bi])
+		}
+		res.Buses[b.Name] = BusResult{
+			VmPU:      nd.vm,
+			VaDeg:     nd.va * 180 / math.Pi,
+			PMW:       pc * base,
+			QMVAr:     qc * base,
+			Energized: energized,
+		}
+		if !energized {
+			res.DeadBuses++
+		}
+	}
+	res.Islands = len(islands)
+
+	voltAt := func(ni int) complex128 {
+		nd := p.nodes[ni]
+		return cmplx.Rect(nd.vm, nd.va)
+	}
+	for _, br := range p.branches {
+		out := BranchResult{FromBus: br.fromBus, ToBus: br.toBus, InService: br.inSvc}
+		if br.inSvc && converged && p.nodes[br.fromNode].kind != busDead {
+			vf, vt := voltAt(br.fromNode), voltAt(br.toNode)
+			a := br.tap
+			iFrom := vf*(br.y+br.yshFrom)/(a*a) - vt*br.y/a
+			iTo := vt*(br.y+br.yshTo) - vf*br.y/a
+			sf := vf * cmplx.Conj(iFrom)
+			st := vt * cmplx.Conj(iTo)
+			out.PFromMW = real(sf) * base
+			out.QFromMVAr = imag(sf) * base
+			out.PToMW = real(st) * base
+			out.QToMVAr = imag(st) * base
+			out.PLossMW = out.PFromMW + out.PToMW
+			iBaseFrom := base / (math.Sqrt(3) * br.vnFromKV)
+			iBaseTo := base / (math.Sqrt(3) * br.vnToKV)
+			out.IFromKA = cmplx.Abs(iFrom) * iBaseFrom
+			out.IToKA = cmplx.Abs(iTo) * iBaseTo
+			if br.maxIKA > 0 {
+				out.LoadingPercent = math.Max(out.IFromKA, out.IToKA) / br.maxIKA * 100
+			}
+		}
+		if br.kind == "line" {
+			res.Lines[br.name] = out
+		} else {
+			res.Trafos[br.name] = out
+		}
+	}
+	// Slack / PV injections.
+	for _, e := range n.Externals {
+		ni := p.busNode[n.BusIndex(e.Bus)]
+		if p.nodes[ni].kind == busDead || !converged {
+			continue
+		}
+		pc, qc := p.calcPQ(ni)
+		nd := p.nodes[ni]
+		// The slack's own contribution is the node's net injection minus the
+		// specified (load/sgen) injections attached to the same node.
+		res.ExtGrids[e.Name] = struct{ PMW, QMVAr float64 }{
+			PMW:   (pc - nd.pSpec) * base,
+			QMVAr: (qc - nd.qSpec) * base,
+		}
+	}
+	for _, g := range n.Gens {
+		if !g.InService {
+			continue
+		}
+		ni := p.busNode[n.BusIndex(g.Bus)]
+		if p.nodes[ni].kind == busDead || !converged {
+			continue
+		}
+		_, qc := p.calcPQ(ni)
+		nd := p.nodes[ni]
+		res.GenQMVAr[g.Name] = (qc - nd.qSpec) * base
+	}
+	return res
+}

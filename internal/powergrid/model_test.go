@@ -1,0 +1,142 @@
+package powergrid
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func valid() *Network {
+	n := New("t")
+	n.AddBus("A", 110, "s1")
+	n.AddBus("B", 110, "s1")
+	n.AddBus("C", 20, "s1")
+	n.Externals = append(n.Externals, ExternalGrid{Name: "g", Bus: "A", VmPU: 1})
+	n.Lines = append(n.Lines, Line{Name: "L1", FromBus: "A", ToBus: "B", LengthKM: 1, ROhmPerKM: 0.1, XOhmPerKM: 0.3, InService: true})
+	n.Trafos = append(n.Trafos, Transformer{Name: "T1", HVBus: "B", LVBus: "C", SnMVA: 25, VnHVKV: 110, VnLVKV: 20, VKPercent: 10, VKRPercent: 0.4, InService: true})
+	n.Loads = append(n.Loads, Load{Name: "ld", Bus: "C", PMW: 5, Scaling: 1, InService: true})
+	n.Gens = append(n.Gens, Generator{Name: "gen", Bus: "B", PMW: 2, VmPU: 1, InService: true})
+	n.SGens = append(n.SGens, StaticGenerator{Name: "pv", Bus: "C", PMW: 1, InService: true})
+	n.Shunts = append(n.Shunts, Shunt{Name: "sh", Bus: "B", QMVAr: -2, InService: true})
+	n.Switches = append(n.Switches,
+		Switch{Name: "cb1", Bus: "A", Element: "L1", Kind: SwitchLine, Closed: true},
+		Switch{Name: "cbT", Bus: "B", Element: "T1", Kind: SwitchTrafo, Closed: true},
+		Switch{Name: "cpl", Bus: "A", Element: "B", Kind: SwitchBusBus, Closed: false},
+	)
+	return n
+}
+
+func TestValidateOK(t *testing.T) {
+	if err := valid().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	tests := []struct {
+		name    string
+		mutate  func(*Network)
+		wantErr error
+	}{
+		{"dup bus", func(n *Network) { n.AddBus("A", 110, "s1") }, ErrDuplicate},
+		{"bad bus voltage", func(n *Network) { n.Buses[0].VnKV = -5 }, ErrBadParameter},
+		{"line unknown from", func(n *Network) { n.Lines[0].FromBus = "zz" }, ErrUnknownBus},
+		{"line unknown to", func(n *Network) { n.Lines[0].ToBus = "zz" }, ErrUnknownBus},
+		{"line zero X", func(n *Network) { n.Lines[0].XOhmPerKM = 0 }, ErrBadParameter},
+		{"trafo unknown LV", func(n *Network) { n.Trafos[0].LVBus = "zz" }, ErrUnknownBus},
+		{"trafo zero vk", func(n *Network) { n.Trafos[0].VKPercent = 0 }, ErrBadParameter},
+		{"gen zero vm", func(n *Network) { n.Gens[0].VmPU = 0 }, ErrBadParameter},
+		{"gen unknown bus", func(n *Network) { n.Gens[0].Bus = "zz" }, ErrUnknownBus},
+		{"ext zero vm", func(n *Network) { n.Externals[0].VmPU = 0 }, ErrBadParameter},
+		{"switch to missing line", func(n *Network) { n.Switches[0].Element = "zz" }, ErrUnknownBus},
+		{"switch to missing trafo", func(n *Network) { n.Switches[1].Element = "zz" }, ErrUnknownBus},
+		{"switch to missing bus", func(n *Network) { n.Switches[2].Element = "zz" }, ErrUnknownBus},
+		{"switch bad kind", func(n *Network) { n.Switches[0].Kind = 0 }, ErrBadParameter},
+		{"dup switch", func(n *Network) { n.Switches = append(n.Switches, n.Switches[0]) }, ErrDuplicate},
+		{"bad base", func(n *Network) { n.BaseMVA = 0 }, ErrBadParameter},
+		{"no source", func(n *Network) { n.Externals = nil; n.Gens = nil }, ErrNoSlack},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			n := valid()
+			tt.mutate(n)
+			err := n.Validate()
+			if !errors.Is(err, tt.wantErr) {
+				t.Errorf("Validate() = %v, want %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestConnectivityHelpers(t *testing.T) {
+	n := valid()
+	if !n.LineConnected("L1") {
+		t.Error("L1 should be connected")
+	}
+	n.FindSwitch("cb1").Closed = false
+	if n.LineConnected("L1") {
+		t.Error("L1 connected with open switch")
+	}
+	n.FindSwitch("cb1").Closed = true
+	n.Lines[0].InService = false
+	if n.LineConnected("L1") {
+		t.Error("L1 connected while out of service")
+	}
+	if !n.TrafoConnected("T1") {
+		t.Error("T1 should be connected")
+	}
+	n.FindSwitch("cbT").Closed = false
+	if n.TrafoConnected("T1") {
+		t.Error("T1 connected with open switch")
+	}
+	if n.LineConnected("missing") || n.TrafoConnected("missing") {
+		t.Error("missing elements report connected")
+	}
+}
+
+func TestFinders(t *testing.T) {
+	n := valid()
+	if n.FindLoad("ld") == nil || n.FindGen("gen") == nil || n.FindSGen("pv") == nil ||
+		n.FindLine("L1") == nil || n.FindSwitch("cb1") == nil {
+		t.Error("finder returned nil for existing element")
+	}
+	if n.FindLoad("x") != nil || n.FindGen("x") != nil || n.FindSGen("x") != nil ||
+		n.FindLine("x") != nil || n.FindSwitch("x") != nil {
+		t.Error("finder returned non-nil for missing element")
+	}
+	if n.BusIndex("B") != 1 || n.BusIndex("zz") != -1 {
+		t.Error("BusIndex wrong")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	n := valid()
+	c := n.Clone()
+	c.Loads[0].PMW = 999
+	c.FindSwitch("cb1").Closed = false
+	c.AddBus("X", 10, "zz")
+	if n.Loads[0].PMW == 999 {
+		t.Error("clone shares loads")
+	}
+	if !n.FindSwitch("cb1").Closed {
+		t.Error("clone shares switches")
+	}
+	if n.BusIndex("X") != -1 {
+		t.Error("clone shares buses")
+	}
+}
+
+func TestSummaryContents(t *testing.T) {
+	s := valid().Summary()
+	for _, want := range []string{"buses: 3", "lines: 1", "trafos: 1", "zone s1", "L1", "T1", "110.0/20.0 kV"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Summary missing %q in:\n%s", want, s)
+		}
+	}
+	// Open line shows as OPEN.
+	n := valid()
+	n.FindSwitch("cb1").Closed = false
+	if !strings.Contains(n.Summary(), "OPEN") {
+		t.Error("Summary does not mark open line")
+	}
+}

@@ -1,0 +1,293 @@
+// Package powersim runs the stepped power-system simulation of the cyber range.
+//
+// The paper couples a one-shot steady-state solver to the cyber side by
+// re-running it periodically (e.g. every 100 ms) with the breaker states
+// written by virtual IEDs and the load values of a time-series profile
+// (§III-B, §III-C). This package implements that loop: a Simulator owns a
+// powergrid.Network, applies scheduled scenario events and breaker commands
+// read from the kv bus, solves the flow (warm-started from the previous
+// step), and publishes measurements back onto the bus for the IEDs to read.
+package powersim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/kvbus"
+	"repro/internal/powerflow"
+	"repro/internal/powergrid"
+)
+
+// EventKind classifies scenario events (Power System Extra Config XML).
+type EventKind int
+
+// Scenario event kinds. SetLoadScale multiplies a load's nominal power;
+// SetLoadP / SetGenP / SetSGenP override absolute MW; SetSwitch opens or
+// closes a breaker; SetLineService forces a line outage or repair.
+const (
+	SetLoadScale EventKind = iota + 1
+	SetLoadP
+	SetGenP
+	SetSGenP
+	SetSwitch
+	SetLineService
+)
+
+// Event is one timed scenario action.
+type Event struct {
+	At      time.Duration // simulation-time offset
+	Kind    EventKind
+	Element string
+	Value   float64 // for SetSwitch / SetLineService: >0.5 means closed/in-service
+}
+
+// ErrUnknownElement is returned when an event references a missing element.
+var ErrUnknownElement = errors.New("powersim: unknown element")
+
+// Options configures a Simulator.
+type Options struct {
+	Interval       time.Duration // solve period; default 100 ms (paper §III-C)
+	EnforceQLimits bool
+	// DisableWarmStart forces a flat start every step (used by the ablation
+	// bench; the paper's loop implicitly warm-starts by reusing the model).
+	DisableWarmStart bool
+}
+
+// Simulator steps a network and mirrors state onto a kv bus.
+type Simulator struct {
+	mu      sync.Mutex
+	net     *powergrid.Network
+	bus     *kvbus.Bus
+	opts    Options
+	events  []Event
+	applied int
+	last    *powerflow.Result
+	simTime time.Duration
+	steps   uint64
+	solveNS int64 // cumulative solve time, for the scalability experiment
+}
+
+// New clones the network and returns a ready simulator. The bus may be shared
+// with virtual IEDs, the PLC layer and the SCADA HMI.
+func New(net *powergrid.Network, bus *kvbus.Bus, opts Options) *Simulator {
+	if opts.Interval <= 0 {
+		opts.Interval = 100 * time.Millisecond
+	}
+	return &Simulator{net: net.Clone(), bus: bus, opts: opts}
+}
+
+// Network returns the simulator's (live) network model. Callers must not
+// mutate it concurrently with Step; tests use it for assertions.
+func (s *Simulator) Network() *powergrid.Network {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.net
+}
+
+// Schedule adds scenario events; they are kept sorted by activation time.
+func (s *Simulator) Schedule(events ...Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.events = append(s.events, events...)
+	sort.SliceStable(s.events, func(i, j int) bool { return s.events[i].At < s.events[j].At })
+	s.applied = 0
+	// Events already in the past relative to simTime re-apply on next step;
+	// keep a stable cursor by re-scanning from zero.
+}
+
+// SimTime returns the current simulation time.
+func (s *Simulator) SimTime() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.simTime
+}
+
+// LastResult returns the most recent solution (nil before the first step).
+func (s *Simulator) LastResult() *powerflow.Result {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.last
+}
+
+// Stats reports the number of completed steps and mean solve time.
+func (s *Simulator) Stats() (steps uint64, meanSolve time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.steps == 0 {
+		return 0, 0
+	}
+	return s.steps, time.Duration(s.solveNS / int64(s.steps))
+}
+
+// Step advances simulation time by one interval and solves.
+func (s *Simulator) Step() (*powerflow.Result, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.simTime += s.opts.Interval
+	return s.stepLocked(s.simTime)
+}
+
+// StepAt solves at an explicit simulation time (monotonically increasing).
+func (s *Simulator) StepAt(t time.Duration) (*powerflow.Result, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if t > s.simTime {
+		s.simTime = t
+	}
+	return s.stepLocked(s.simTime)
+}
+
+func (s *Simulator) stepLocked(now time.Duration) (*powerflow.Result, error) {
+	if err := s.applyEventsLocked(now); err != nil {
+		return nil, err
+	}
+	s.applyCommandsLocked()
+
+	opts := powerflow.Options{EnforceQLimits: s.opts.EnforceQLimits}
+	if !s.opts.DisableWarmStart {
+		opts.WarmStart = s.last
+	}
+	start := time.Now()
+	res, err := powerflow.Solve(s.net, opts)
+	s.solveNS += time.Since(start).Nanoseconds()
+	s.steps++
+	if err != nil {
+		return res, fmt.Errorf("powersim: step at %v: %w", now, err)
+	}
+	s.last = res
+	s.publishLocked(res)
+	return res, nil
+}
+
+func (s *Simulator) applyEventsLocked(now time.Duration) error {
+	for s.applied < len(s.events) && s.events[s.applied].At <= now {
+		ev := s.events[s.applied]
+		s.applied++
+		if err := s.applyEvent(ev); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *Simulator) applyEvent(ev Event) error {
+	switch ev.Kind {
+	case SetLoadScale:
+		l := s.net.FindLoad(ev.Element)
+		if l == nil {
+			return fmt.Errorf("%w: load %q", ErrUnknownElement, ev.Element)
+		}
+		l.Scaling = ev.Value
+	case SetLoadP:
+		l := s.net.FindLoad(ev.Element)
+		if l == nil {
+			return fmt.Errorf("%w: load %q", ErrUnknownElement, ev.Element)
+		}
+		l.PMW = ev.Value
+	case SetGenP:
+		g := s.net.FindGen(ev.Element)
+		if g == nil {
+			return fmt.Errorf("%w: gen %q", ErrUnknownElement, ev.Element)
+		}
+		g.PMW = ev.Value
+	case SetSGenP:
+		g := s.net.FindSGen(ev.Element)
+		if g == nil {
+			return fmt.Errorf("%w: sgen %q", ErrUnknownElement, ev.Element)
+		}
+		g.PMW = ev.Value
+	case SetSwitch:
+		sw := s.net.FindSwitch(ev.Element)
+		if sw == nil {
+			return fmt.Errorf("%w: switch %q", ErrUnknownElement, ev.Element)
+		}
+		sw.Closed = ev.Value > 0.5
+	case SetLineService:
+		l := s.net.FindLine(ev.Element)
+		if l == nil {
+			return fmt.Errorf("%w: line %q", ErrUnknownElement, ev.Element)
+		}
+		l.InService = ev.Value > 0.5
+	default:
+		return fmt.Errorf("powersim: unknown event kind %d", ev.Kind)
+	}
+	return nil
+}
+
+// applyCommandsLocked reads breaker commands written by IEDs from the bus.
+// The command key is the IED-side "actuator" half of the coupling cache.
+func (s *Simulator) applyCommandsLocked() {
+	for i := range s.net.Switches {
+		sw := &s.net.Switches[i]
+		key := kvbus.BreakerCmdKey(s.net.Name, sw.Name)
+		if v, ok := s.bus.Get(key); ok {
+			if want, err := v.Bool(); err == nil {
+				sw.Closed = want
+			}
+		}
+	}
+}
+
+// publishLocked mirrors the solution onto the bus under the well-known keys.
+func (s *Simulator) publishLocked(res *powerflow.Result) {
+	name := s.net.Name
+	for _, b := range s.net.Buses {
+		br := res.Buses[b.Name]
+		s.bus.SetFloat(kvbus.BusVoltageKey(name, b.Name), br.VmPU)
+		s.bus.SetFloat(kvbus.BusAngleKey(name, b.Name), br.VaDeg)
+	}
+	for _, l := range s.net.Lines {
+		lr := res.Lines[l.Name]
+		s.bus.SetFloat(kvbus.LineCurrentKey(name, l.Name), lr.IFromKA)
+		s.bus.SetFloat(kvbus.LinePKey(name, l.Name), lr.PFromMW)
+		s.bus.SetFloat(kvbus.LineQKey(name, l.Name), lr.QFromMVAr)
+	}
+	for _, sw := range s.net.Switches {
+		s.bus.SetBool(kvbus.BreakerStatusKey(name, sw.Name), sw.Closed)
+	}
+	for _, l := range s.net.Loads {
+		scale := l.Scaling
+		if scale == 0 {
+			scale = 1
+		}
+		eff := 0.0
+		if l.InService {
+			if br, ok := res.Buses[l.Bus]; ok && br.Energized {
+				eff = l.PMW * scale
+			}
+		}
+		s.bus.SetFloat(kvbus.LoadPKey(name, l.Name), eff)
+	}
+	for _, g := range s.net.Gens {
+		p := 0.0
+		if g.InService {
+			p = g.PMW
+		}
+		s.bus.SetFloat(kvbus.GenPKey(name, g.Name), p)
+	}
+	s.bus.SetInt("pw/"+name+"/meta/steps", int64(s.steps))
+	s.bus.SetInt("pw/"+name+"/meta/islands", int64(res.Islands))
+}
+
+// Run steps the simulation in real time until ctx is cancelled. Each tick
+// advances simulation time by the configured interval. Solve errors (e.g. a
+// scenario-induced divergence) are delivered to onErr if non-nil and the loop
+// continues, matching the paper's interactive, operator-in-the-loop usage.
+func (s *Simulator) Run(ctx context.Context, onErr func(error)) {
+	ticker := time.NewTicker(s.opts.Interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+			if _, err := s.Step(); err != nil && onErr != nil {
+				onErr(err)
+			}
+		}
+	}
+}

@@ -1,0 +1,390 @@
+package scl
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+const sampleSSD = `<?xml version="1.0" encoding="UTF-8"?>
+<SCL xmlns="http://www.iec.ch/61850/2003/SCL">
+  <Header id="epic-ssd" version="1.0"/>
+  <Substation name="EPIC">
+    <VoltageLevel name="VL22">
+      <Voltage unit="V" multiplier="k">22</Voltage>
+      <Bay name="GenBay">
+        <ConductingEquipment name="Gen1" type="GEN">
+          <Terminal connectivityNode="EPIC/VL22/GenBay/CN1" cNodeName="CN1"/>
+        </ConductingEquipment>
+        <ConductingEquipment name="CB1" type="CBR">
+          <Terminal connectivityNode="EPIC/VL22/GenBay/CN1" cNodeName="CN1"/>
+          <Terminal connectivityNode="EPIC/VL22/GenBay/CN2" cNodeName="CN2"/>
+        </ConductingEquipment>
+        <ConnectivityNode name="CN1" pathName="EPIC/VL22/GenBay/CN1"/>
+        <ConnectivityNode name="CN2" pathName="EPIC/VL22/GenBay/CN2"/>
+      </Bay>
+    </VoltageLevel>
+  </Substation>
+</SCL>`
+
+const sampleSCD = `<?xml version="1.0" encoding="UTF-8"?>
+<SCL xmlns="http://www.iec.ch/61850/2003/SCL">
+  <Header id="epic-scd"/>
+  <Substation name="EPIC">
+    <VoltageLevel name="VL22">
+      <Voltage unit="V" multiplier="k">22</Voltage>
+      <Bay name="Bay1">
+        <ConductingEquipment name="CB1" type="CBR">
+          <Terminal connectivityNode="EPIC/VL22/Bay1/CN1" cNodeName="CN1"/>
+        </ConductingEquipment>
+        <ConnectivityNode name="CN1" pathName="EPIC/VL22/Bay1/CN1"/>
+      </Bay>
+    </VoltageLevel>
+  </Substation>
+  <IED name="GIED1" type="protection" manufacturer="SGML">
+    <AccessPoint name="AP1">
+      <Server>
+        <LDevice inst="LD0">
+          <LN0 lnClass="LLN0" inst=""/>
+          <LN lnClass="PTOC" inst="1" lnType="PTOC_T"/>
+          <LN lnClass="XCBR" inst="1" lnType="XCBR_T"/>
+          <LN lnClass="MMXU" inst="1" lnType="MMXU_T"/>
+        </LDevice>
+      </Server>
+    </AccessPoint>
+  </IED>
+  <Communication>
+    <SubNetwork name="StationBus" type="8-MMS">
+      <ConnectedAP iedName="GIED1" apName="AP1">
+        <Address>
+          <P type="IP">10.0.1.11</P>
+          <P type="IP-SUBNET">255.255.255.0</P>
+          <P type="MAC-Address">00-0C-CD-01-00-0B</P>
+        </Address>
+        <GSE ldInst="LD0" cbName="gcb1">
+          <Address>
+            <P type="MAC-Address">01-0C-CD-01-00-01</P>
+            <P type="APPID">0001</P>
+          </Address>
+        </GSE>
+      </ConnectedAP>
+    </SubNetwork>
+  </Communication>
+  <DataTypeTemplates>
+    <LNodeType id="PTOC_T" lnClass="PTOC">
+      <DO name="Str" type="ACD_T"/>
+      <DO name="Op" type="ACT_T"/>
+    </LNodeType>
+  </DataTypeTemplates>
+</SCL>`
+
+const sampleICD = `<?xml version="1.0" encoding="UTF-8"?>
+<SCL xmlns="http://www.iec.ch/61850/2003/SCL">
+  <Header id="ied-icd"/>
+  <IED name="TEMPLATE" type="protection">
+    <AccessPoint name="AP1">
+      <Server>
+        <LDevice inst="LD0">
+          <LN0 lnClass="LLN0" inst=""/>
+          <LN lnClass="PTOV" inst="1" lnType="PTOV_T"/>
+          <LN lnClass="CILO" inst="1" lnType="CILO_T"/>
+        </LDevice>
+      </Server>
+    </AccessPoint>
+  </IED>
+  <DataTypeTemplates>
+    <LNodeType id="PTOV_T" lnClass="PTOV">
+      <DO name="Op" type="ACT_T"/>
+    </LNodeType>
+  </DataTypeTemplates>
+</SCL>`
+
+const sampleSED = `<?xml version="1.0" encoding="UTF-8"?>
+<SED>
+  <Header id="multi-sed"/>
+  <Tie name="T12" fromSubstation="S1" fromNode="S1/VL/B/CN1" toSubstation="S2" toNode="S2/VL/B/CN1"
+       lengthKm="25" rOhmPerKm="0.06" xOhmPerKm="0.4" cNfPerKm="9" maxIKa="0.6"/>
+  <WAN latencyMs="5"/>
+  <GatewayIED substation="S1" iedName="GW1"/>
+</SED>`
+
+func TestParseSSD(t *testing.T) {
+	doc, err := Parse([]byte(sampleSSD))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := doc.DetectKind(); got != KindSSD {
+		t.Errorf("kind = %v, want SSD", got)
+	}
+	if err := doc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	sub := doc.FindSubstation("EPIC")
+	if sub == nil {
+		t.Fatal("substation missing")
+	}
+	vl := sub.VoltageLevels[0]
+	if vl.Voltage.KV() != 22 {
+		t.Errorf("voltage = %v kV", vl.Voltage.KV())
+	}
+	bay := vl.Bays[0]
+	if len(bay.ConductingEquipments) != 2 || len(bay.ConnectivityNodes) != 2 {
+		t.Errorf("bay contents: %d equipment, %d nodes", len(bay.ConductingEquipments), len(bay.ConnectivityNodes))
+	}
+	if bay.ConductingEquipments[0].Type != TypeGenerator {
+		t.Errorf("equipment type %q", bay.ConductingEquipments[0].Type)
+	}
+}
+
+func TestParseSCD(t *testing.T) {
+	doc, err := Parse([]byte(sampleSCD))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := doc.DetectKind(); got != KindSCD {
+		t.Errorf("kind = %v, want SCD", got)
+	}
+	if err := doc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	ied := doc.FindIED("GIED1")
+	if ied == nil {
+		t.Fatal("IED missing")
+	}
+	if !ied.HasLNClass("PTOC") || ied.HasLNClass("PTUV") {
+		t.Error("logical node detection wrong")
+	}
+	if got := len(ied.LogicalNodes()); got != 3 {
+		t.Errorf("logical nodes = %d, want 3", got)
+	}
+	addr := doc.Communication.APAddress("GIED1", "AP1")
+	if addr == nil {
+		t.Fatal("AP address missing")
+	}
+	if ip := addr.Get("IP"); ip != "10.0.1.11" {
+		t.Errorf("IP = %q", ip)
+	}
+	if mac := addr.Get("MAC-Address"); mac != "00-0C-CD-01-00-0B" {
+		t.Errorf("MAC = %q", mac)
+	}
+	if addr.Get("NONSENSE") != "" {
+		t.Error("missing param returned non-empty")
+	}
+	gse := doc.Communication.SubNetworks[0].ConnectedAPs[0].GSEs[0]
+	if gse.CBName != "gcb1" || gse.Address.Get("APPID") != "0001" {
+		t.Errorf("GSE = %+v", gse)
+	}
+}
+
+func TestParseICD(t *testing.T) {
+	doc, err := Parse([]byte(sampleICD))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := doc.DetectKind(); got != KindICD {
+		t.Errorf("kind = %v, want ICD", got)
+	}
+	if err := doc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !doc.IEDs[0].HasLNClass("CILO") {
+		t.Error("CILO not detected")
+	}
+}
+
+func TestParseSED(t *testing.T) {
+	sed, err := ParseSED([]byte(sampleSED))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sed.Ties) != 1 || sed.Ties[0].FromSub != "S1" || sed.Ties[0].LengthKM != 25 {
+		t.Errorf("ties = %+v", sed.Ties)
+	}
+	if sed.WAN.LatencyMS != 5 {
+		t.Errorf("WAN latency = %v", sed.WAN.LatencyMS)
+	}
+	if len(sed.GatewayIEDs) != 1 {
+		t.Errorf("gateways = %+v", sed.GatewayIEDs)
+	}
+}
+
+func TestParseRejectsGarbage(t *testing.T) {
+	if _, err := Parse([]byte("not xml")); err == nil {
+		t.Error("garbage accepted as SCL")
+	}
+	if _, err := Parse([]byte("<Other/>")); !errors.Is(err, ErrNotSCL) {
+		t.Errorf("wrong root error = %v", err)
+	}
+	if _, err := ParseSED([]byte("<Other/>")); !errors.Is(err, ErrNotSED) {
+		t.Errorf("wrong SED root error = %v", err)
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	doc, err := Parse([]byte(sampleSCD))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := doc.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), Namespace) {
+		t.Error("marshalled doc lacks SCL namespace")
+	}
+	again, err := Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.DetectKind() != KindSCD {
+		t.Error("round-tripped kind changed")
+	}
+	if again.FindIED("GIED1") == nil {
+		t.Error("IED lost in round trip")
+	}
+	if got := again.Communication.APAddress("GIED1", "").Get("IP"); got != "10.0.1.11" {
+		t.Errorf("IP after round trip = %q", got)
+	}
+}
+
+func TestSEDMarshalRoundTrip(t *testing.T) {
+	sed, err := ParseSED([]byte(sampleSED))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := sed.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := ParseSED(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again.Ties) != 1 || again.Ties[0].XOhmPerKM != 0.4 {
+		t.Errorf("round trip ties = %+v", again.Ties)
+	}
+}
+
+func TestVoltageKV(t *testing.T) {
+	tests := []struct {
+		mult string
+		val  float64
+		want float64
+	}{
+		{"k", 110, 110},
+		{"M", 1.1, 1100},
+		{"", 22000, 22},
+		{"x", 5, 5},
+	}
+	for _, tt := range tests {
+		v := Voltage{Multiplier: tt.mult, Value: tt.val}
+		if got := v.KV(); got != tt.want {
+			t.Errorf("KV(%q,%v) = %v, want %v", tt.mult, tt.val, got, tt.want)
+		}
+	}
+}
+
+func TestValidationFailures(t *testing.T) {
+	mutate := func(fn func(*Document)) *Document {
+		doc, err := Parse([]byte(sampleSCD))
+		if err != nil {
+			t.Fatal(err)
+		}
+		fn(doc)
+		return doc
+	}
+	tests := []struct {
+		name string
+		doc  *Document
+	}{
+		{"dup substation", mutate(func(d *Document) { d.Substations = append(d.Substations, d.Substations[0]) })},
+		{"dup IED", mutate(func(d *Document) { d.IEDs = append(d.IEDs, d.IEDs[0]) })},
+		{"zero voltage", mutate(func(d *Document) { d.Substations[0].VoltageLevels[0].Voltage.Value = 0 })},
+		{"dangling terminal", mutate(func(d *Document) {
+			d.Substations[0].VoltageLevels[0].Bays[0].ConductingEquipments[0].Terminals[0].ConnectivityNode = "nope"
+		})},
+		{"no terminals", mutate(func(d *Document) {
+			d.Substations[0].VoltageLevels[0].Bays[0].ConductingEquipments[0].Terminals = nil
+		})},
+		{"comm references unknown IED", mutate(func(d *Document) {
+			d.Communication.SubNetworks[0].ConnectedAPs[0].IEDName = "ghost"
+		})},
+		{"bad IP", mutate(func(d *Document) {
+			d.Communication.SubNetworks[0].ConnectedAPs[0].Address.Ps[0].Value = "999.1.2.3.4"
+		})},
+		{"unnamed IED", mutate(func(d *Document) { d.IEDs[0].Name = "" })},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := tt.doc.Validate(); !errors.Is(err, ErrValidation) {
+				t.Errorf("Validate() = %v, want ErrValidation", err)
+			}
+		})
+	}
+}
+
+func TestSEDValidate(t *testing.T) {
+	sed, _ := ParseSED([]byte(sampleSED))
+	s1, _ := Parse([]byte(strings.ReplaceAll(sampleSSD, "EPIC", "S1")))
+	s2, _ := Parse([]byte(strings.ReplaceAll(sampleSSD, "EPIC", "S2")))
+	subs := map[string]*Document{"S1": s1, "S2": s2}
+	// Node paths in the SSDs are S1/VL22/GenBay/CN1 etc., not S1/VL/B/CN1.
+	if err := sed.Validate(subs); err == nil {
+		t.Error("tie with unknown node accepted")
+	}
+	sed.Ties[0].FromNode = "S1/VL22/GenBay/CN1"
+	sed.Ties[0].ToNode = "S2/VL22/GenBay/CN1"
+	if err := sed.Validate(subs); err != nil {
+		t.Errorf("valid SED rejected: %v", err)
+	}
+	sed.Ties[0].XOhmPerKM = 0
+	if err := sed.Validate(subs); err == nil {
+		t.Error("tie without impedance accepted")
+	}
+	sed.Ties[0].XOhmPerKM = 0.4
+	sed.GatewayIEDs[0].Substation = "ghost"
+	if err := sed.Validate(subs); err == nil {
+		t.Error("gateway to unknown substation accepted")
+	}
+	delete(subs, "S2")
+	sed.GatewayIEDs[0].Substation = "S1"
+	if err := sed.Validate(subs); err == nil {
+		t.Error("tie to missing substation accepted")
+	}
+}
+
+func TestTransformerValidation(t *testing.T) {
+	doc, err := Parse([]byte(sampleSSD))
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc.Substations[0].PowerTransformers = []PowerTransformer{{
+		Name: "T1",
+		Windings: []TransformerWinding{
+			{Name: "HV", Terminals: []Terminal{{ConnectivityNode: "EPIC/VL22/GenBay/CN1"}}},
+			{Name: "LV", Terminals: []Terminal{{ConnectivityNode: "EPIC/VL22/GenBay/CN2"}}},
+		},
+	}}
+	if err := doc.Validate(); err != nil {
+		t.Fatalf("two-winding transformer rejected: %v", err)
+	}
+	doc.Substations[0].PowerTransformers[0].Windings = doc.Substations[0].PowerTransformers[0].Windings[:1]
+	if err := doc.Validate(); err == nil {
+		t.Error("one-winding transformer accepted")
+	}
+}
+
+func TestLNRef(t *testing.T) {
+	ln := LN{Prefix: "Q1", LnClass: "XCBR", Inst: "1"}
+	if got := ln.Ref(); got != "Q1XCBR1" {
+		t.Errorf("Ref() = %q", got)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{KindSSD: "SSD", KindSCD: "SCD", KindICD: "ICD", KindSED: "SED", KindUnknown: "unknown"} {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}

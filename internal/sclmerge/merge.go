@@ -1,0 +1,200 @@
+// Package sclmerge implements the SSD Merger and SCD Merger stages of the
+// SG-ML Processor (Fig 3).
+//
+// "Typically, an SED file contains connectivity between a pair of
+// substations. Our toolchain first combines multiple SSD files into a
+// consolidated SSD file based on the connectivity derived from SED files.
+// Then the consolidated SSD file is processed using the same tool to generate
+// a multi-substation power grid physical model." (§III-B). The SCD merger
+// does the same for the cyber side, with the WAN abstracted as a single
+// switch joining the per-substation subnetworks.
+package sclmerge
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/scl"
+)
+
+// Errors returned by the mergers.
+var (
+	ErrNoDocuments       = errors.New("sclmerge: no documents to merge")
+	ErrDuplicateName     = errors.New("sclmerge: duplicate name across substations")
+	ErrWrongKind         = errors.New("sclmerge: wrong document kind")
+	ErrUnknownSubstation = errors.New("sclmerge: SED references unknown substation")
+)
+
+// Consolidated is a merged multi-substation model: one SCL document holding
+// every substation (and, for SCD merges, every IED and subnetwork), plus the
+// inter-substation ties and WAN parameters from the SED.
+type Consolidated struct {
+	Doc *scl.Document
+	// SubstationOf maps IED name -> substation name (needed to place IEDs on
+	// the right LAN and bind them to the right power-model namespace).
+	SubstationOf map[string]string
+	// SubnetSubstation maps subnetwork name -> substation name.
+	SubnetSubstation map[string]string
+	Ties             []scl.Tie
+	WAN              scl.WANConfig
+	Gateways         []scl.Gateway
+}
+
+// MergeSSD combines per-substation SSD documents using the SED.
+// docs maps substation name -> its SSD document. A nil sed merges
+// disconnected substations (valid, but islands stay separate).
+func MergeSSD(docs map[string]*scl.Document, sed *scl.SED) (*Consolidated, error) {
+	if len(docs) == 0 {
+		return nil, ErrNoDocuments
+	}
+	for name, d := range docs {
+		kind := d.DetectKind()
+		if kind != scl.KindSSD && kind != scl.KindSCD {
+			return nil, fmt.Errorf("%w: %q is %s, want SSD or SCD", ErrWrongKind, name, kind)
+		}
+		if err := d.Validate(); err != nil {
+			return nil, fmt.Errorf("sclmerge: substation %q: %w", name, err)
+		}
+	}
+	if sed != nil {
+		if err := sed.Validate(docs); err != nil {
+			return nil, err
+		}
+	}
+	out := &Consolidated{
+		Doc: &scl.Document{
+			Header: scl.Header{ID: "consolidated-ssd", ToolID: "sgml-processor"},
+		},
+		SubstationOf:     map[string]string{},
+		SubnetSubstation: map[string]string{},
+	}
+	seenSub := map[string]bool{}
+	for _, name := range sortedKeys(docs) {
+		d := docs[name]
+		for _, sub := range d.Substations {
+			if seenSub[sub.Name] {
+				return nil, fmt.Errorf("%w: substation %q", ErrDuplicateName, sub.Name)
+			}
+			seenSub[sub.Name] = true
+			out.Doc.Substations = append(out.Doc.Substations, sub)
+		}
+	}
+	if sed != nil {
+		out.Ties = append(out.Ties, sed.Ties...)
+		out.WAN = sed.WAN
+		out.Gateways = append(out.Gateways, sed.GatewayIEDs...)
+	}
+	return out, nil
+}
+
+// MergeSCD combines per-substation SCD documents using the SED. Substation
+// sections, IEDs, communication subnetworks and data type templates are all
+// carried over; subnetwork names are prefixed with their substation to keep
+// them unique, and the SED's WAN config is preserved for the network builder.
+func MergeSCD(docs map[string]*scl.Document, sed *scl.SED) (*Consolidated, error) {
+	if len(docs) == 0 {
+		return nil, ErrNoDocuments
+	}
+	for name, d := range docs {
+		if kind := d.DetectKind(); kind != scl.KindSCD {
+			return nil, fmt.Errorf("%w: %q is %s, want SCD", ErrWrongKind, name, kind)
+		}
+		if err := d.Validate(); err != nil {
+			return nil, fmt.Errorf("sclmerge: substation %q: %w", name, err)
+		}
+	}
+	if sed != nil {
+		if err := sed.Validate(docs); err != nil {
+			return nil, err
+		}
+	}
+	out := &Consolidated{
+		Doc: &scl.Document{
+			Header:            scl.Header{ID: "consolidated-scd", ToolID: "sgml-processor"},
+			Communication:     &scl.Communication{},
+			DataTypeTemplates: &scl.DataTypeTemplates{},
+		},
+		SubstationOf:     map[string]string{},
+		SubnetSubstation: map[string]string{},
+	}
+	seenSub := map[string]bool{}
+	seenIED := map[string]bool{}
+	seenLNT := map[string]bool{}
+	for _, name := range sortedKeys(docs) {
+		d := docs[name]
+		for _, sub := range d.Substations {
+			if seenSub[sub.Name] {
+				return nil, fmt.Errorf("%w: substation %q", ErrDuplicateName, sub.Name)
+			}
+			seenSub[sub.Name] = true
+			out.Doc.Substations = append(out.Doc.Substations, sub)
+		}
+		for _, ied := range d.IEDs {
+			if seenIED[ied.Name] {
+				return nil, fmt.Errorf("%w: IED %q", ErrDuplicateName, ied.Name)
+			}
+			seenIED[ied.Name] = true
+			out.Doc.IEDs = append(out.Doc.IEDs, ied)
+			out.SubstationOf[ied.Name] = name
+		}
+		if d.Communication != nil {
+			for _, sn := range d.Communication.SubNetworks {
+				merged := sn
+				merged.Name = name + "/" + sn.Name
+				out.Doc.Communication.SubNetworks = append(out.Doc.Communication.SubNetworks, merged)
+				out.SubnetSubstation[merged.Name] = name
+			}
+		}
+		if d.DataTypeTemplates != nil {
+			for _, lnt := range d.DataTypeTemplates.LNodeTypes {
+				if seenLNT[lnt.ID] {
+					continue // identical template shared across substations
+				}
+				seenLNT[lnt.ID] = true
+				out.Doc.DataTypeTemplates.LNodeTypes = append(out.Doc.DataTypeTemplates.LNodeTypes, lnt)
+			}
+			out.Doc.DataTypeTemplates.DOTypes = append(out.Doc.DataTypeTemplates.DOTypes, d.DataTypeTemplates.DOTypes...)
+		}
+	}
+	if sed != nil {
+		out.Ties = append(out.Ties, sed.Ties...)
+		out.WAN = sed.WAN
+		out.Gateways = append(out.Gateways, sed.GatewayIEDs...)
+	}
+	return out, nil
+}
+
+// SingleSubstation wraps one SCD document (the common EPIC case) in the
+// Consolidated form the downstream stages consume.
+func SingleSubstation(name string, doc *scl.Document) (*Consolidated, error) {
+	if err := doc.Validate(); err != nil {
+		return nil, err
+	}
+	out := &Consolidated{
+		Doc:              doc,
+		SubstationOf:     map[string]string{},
+		SubnetSubstation: map[string]string{},
+	}
+	for _, ied := range doc.IEDs {
+		out.SubstationOf[ied.Name] = name
+	}
+	if doc.Communication != nil {
+		for _, sn := range doc.Communication.SubNetworks {
+			out.SubnetSubstation[sn.Name] = name
+		}
+	}
+	return out, nil
+}
+
+func sortedKeys(m map[string]*scl.Document) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
+}

@@ -1,0 +1,218 @@
+package sclmerge
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/scl"
+)
+
+// subSSD builds a minimal one-substation SSD document named sub.
+func subSSD(sub string) *scl.Document {
+	xml := fmt.Sprintf(`<SCL xmlns="http://www.iec.ch/61850/2003/SCL">
+  <Header id="%s-ssd"/>
+  <Substation name="%s">
+    <VoltageLevel name="VL">
+      <Voltage unit="V" multiplier="k">110</Voltage>
+      <Bay name="B">
+        <ConductingEquipment name="%s_CB1" type="CBR">
+          <Terminal connectivityNode="%s/VL/B/CN1"/>
+          <Terminal connectivityNode="%s/VL/B/CN2"/>
+        </ConductingEquipment>
+        <ConnectivityNode name="CN1" pathName="%s/VL/B/CN1"/>
+        <ConnectivityNode name="CN2" pathName="%s/VL/B/CN2"/>
+      </Bay>
+    </VoltageLevel>
+  </Substation>
+</SCL>`, sub, sub, sub, sub, sub, sub, sub)
+	doc, err := scl.Parse([]byte(xml))
+	if err != nil {
+		panic(err)
+	}
+	return doc
+}
+
+// subSCD builds a minimal one-substation SCD document.
+func subSCD(sub string) *scl.Document {
+	doc := subSSD(sub)
+	doc.IEDs = []scl.IED{{
+		Name: sub + "_IED1",
+		AccessPoints: []scl.AccessPoint{{
+			Name: "AP1",
+			Server: &scl.Server{LDevices: []scl.LDevice{{
+				Inst: "LD0",
+				LNs:  []scl.LN{{LnClass: "PTOC", Inst: "1", LnType: "PTOC_T"}},
+			}}},
+		}},
+	}}
+	doc.Communication = &scl.Communication{SubNetworks: []scl.SubNetwork{{
+		Name: "LAN",
+		ConnectedAPs: []scl.ConnectedAP{{
+			IEDName: sub + "_IED1", APName: "AP1",
+			Address: scl.Address{Ps: []scl.P{{Type: "IP", Value: "10.0.1.11"}}},
+		}},
+	}}}
+	doc.DataTypeTemplates = &scl.DataTypeTemplates{LNodeTypes: []scl.LNodeType{{ID: "PTOC_T", LnClass: "PTOC"}}}
+	return doc
+}
+
+func testSED() *scl.SED {
+	return &scl.SED{
+		Ties: []scl.Tie{{
+			Name: "T12", FromSub: "S1", FromNode: "S1/VL/B/CN2",
+			ToSub: "S2", ToNode: "S2/VL/B/CN1",
+			LengthKM: 30, ROhmPerKM: 0.06, XOhmPerKM: 0.4,
+		}},
+		WAN:         scl.WANConfig{LatencyMS: 4},
+		GatewayIEDs: []scl.Gateway{{Substation: "S1", IEDName: "S1_IED1"}},
+	}
+}
+
+func TestMergeSSD(t *testing.T) {
+	docs := map[string]*scl.Document{"S1": subSSD("S1"), "S2": subSSD("S2")}
+	out, err := MergeSSD(docs, testSED())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Doc.Substations) != 2 {
+		t.Fatalf("substations = %d", len(out.Doc.Substations))
+	}
+	if out.Doc.FindSubstation("S1") == nil || out.Doc.FindSubstation("S2") == nil {
+		t.Error("substations lost")
+	}
+	if len(out.Ties) != 1 || out.Ties[0].Name != "T12" {
+		t.Errorf("ties = %+v", out.Ties)
+	}
+	if out.WAN.LatencyMS != 4 {
+		t.Errorf("WAN = %+v", out.WAN)
+	}
+}
+
+func TestMergeSSDWithoutSED(t *testing.T) {
+	docs := map[string]*scl.Document{"S1": subSSD("S1"), "S2": subSSD("S2")}
+	out, err := MergeSSD(docs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Ties) != 0 {
+		t.Error("phantom ties")
+	}
+}
+
+func TestMergeSSDErrors(t *testing.T) {
+	if _, err := MergeSSD(nil, nil); !errors.Is(err, ErrNoDocuments) {
+		t.Errorf("empty merge err = %v", err)
+	}
+	// Duplicate substation name in two documents.
+	docs := map[string]*scl.Document{"A": subSSD("X"), "B": subSSD("X")}
+	if _, err := MergeSSD(docs, nil); !errors.Is(err, ErrDuplicateName) {
+		t.Errorf("dup substation err = %v", err)
+	}
+	// SED referencing a node that does not exist.
+	sed := testSED()
+	sed.Ties[0].ToNode = "S2/VL/B/GHOST"
+	docs = map[string]*scl.Document{"S1": subSSD("S1"), "S2": subSSD("S2")}
+	if _, err := MergeSSD(docs, sed); err == nil {
+		t.Error("SED with ghost node accepted")
+	}
+	// Invalid document inside the set.
+	bad := subSSD("S3")
+	bad.Substations[0].VoltageLevels[0].Voltage.Value = 0
+	if _, err := MergeSSD(map[string]*scl.Document{"S3": bad}, nil); err == nil {
+		t.Error("invalid document accepted")
+	}
+}
+
+func TestMergeSCD(t *testing.T) {
+	docs := map[string]*scl.Document{"S1": subSCD("S1"), "S2": subSCD("S2"), "S3": subSCD("S3")}
+	sed := testSED()
+	out, err := MergeSCD(docs, sed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Doc.Substations) != 3 || len(out.Doc.IEDs) != 3 {
+		t.Fatalf("merged: %d subs, %d IEDs", len(out.Doc.Substations), len(out.Doc.IEDs))
+	}
+	if got := out.SubstationOf["S2_IED1"]; got != "S2" {
+		t.Errorf("SubstationOf = %q", got)
+	}
+	// Subnet names must be prefixed and mapped.
+	if len(out.Doc.Communication.SubNetworks) != 3 {
+		t.Fatalf("subnets = %d", len(out.Doc.Communication.SubNetworks))
+	}
+	names := map[string]bool{}
+	for _, sn := range out.Doc.Communication.SubNetworks {
+		names[sn.Name] = true
+	}
+	if !names["S1/LAN"] || !names["S3/LAN"] {
+		t.Errorf("subnet names = %v", names)
+	}
+	if got := out.SubnetSubstation["S1/LAN"]; got != "S1" {
+		t.Errorf("SubnetSubstation = %q", got)
+	}
+	// Shared templates deduplicated.
+	if got := len(out.Doc.DataTypeTemplates.LNodeTypes); got != 1 {
+		t.Errorf("templates = %d, want 1 (deduplicated)", got)
+	}
+	// Merged doc must itself validate as an SCD.
+	if err := out.Doc.Validate(); err != nil {
+		t.Errorf("consolidated SCD invalid: %v", err)
+	}
+	if out.Doc.DetectKind() != scl.KindSCD {
+		t.Errorf("kind = %v", out.Doc.DetectKind())
+	}
+}
+
+func TestMergeSCDErrors(t *testing.T) {
+	if _, err := MergeSCD(nil, nil); !errors.Is(err, ErrNoDocuments) {
+		t.Errorf("empty err = %v", err)
+	}
+	// SSD passed where SCD required.
+	if _, err := MergeSCD(map[string]*scl.Document{"S1": subSSD("S1")}, nil); !errors.Is(err, ErrWrongKind) {
+		t.Errorf("kind err = %v", err)
+	}
+	// Duplicate IED names across substations.
+	a := subSCD("S1")
+	b := subSCD("S2")
+	b.IEDs[0].Name = "S1_IED1"
+	b.Communication.SubNetworks[0].ConnectedAPs[0].IEDName = "S1_IED1"
+	if _, err := MergeSCD(map[string]*scl.Document{"S1": a, "S2": b}, nil); !errors.Is(err, ErrDuplicateName) {
+		t.Errorf("dup IED err = %v", err)
+	}
+}
+
+func TestSingleSubstation(t *testing.T) {
+	doc := subSCD("EPIC")
+	out, err := SingleSubstation("EPIC", doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.SubstationOf["EPIC_IED1"] != "EPIC" {
+		t.Error("IED mapping missing")
+	}
+	if out.SubnetSubstation["LAN"] != "EPIC" {
+		t.Error("subnet mapping missing")
+	}
+	bad := subSCD("EPIC")
+	bad.IEDs[0].Name = ""
+	if _, err := SingleSubstation("EPIC", bad); err == nil {
+		t.Error("invalid doc accepted")
+	}
+}
+
+func TestSortedKeysDeterminism(t *testing.T) {
+	docs := map[string]*scl.Document{"S3": subSSD("S3"), "S1": subSSD("S1"), "S2": subSSD("S2")}
+	out, err := MergeSSD(docs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var order []string
+	for _, s := range out.Doc.Substations {
+		order = append(order, s.Name)
+	}
+	if strings.Join(order, ",") != "S1,S2,S3" {
+		t.Errorf("merge order = %v, want sorted", order)
+	}
+}

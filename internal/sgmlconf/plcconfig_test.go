@@ -1,0 +1,80 @@
+package sgmlconf
+
+import (
+	"errors"
+	"testing"
+)
+
+const samplePLCConfig = `<?xml version="1.0"?>
+<PLCConfig name="CPLC" host="CPLC" scanMs="100" modbusPort="502">
+  <Input var="mainVoltage" ied="TIED1" ref="LD0/MMXU1.PhV.phsA"/>
+  <Input var="tieCurrent" ied="TIED1" ref="LD0/MMXU1.A.phsA" scale="0.001"/>
+  <Output var="tieBreakerClose" ied="TIED1" ref="LD0/XCBR1.Pos.Oper"/>
+  <Expose var="mainVoltage" kind="inputReg" addr="0" scale="1000"/>
+  <Expose var="tieBreakerClose" kind="discrete" addr="0"/>
+  <Expose var="setpoint" kind="holding" addr="4"/>
+  <Command coil="0" var="manualTrip"/>
+</PLCConfig>`
+
+func TestParsePLCConfig(t *testing.T) {
+	c, err := ParsePLCConfig([]byte(samplePLCConfig))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Name != "CPLC" || c.Host != "CPLC" || c.ScanMS != 100 || c.ModbusPort != 502 {
+		t.Errorf("header = %+v", c)
+	}
+	if len(c.Inputs) != 2 || c.Inputs[1].Scale != 0.001 {
+		t.Errorf("inputs = %+v", c.Inputs)
+	}
+	if len(c.Outputs) != 1 || c.Outputs[0].Ref != "LD0/XCBR1.Pos.Oper" {
+		t.Errorf("outputs = %+v", c.Outputs)
+	}
+	if len(c.Exposes) != 3 || c.Exposes[0].Scale != 1000 || c.Exposes[2].Kind != "holding" {
+		t.Errorf("exposes = %+v", c.Exposes)
+	}
+	if len(c.Commands) != 1 || c.Commands[0].Var != "manualTrip" {
+		t.Errorf("commands = %+v", c.Commands)
+	}
+}
+
+func TestPLCConfigRoundTrip(t *testing.T) {
+	c, err := ParsePLCConfig([]byte(samplePLCConfig))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := Marshal(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := ParsePLCConfig(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again.Inputs) != 2 || again.Inputs[1].Scale != 0.001 {
+		t.Errorf("round trip lost data: %+v", again.Inputs)
+	}
+}
+
+func TestPLCConfigValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		xml  string
+	}{
+		{"no name", `<PLCConfig/>`},
+		{"input missing ied", `<PLCConfig name="p"><Input var="x" ref="a/b"/></PLCConfig>`},
+		{"input missing ref", `<PLCConfig name="p"><Input var="x" ied="a"/></PLCConfig>`},
+		{"output missing var", `<PLCConfig name="p"><Output ied="a" ref="a/b"/></PLCConfig>`},
+		{"expose bad kind", `<PLCConfig name="p"><Expose var="x" kind="coil" addr="0"/></PLCConfig>`},
+		{"expose missing var", `<PLCConfig name="p"><Expose kind="discrete" addr="0"/></PLCConfig>`},
+		{"command missing var", `<PLCConfig name="p"><Command coil="0"/></PLCConfig>`},
+		{"garbage", `not-xml`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ParsePLCConfig([]byte(tc.xml)); !errors.Is(err, ErrConfig) {
+				t.Errorf("err = %v, want ErrConfig", err)
+			}
+		})
+	}
+}

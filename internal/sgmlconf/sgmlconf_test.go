@@ -1,0 +1,277 @@
+package sgmlconf
+
+import (
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+const sampleIEDConfig = `<?xml version="1.0"?>
+<IEDConfig>
+  <IED name="GIED1" substation="EPIC">
+    <Protection>
+      <PTOC thresholdKa="0.4" delayMs="200" line="L1"/>
+      <PTOV thresholdPu="1.10" delayMs="100" bus="BusA"/>
+      <PTUV thresholdPu="0.90" delayMs="100" bus="BusA"/>
+    </Protection>
+    <Measure point="busVoltage" element="BusA"/>
+    <Measure point="lineCurrent" element="L1"/>
+    <Control breaker="CB1"/>
+  </IED>
+  <IED name="GIED2" substation="EPIC">
+    <Protection>
+      <PDIF thresholdKa="0.05" delayMs="150" line="Tie1" remoteIed="GIED9"/>
+      <CILO guardBreaker="CB1" guardIed="GIED1"/>
+    </Protection>
+    <Control breaker="CB2"/>
+  </IED>
+</IEDConfig>`
+
+const sampleSCADAConfig = `<?xml version="1.0"?>
+<SCADAConfig>
+  <DataSource name="cplc" protocol="modbus" host="CPLC" ip="10.0.1.5" port="502" pollMs="1000"/>
+  <DataSource name="gied1" protocol="mms" host="GIED1" ip="10.0.1.11" port="102" pollMs="2000"/>
+  <DataPoint name="MainBusVoltage" source="cplc" kind="analog" address="30001" scale="0.001" hasAlarm="true" alarmLow="0.9" alarmHigh="1.1"/>
+  <DataPoint name="CB1Status" source="cplc" kind="binary" address="10001"/>
+  <DataPoint name="CB1Cmd" source="cplc" kind="binary" address="1" writable="true"/>
+  <DataPoint name="FeederCurrent" source="gied1" kind="analog" address="LD0/MMXU1.A.phsA"/>
+</SCADAConfig>`
+
+const samplePowerConfig = `<?xml version="1.0"?>
+<PowerSystemConfig baseMVA="100" intervalMs="100">
+  <Element kind="load" name="Home1" pMW="0.015" qMVAr="0.005"/>
+  <Element kind="line" name="L1" lengthKm="0.5" rOhmPerKm="0.1" xOhmPerKm="0.35" cNfPerKm="10" maxIKa="0.4"/>
+  <Element kind="gen" name="Gen1" pMW="0.01" vmPU="1.0"/>
+  <Element kind="extgrid" name="Utility" vmPU="1.02"/>
+  <Element kind="trafo" name="T1" snMVA="1" vkPercent="6" vkrPercent="0.5"/>
+  <Step atMs="0" kind="loadScale" element="Home1" value="1.0"/>
+  <Step atMs="60000" kind="loadScale" element="Home1" value="1.4"/>
+  <Step atMs="120000" kind="switch" element="CB1" value="0"/>
+</PowerSystemConfig>`
+
+func TestParseIEDConfig(t *testing.T) {
+	c, err := ParseIEDConfig([]byte(sampleIEDConfig))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := c.Find("GIED1")
+	if e == nil {
+		t.Fatal("GIED1 missing")
+	}
+	if e.Protection.PTOC == nil || e.Protection.PTOC.ThresholdKA != 0.4 || e.Protection.PTOC.Line != "L1" {
+		t.Errorf("PTOC = %+v", e.Protection.PTOC)
+	}
+	if e.Protection.PTOV.ThresholdPU != 1.10 || e.Protection.PTUV.ThresholdPU != 0.90 {
+		t.Error("voltage thresholds wrong")
+	}
+	if e.Protection.PDIF != nil {
+		t.Error("GIED1 has PDIF it should not")
+	}
+	if len(e.Measures) != 2 || e.Measures[0].Point != "busVoltage" {
+		t.Errorf("measures = %+v", e.Measures)
+	}
+	e2 := c.Find("GIED2")
+	if e2.Protection.PDIF.RemoteIED != "GIED9" || e2.Protection.CILO.GuardBreaker != "CB1" {
+		t.Errorf("GIED2 protection = %+v", e2.Protection)
+	}
+	if c.Find("nope") != nil {
+		t.Error("Find on missing IED returned entry")
+	}
+}
+
+func TestIEDConfigValidation(t *testing.T) {
+	tests := []struct {
+		name string
+		xml  string
+	}{
+		{"zero PTOC", `<IEDConfig><IED name="a"><Protection><PTOC thresholdKa="0"/></Protection></IED></IEDConfig>`},
+		{"PTOV below 1", `<IEDConfig><IED name="a"><Protection><PTOV thresholdPu="0.95"/></Protection></IED></IEDConfig>`},
+		{"PTUV above 1", `<IEDConfig><IED name="a"><Protection><PTUV thresholdPu="1.2"/></Protection></IED></IEDConfig>`},
+		{"PDIF no remote", `<IEDConfig><IED name="a"><Protection><PDIF thresholdKa="0.1"/></Protection></IED></IEDConfig>`},
+		{"CILO no guard", `<IEDConfig><IED name="a"><Protection><CILO guardIed="b"/></Protection></IED></IEDConfig>`},
+		{"dup IED", `<IEDConfig><IED name="a"/><IED name="a"/></IEDConfig>`},
+		{"unnamed IED", `<IEDConfig><IED/></IEDConfig>`},
+		{"not xml", `garbage`},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := ParseIEDConfig([]byte(tt.xml)); !errors.Is(err, ErrConfig) {
+				t.Errorf("err = %v, want ErrConfig", err)
+			}
+		})
+	}
+}
+
+func TestParseSCADAConfig(t *testing.T) {
+	c, err := ParseSCADAConfig([]byte(sampleSCADAConfig))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.DataSources) != 2 || len(c.DataPoints) != 4 {
+		t.Fatalf("sources=%d points=%d", len(c.DataSources), len(c.DataPoints))
+	}
+	if c.DataSources[0].Protocol != "modbus" || c.DataSources[1].Protocol != "mms" {
+		t.Error("protocols wrong")
+	}
+	if !c.DataPoints[0].HasAlarm || c.DataPoints[0].AlarmHigh != 1.1 {
+		t.Errorf("alarm config = %+v", c.DataPoints[0])
+	}
+	if !c.DataPoints[2].Writable {
+		t.Error("writable flag lost")
+	}
+}
+
+func TestSCADAConfigValidation(t *testing.T) {
+	tests := []struct {
+		name string
+		xml  string
+	}{
+		{"bad protocol", `<SCADAConfig><DataSource name="x" protocol="dnp3"/></SCADAConfig>`},
+		{"dup source", `<SCADAConfig><DataSource name="x" protocol="mms"/><DataSource name="x" protocol="mms"/></SCADAConfig>`},
+		{"orphan point", `<SCADAConfig><DataPoint name="p" source="ghost" kind="analog"/></SCADAConfig>`},
+		{"bad kind", `<SCADAConfig><DataSource name="x" protocol="mms"/><DataPoint name="p" source="x" kind="blob"/></SCADAConfig>`},
+		{"dup point", `<SCADAConfig><DataSource name="x" protocol="mms"/><DataPoint name="p" source="x" kind="analog"/><DataPoint name="p" source="x" kind="analog"/></SCADAConfig>`},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := ParseSCADAConfig([]byte(tt.xml)); !errors.Is(err, ErrConfig) {
+				t.Errorf("err = %v, want ErrConfig", err)
+			}
+		})
+	}
+}
+
+func TestParsePowerConfig(t *testing.T) {
+	c, err := ParsePowerConfig([]byte(samplePowerConfig))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.BaseMVA != 100 || c.Interval() != 100*time.Millisecond {
+		t.Errorf("base=%v interval=%v", c.BaseMVA, c.Interval())
+	}
+	ld := c.Element("load", "Home1")
+	if ld == nil || ld.PMW != 0.015 {
+		t.Errorf("load param = %+v", ld)
+	}
+	if c.Element("line", "L1").MaxIKA != 0.4 {
+		t.Error("line param wrong")
+	}
+	if c.Element("load", "ghost") != nil {
+		t.Error("missing element returned non-nil")
+	}
+	if len(c.Steps) != 3 || c.Steps[2].Kind != "switch" {
+		t.Errorf("steps = %+v", c.Steps)
+	}
+}
+
+func TestPowerConfigDefaultInterval(t *testing.T) {
+	c := &PowerConfig{}
+	if c.Interval() != 100*time.Millisecond {
+		t.Errorf("default interval = %v", c.Interval())
+	}
+}
+
+func TestPowerConfigValidation(t *testing.T) {
+	tests := []struct {
+		name string
+		xml  string
+	}{
+		{"bad element kind", `<PowerSystemConfig><Element kind="motor" name="m"/></PowerSystemConfig>`},
+		{"unnamed element", `<PowerSystemConfig><Element kind="load"/></PowerSystemConfig>`},
+		{"bad step kind", `<PowerSystemConfig><Step atMs="0" kind="explode" element="x"/></PowerSystemConfig>`},
+		{"negative time", `<PowerSystemConfig><Step atMs="-5" kind="switch" element="x"/></PowerSystemConfig>`},
+		{"step without element", `<PowerSystemConfig><Step atMs="0" kind="switch"/></PowerSystemConfig>`},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := ParsePowerConfig([]byte(tt.xml)); !errors.Is(err, ErrConfig) {
+				t.Errorf("err = %v, want ErrConfig", err)
+			}
+		})
+	}
+}
+
+func TestMarshalRoundTrips(t *testing.T) {
+	ied, _ := ParseIEDConfig([]byte(sampleIEDConfig))
+	data, err := Marshal(ied)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := ParseIEDConfig(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Find("GIED2").Protection.CILO.GuardIED != "GIED1" {
+		t.Error("IED config round trip lost data")
+	}
+
+	pc, _ := ParsePowerConfig([]byte(samplePowerConfig))
+	data, err = Marshal(pc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pcAgain, err := ParsePowerConfig(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pcAgain.Element("trafo", "T1").VKPercent != 6 {
+		t.Error("power config round trip lost data")
+	}
+}
+
+func TestSCADAToImportJSON(t *testing.T) {
+	c, _ := ParseSCADAConfig([]byte(sampleSCADAConfig))
+	data, err := c.ToImportJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(data) {
+		t.Fatal("invalid JSON produced")
+	}
+	var imp ScadaImport
+	if err := json.Unmarshal(data, &imp); err != nil {
+		t.Fatal(err)
+	}
+	if len(imp.DataSources) != 2 || len(imp.DataPoints) != 4 {
+		t.Fatalf("import: %d sources, %d points", len(imp.DataSources), len(imp.DataPoints))
+	}
+	if imp.DataSources[0].Type != "MODBUS_IP" || imp.DataSources[1].Type != "MMS" {
+		t.Error("source types wrong")
+	}
+	if imp.DataPoints[0].DataSourceXID != "DS_cplc" || imp.DataPoints[0].DataType != "NUMERIC" {
+		t.Errorf("point 0 = %+v", imp.DataPoints[0])
+	}
+	if imp.DataPoints[1].DataType != "BINARY" {
+		t.Error("binary point type wrong")
+	}
+	if !imp.DataPoints[2].SettableEnabled {
+		t.Error("settable flag lost")
+	}
+	if !strings.Contains(string(data), "alarmHighLimit") {
+		t.Error("alarm limits missing from JSON")
+	}
+	// Default multiplier is 1 when no scale given.
+	if imp.DataPoints[1].Multiplier != 1 {
+		t.Errorf("default multiplier = %v", imp.DataPoints[1].Multiplier)
+	}
+}
+
+func TestParseImportJSON(t *testing.T) {
+	c, _ := ParseSCADAConfig([]byte(sampleSCADAConfig))
+	data, _ := c.ToImportJSON()
+	imp, err := ParseImportJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(imp.DataPoints) != 4 {
+		t.Error("points lost")
+	}
+	if _, err := ParseImportJSON([]byte("{")); err == nil {
+		t.Error("bad JSON accepted")
+	}
+	if _, err := ParseImportJSON([]byte(`{"dataPoints":[{"xid":"p","dataSourceXid":"ghost"}]}`)); err == nil {
+		t.Error("orphan point accepted")
+	}
+}

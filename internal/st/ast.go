@@ -1,0 +1,321 @@
+package st
+
+import "time"
+
+// TypeName enumerates supported declared types.
+type TypeName string
+
+// Supported elementary and function-block types.
+const (
+	TypeBool  TypeName = "BOOL"
+	TypeInt   TypeName = "INT"
+	TypeDInt  TypeName = "DINT"
+	TypeUInt  TypeName = "UINT"
+	TypeReal  TypeName = "REAL"
+	TypeLReal TypeName = "LREAL"
+	TypeTime  TypeName = "TIME"
+	TypeTON   TypeName = "TON"
+	TypeTOF   TypeName = "TOF"
+	TypeTP    TypeName = "TP"
+	TypeRTrig TypeName = "R_TRIG"
+	TypeFTrig TypeName = "F_TRIG"
+	TypeSR    TypeName = "SR"
+	TypeRS    TypeName = "RS"
+	TypeCTU   TypeName = "CTU"
+	TypeCTD   TypeName = "CTD"
+)
+
+// IsFB reports whether the type is a function-block type.
+func (t TypeName) IsFB() bool {
+	switch t {
+	case TypeTON, TypeTOF, TypeTP, TypeRTrig, TypeFTrig, TypeSR, TypeRS, TypeCTU, TypeCTD:
+		return true
+	}
+	return false
+}
+
+// VarClass distinguishes declaration sections.
+type VarClass int
+
+// Variable classes.
+const (
+	ClassLocal VarClass = iota + 1
+	ClassInput
+	ClassOutput
+	ClassInOut
+)
+
+// VarDecl is one declared variable.
+type VarDecl struct {
+	Name    string
+	Type    TypeName
+	Class   VarClass
+	Init    Expr   // nil when defaulted
+	Address string // AT %IX0.0 binding, kept verbatim
+}
+
+// Program is a parsed POU (program organisation unit).
+type Program struct {
+	Name string
+	Vars []VarDecl
+	Body []Stmt
+}
+
+// FindVar returns the declaration of name, or nil.
+func (p *Program) FindVar(name string) *VarDecl {
+	for i := range p.Vars {
+		if p.Vars[i].Name == name {
+			return &p.Vars[i]
+		}
+	}
+	return nil
+}
+
+// Stmt is a statement node.
+type Stmt interface{ stmtNode() }
+
+// AssignStmt is target := value.
+type AssignStmt struct {
+	Target VarRef
+	Value  Expr
+	Line   int
+}
+
+// IfStmt is IF/ELSIF/ELSE/END_IF.
+type IfStmt struct {
+	Cond Expr
+	Then []Stmt
+	// Elifs are evaluated in order.
+	Elifs []struct {
+		Cond Expr
+		Body []Stmt
+	}
+	Else []Stmt
+	Line int
+}
+
+// CaseStmt is CASE x OF ... END_CASE.
+type CaseStmt struct {
+	Selector Expr
+	Cases    []CaseBranch
+	Else     []Stmt
+	Line     int
+}
+
+// CaseBranch holds one case label list (values or ranges) and body.
+type CaseBranch struct {
+	Values []CaseLabel
+	Body   []Stmt
+}
+
+// CaseLabel is a single value or inclusive range.
+type CaseLabel struct {
+	Low, High int64
+	IsRange   bool
+}
+
+// ForStmt is FOR i := a TO b BY c DO ... END_FOR.
+type ForStmt struct {
+	Var  string
+	From Expr
+	To   Expr
+	By   Expr // nil = 1
+	Body []Stmt
+	Line int
+}
+
+// WhileStmt is WHILE cond DO ... END_WHILE.
+type WhileStmt struct {
+	Cond Expr
+	Body []Stmt
+	Line int
+}
+
+// RepeatStmt is REPEAT ... UNTIL cond END_REPEAT.
+type RepeatStmt struct {
+	Body  []Stmt
+	Until Expr
+	Line  int
+}
+
+// FBCallStmt invokes a function-block instance: T1(IN := x, PT := T#1s);.
+type FBCallStmt struct {
+	Instance string
+	Args     []FBArg
+	Line     int
+}
+
+// FBArg is one named argument of an FB invocation.
+type FBArg struct {
+	Name  string
+	Value Expr
+}
+
+// ExitStmt breaks the innermost loop.
+type ExitStmt struct{ Line int }
+
+// ReturnStmt ends the scan early.
+type ReturnStmt struct{ Line int }
+
+func (*AssignStmt) stmtNode() {}
+func (*IfStmt) stmtNode()     {}
+func (*CaseStmt) stmtNode()   {}
+func (*ForStmt) stmtNode()    {}
+func (*WhileStmt) stmtNode()  {}
+func (*RepeatStmt) stmtNode() {}
+func (*FBCallStmt) stmtNode() {}
+func (*ExitStmt) stmtNode()   {}
+func (*ReturnStmt) stmtNode() {}
+
+// Expr is an expression node.
+type Expr interface{ exprNode() }
+
+// BinaryExpr applies Op to Left and Right.
+type BinaryExpr struct {
+	Op          string // + - * / MOD ** = <> < <= > >= AND OR XOR &
+	Left, Right Expr
+	Line        int
+}
+
+// UnaryExpr applies Op to X (NOT, unary -).
+type UnaryExpr struct {
+	Op   string
+	X    Expr
+	Line int
+}
+
+// Literal is a constant.
+type Literal struct {
+	Val  Value
+	Line int
+}
+
+// VarRef references a variable or an FB member (dotted).
+type VarRef struct {
+	Name   string // base identifier, upper-case
+	Member string // optional member (Q, ET, CV, ...)
+	Line   int
+}
+
+// CallExpr is a standard-function call: ABS(x), MIN(a,b), ...
+type CallExpr struct {
+	Func string
+	Args []Expr
+	Line int
+}
+
+func (*BinaryExpr) exprNode() {}
+func (*UnaryExpr) exprNode()  {}
+func (*Literal) exprNode()    {}
+func (VarRef) exprNode()      {}
+func (*CallExpr) exprNode()   {}
+
+// ValueKind tags runtime values.
+type ValueKind int
+
+// Runtime value kinds.
+const (
+	KindBool ValueKind = iota + 1
+	KindInt
+	KindReal
+	KindTime
+)
+
+// Value is an ST runtime value.
+type Value struct {
+	Kind ValueKind
+	Bool bool
+	Int  int64
+	Real float64
+	Dur  time.Duration
+}
+
+// BoolVal builds a BOOL value.
+func BoolVal(b bool) Value { return Value{Kind: KindBool, Bool: b} }
+
+// IntVal builds an INT/DINT value.
+func IntVal(i int64) Value { return Value{Kind: KindInt, Int: i} }
+
+// RealVal builds a REAL value.
+func RealVal(f float64) Value { return Value{Kind: KindReal, Real: f} }
+
+// TimeVal builds a TIME value.
+func TimeVal(d time.Duration) Value { return Value{Kind: KindTime, Dur: d} }
+
+// AsBool coerces to bool (non-zero numerics are true).
+func (v Value) AsBool() bool {
+	switch v.Kind {
+	case KindBool:
+		return v.Bool
+	case KindInt:
+		return v.Int != 0
+	case KindReal:
+		return v.Real != 0
+	case KindTime:
+		return v.Dur != 0
+	}
+	return false
+}
+
+// AsInt coerces to int64 (reals truncate).
+func (v Value) AsInt() int64 {
+	switch v.Kind {
+	case KindBool:
+		if v.Bool {
+			return 1
+		}
+		return 0
+	case KindInt:
+		return v.Int
+	case KindReal:
+		return int64(v.Real)
+	case KindTime:
+		return int64(v.Dur / time.Millisecond)
+	}
+	return 0
+}
+
+// AsReal coerces to float64.
+func (v Value) AsReal() float64 {
+	switch v.Kind {
+	case KindBool:
+		if v.Bool {
+			return 1
+		}
+		return 0
+	case KindInt:
+		return float64(v.Int)
+	case KindReal:
+		return v.Real
+	case KindTime:
+		return float64(v.Dur) / float64(time.Millisecond)
+	}
+	return 0
+}
+
+// AsTime coerces to a duration (ints are milliseconds).
+func (v Value) AsTime() time.Duration {
+	switch v.Kind {
+	case KindTime:
+		return v.Dur
+	case KindInt:
+		return time.Duration(v.Int) * time.Millisecond
+	case KindReal:
+		return time.Duration(v.Real * float64(time.Millisecond))
+	}
+	return 0
+}
+
+// ZeroOf returns the zero value for a declared type.
+func ZeroOf(t TypeName) Value {
+	switch t {
+	case TypeBool:
+		return BoolVal(false)
+	case TypeReal, TypeLReal:
+		return RealVal(0)
+	case TypeTime:
+		return TimeVal(0)
+	default:
+		return IntVal(0)
+	}
+}

@@ -1,0 +1,357 @@
+// Package st implements an IEC 61131-3 Structured Text (ST) language
+// interpreter: lexer, parser and a scan-cycle evaluator with the standard
+// function blocks (TON/TOF/TP timers, R_TRIG/F_TRIG edge detectors, SR/RS
+// latches, CTU/CTD counters).
+//
+// It is the language substrate of the virtual PLC (OpenPLC61850 substitute,
+// §III-B): "PLC logic in Structured Text format can be uploaded to the
+// OpenPLC runtime and then started". internal/plc embeds this interpreter in
+// a read-inputs → execute → write-outputs scan cycle.
+package st
+
+import (
+	"fmt"
+	"strings"
+	"time"
+	"unicode"
+)
+
+// TokenKind classifies lexical tokens.
+type TokenKind int
+
+// Token kinds.
+const (
+	TokEOF TokenKind = iota + 1
+	TokIdent
+	TokKeyword
+	TokIntLit
+	TokRealLit
+	TokTimeLit
+	TokBoolLit
+	TokStringLit
+	TokAssign // :=
+	TokOp     // + - * / < <= etc.
+	TokLParen
+	TokRParen
+	TokLBracket
+	TokRBracket
+	TokSemi
+	TokColon
+	TokComma
+	TokDot
+	TokDotDot // ..
+)
+
+// Token is one lexical unit with its position for error reporting.
+type Token struct {
+	Kind TokenKind
+	Text string // normalised: keywords and identifiers upper-cased
+	Raw  string
+	Int  int64
+	Real float64
+	Dur  time.Duration
+	Line int
+	Col  int
+}
+
+func (t Token) String() string {
+	return fmt.Sprintf("%s@%d:%d", t.Raw, t.Line, t.Col)
+}
+
+var keywords = map[string]bool{
+	"PROGRAM": true, "END_PROGRAM": true,
+	"FUNCTION_BLOCK": true, "END_FUNCTION_BLOCK": true,
+	"VAR": true, "VAR_INPUT": true, "VAR_OUTPUT": true, "VAR_IN_OUT": true, "END_VAR": true,
+	"IF": true, "THEN": true, "ELSIF": true, "ELSE": true, "END_IF": true,
+	"CASE": true, "OF": true, "END_CASE": true,
+	"FOR": true, "TO": true, "BY": true, "DO": true, "END_FOR": true,
+	"WHILE": true, "END_WHILE": true,
+	"REPEAT": true, "UNTIL": true, "END_REPEAT": true,
+	"EXIT": true, "RETURN": true,
+	"AND": true, "OR": true, "XOR": true, "NOT": true, "MOD": true,
+	"AT": true, "RETAIN": true, "CONSTANT": true,
+}
+
+// SyntaxError reports a lexing or parsing failure with position.
+type SyntaxError struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("st: %d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+func errAt(line, col int, format string, args ...any) error {
+	return &SyntaxError{Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Lex tokenises ST source. Comments (* ... *) and // ... are skipped.
+func Lex(src string) ([]Token, error) {
+	var toks []Token
+	line, col := 1, 1
+	i := 0
+	n := len(src)
+	advance := func(k int) {
+		for j := 0; j < k && i < n; j++ {
+			if src[i] == '\n' {
+				line++
+				col = 1
+			} else {
+				col++
+			}
+			i++
+		}
+	}
+	for i < n {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			advance(1)
+		case c == '(' && i+1 < n && src[i+1] == '*':
+			startLine, startCol := line, col
+			advance(2)
+			for {
+				if i+1 >= n {
+					return nil, errAt(startLine, startCol, "unterminated comment")
+				}
+				if src[i] == '*' && src[i+1] == ')' {
+					advance(2)
+					break
+				}
+				advance(1)
+			}
+		case c == '/' && i+1 < n && src[i+1] == '/':
+			for i < n && src[i] != '\n' {
+				advance(1)
+			}
+		case unicode.IsLetter(rune(c)) || c == '_':
+			startLine, startCol := line, col
+			j := i
+			for j < n && (unicode.IsLetter(rune(src[j])) || unicode.IsDigit(rune(src[j])) || src[j] == '_' || src[j] == '#') {
+				// '#' appears in typed literals like T#500MS and 16#FF.
+				if src[j] == '#' {
+					break
+				}
+				j++
+			}
+			word := src[i:j]
+			upper := strings.ToUpper(word)
+			// Time literal T#...
+			if (upper == "T" || upper == "TIME") && j < n && src[j] == '#' {
+				k := j + 1
+				for k < n && (unicode.IsLetter(rune(src[k])) || unicode.IsDigit(rune(src[k])) || src[k] == '.' || src[k] == '_') {
+					k++
+				}
+				lit := src[j+1 : k]
+				d, err := parseTimeLiteral(lit)
+				if err != nil {
+					return nil, errAt(startLine, startCol, "bad time literal %q: %v", lit, err)
+				}
+				toks = append(toks, Token{Kind: TokTimeLit, Text: upper + "#" + lit, Raw: src[i:k], Dur: d, Line: startLine, Col: startCol})
+				advance(k - i)
+				continue
+			}
+			switch {
+			case upper == "TRUE":
+				toks = append(toks, Token{Kind: TokBoolLit, Text: "TRUE", Raw: word, Int: 1, Line: startLine, Col: startCol})
+			case upper == "FALSE":
+				toks = append(toks, Token{Kind: TokBoolLit, Text: "FALSE", Raw: word, Line: startLine, Col: startCol})
+			case keywords[upper]:
+				toks = append(toks, Token{Kind: TokKeyword, Text: upper, Raw: word, Line: startLine, Col: startCol})
+			default:
+				toks = append(toks, Token{Kind: TokIdent, Text: upper, Raw: word, Line: startLine, Col: startCol})
+			}
+			advance(j - i)
+		case unicode.IsDigit(rune(c)):
+			startLine, startCol := line, col
+			j := i
+			isReal := false
+			// Base-prefixed literal 16#FF / 2#1010.
+			base := 10
+			digits := ""
+			for j < n && unicode.IsDigit(rune(src[j])) {
+				j++
+			}
+			if j < n && src[j] == '#' {
+				baseStr := src[i:j]
+				switch baseStr {
+				case "2":
+					base = 2
+				case "8":
+					base = 8
+				case "16":
+					base = 16
+				default:
+					return nil, errAt(startLine, startCol, "unsupported literal base %q", baseStr)
+				}
+				j++
+				k := j
+				for k < n && (unicode.IsDigit(rune(src[k])) || (base == 16 && isHexLetter(src[k])) || src[k] == '_') {
+					k++
+				}
+				digits = strings.ReplaceAll(src[j:k], "_", "")
+				var v int64
+				for _, ch := range digits {
+					v = v*int64(base) + int64(hexVal(byte(ch)))
+				}
+				toks = append(toks, Token{Kind: TokIntLit, Text: src[i:k], Raw: src[i:k], Int: v, Line: startLine, Col: startCol})
+				advance(k - i)
+				continue
+			}
+			if j < n && src[j] == '.' && j+1 < n && unicode.IsDigit(rune(src[j+1])) {
+				isReal = true
+				j++
+				for j < n && unicode.IsDigit(rune(src[j])) {
+					j++
+				}
+			}
+			if j < n && (src[j] == 'e' || src[j] == 'E') {
+				k := j + 1
+				if k < n && (src[k] == '+' || src[k] == '-') {
+					k++
+				}
+				if k < n && unicode.IsDigit(rune(src[k])) {
+					isReal = true
+					j = k
+					for j < n && unicode.IsDigit(rune(src[j])) {
+						j++
+					}
+				}
+			}
+			text := src[i:j]
+			if isReal {
+				var f float64
+				if _, err := fmt.Sscanf(text, "%g", &f); err != nil {
+					return nil, errAt(startLine, startCol, "bad real literal %q", text)
+				}
+				toks = append(toks, Token{Kind: TokRealLit, Text: text, Raw: text, Real: f, Line: startLine, Col: startCol})
+			} else {
+				var v int64
+				if _, err := fmt.Sscanf(text, "%d", &v); err != nil {
+					return nil, errAt(startLine, startCol, "bad integer literal %q", text)
+				}
+				toks = append(toks, Token{Kind: TokIntLit, Text: text, Raw: text, Int: v, Line: startLine, Col: startCol})
+			}
+			advance(j - i)
+		case c == '\'':
+			startLine, startCol := line, col
+			j := i + 1
+			for j < n && src[j] != '\'' {
+				j++
+			}
+			if j >= n {
+				return nil, errAt(startLine, startCol, "unterminated string")
+			}
+			toks = append(toks, Token{Kind: TokStringLit, Text: src[i+1 : j], Raw: src[i : j+1], Line: startLine, Col: startCol})
+			advance(j - i + 1)
+		default:
+			startLine, startCol := line, col
+			two := ""
+			if i+1 < n {
+				two = src[i : i+2]
+			}
+			emit := func(kind TokenKind, text string, width int) {
+				toks = append(toks, Token{Kind: kind, Text: text, Raw: text, Line: startLine, Col: startCol})
+				advance(width)
+			}
+			switch {
+			case two == ":=":
+				emit(TokAssign, ":=", 2)
+			case two == "<=", two == ">=", two == "<>", two == "**":
+				emit(TokOp, two, 2)
+			case two == "..":
+				emit(TokDotDot, "..", 2)
+			case c == '+', c == '-', c == '*', c == '/', c == '<', c == '>', c == '=', c == '&':
+				emit(TokOp, string(c), 1)
+			case c == '(':
+				emit(TokLParen, "(", 1)
+			case c == ')':
+				emit(TokRParen, ")", 1)
+			case c == '[':
+				emit(TokLBracket, "[", 1)
+			case c == ']':
+				emit(TokRBracket, "]", 1)
+			case c == ';':
+				emit(TokSemi, ";", 1)
+			case c == ':':
+				emit(TokColon, ":", 1)
+			case c == ',':
+				emit(TokComma, ",", 1)
+			case c == '.':
+				emit(TokDot, ".", 1)
+			default:
+				return nil, errAt(startLine, startCol, "unexpected character %q", string(c))
+			}
+		}
+	}
+	toks = append(toks, Token{Kind: TokEOF, Text: "", Line: line, Col: col})
+	return toks, nil
+}
+
+func isHexLetter(c byte) bool {
+	return (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+}
+
+func hexVal(c byte) int {
+	switch {
+	case c >= '0' && c <= '9':
+		return int(c - '0')
+	case c >= 'a' && c <= 'f':
+		return int(c-'a') + 10
+	case c >= 'A' && c <= 'F':
+		return int(c-'A') + 10
+	}
+	return 0
+}
+
+// parseTimeLiteral parses IEC duration literals like "500ms", "1s500ms",
+// "2m30s", "1h", "1d2h" (case-insensitive).
+func parseTimeLiteral(s string) (time.Duration, error) {
+	s = strings.ToLower(strings.ReplaceAll(s, "_", ""))
+	if s == "" {
+		return 0, fmt.Errorf("empty")
+	}
+	var total time.Duration
+	i := 0
+	for i < len(s) {
+		j := i
+		for j < len(s) && (unicode.IsDigit(rune(s[j])) || s[j] == '.') {
+			j++
+		}
+		if j == i {
+			return 0, fmt.Errorf("expected number at %q", s[i:])
+		}
+		var val float64
+		if _, err := fmt.Sscanf(s[i:j], "%g", &val); err != nil {
+			return 0, err
+		}
+		k := j
+		for k < len(s) && unicode.IsLetter(rune(s[k])) {
+			k++
+		}
+		unit := s[j:k]
+		var mult time.Duration
+		switch unit {
+		case "d":
+			mult = 24 * time.Hour
+		case "h":
+			mult = time.Hour
+		case "m":
+			mult = time.Minute
+		case "s":
+			mult = time.Second
+		case "ms":
+			mult = time.Millisecond
+		case "us":
+			mult = time.Microsecond
+		case "ns":
+			mult = time.Nanosecond
+		default:
+			return 0, fmt.Errorf("unknown unit %q", unit)
+		}
+		total += time.Duration(val * float64(mult))
+		i = k
+	}
+	return total, nil
+}

@@ -1,0 +1,153 @@
+package st
+
+import (
+	"testing"
+	"time"
+)
+
+func lex(t *testing.T, src string) []Token {
+	t.Helper()
+	toks, err := Lex(src)
+	if err != nil {
+		t.Fatalf("Lex(%q): %v", src, err)
+	}
+	return toks
+}
+
+func TestLexBasicTokens(t *testing.T) {
+	toks := lex(t, `x := (a + 3.5) * 2; // comment`)
+	kinds := []TokenKind{TokIdent, TokAssign, TokLParen, TokIdent, TokOp, TokRealLit, TokRParen, TokOp, TokIntLit, TokSemi, TokEOF}
+	if len(toks) != len(kinds) {
+		t.Fatalf("tokens = %d, want %d: %v", len(toks), len(kinds), toks)
+	}
+	for i, k := range kinds {
+		if toks[i].Kind != k {
+			t.Errorf("token %d kind = %d, want %d (%s)", i, toks[i].Kind, k, toks[i].Raw)
+		}
+	}
+}
+
+func TestLexCaseInsensitiveKeywords(t *testing.T) {
+	toks := lex(t, `If then ELSIF End_If while`)
+	for i, want := range []string{"IF", "THEN", "ELSIF", "END_IF", "WHILE"} {
+		if toks[i].Kind != TokKeyword || toks[i].Text != want {
+			t.Errorf("token %d = %+v, want keyword %s", i, toks[i], want)
+		}
+	}
+}
+
+func TestLexBaseLiterals(t *testing.T) {
+	cases := map[string]int64{
+		"16#FF":        255,
+		"16#ff":        255,
+		"2#1010":       10,
+		"8#17":         15,
+		"16#DEAD_BEEF": 0xDEADBEEF,
+	}
+	for src, want := range cases {
+		toks := lex(t, src)
+		if toks[0].Kind != TokIntLit || toks[0].Int != want {
+			t.Errorf("Lex(%q) = %+v, want %d", src, toks[0], want)
+		}
+	}
+	if _, err := Lex("99#1"); err == nil {
+		t.Error("bad base accepted")
+	}
+}
+
+func TestLexScientificNotation(t *testing.T) {
+	toks := lex(t, "1.5e3 2E-2 7e2")
+	wants := []float64{1500, 0.02, 700}
+	for i, w := range wants {
+		if toks[i].Kind != TokRealLit || toks[i].Real != w {
+			t.Errorf("token %d = %+v, want %g", i, toks[i], w)
+		}
+	}
+}
+
+func TestLexStringLiteral(t *testing.T) {
+	toks := lex(t, `'hello world'`)
+	if toks[0].Kind != TokStringLit || toks[0].Text != "hello world" {
+		t.Errorf("string token = %+v", toks[0])
+	}
+	if _, err := Lex(`'unterminated`); err == nil {
+		t.Error("unterminated string accepted")
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	toks := lex(t, `a (* multi
+	line (* not nested *) b // rest
+	c`)
+	var idents []string
+	for _, tok := range toks {
+		if tok.Kind == TokIdent {
+			idents = append(idents, tok.Text)
+		}
+	}
+	// The block comment ends at the first *), so "b" survives; "rest" is cut.
+	if len(idents) != 3 || idents[0] != "A" || idents[1] != "B" || idents[2] != "C" {
+		t.Errorf("idents = %v", idents)
+	}
+	if _, err := Lex("(* never closed"); err == nil {
+		t.Error("unterminated comment accepted")
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks := lex(t, "a\n  b")
+	if toks[0].Line != 1 || toks[0].Col != 1 {
+		t.Errorf("a at %d:%d", toks[0].Line, toks[0].Col)
+	}
+	if toks[1].Line != 2 || toks[1].Col != 3 {
+		t.Errorf("b at %d:%d", toks[1].Line, toks[1].Col)
+	}
+}
+
+func TestParseTimeLiteralUnits(t *testing.T) {
+	cases := map[string]time.Duration{
+		"500ms":   500 * time.Millisecond,
+		"1.5s":    1500 * time.Millisecond,
+		"2m":      2 * time.Minute,
+		"1h30m":   90 * time.Minute,
+		"1d":      24 * time.Hour,
+		"100us":   100 * time.Microsecond,
+		"250ns":   250 * time.Nanosecond,
+		"1s500ms": 1500 * time.Millisecond,
+	}
+	for lit, want := range cases {
+		got, err := parseTimeLiteral(lit)
+		if err != nil {
+			t.Errorf("parseTimeLiteral(%q): %v", lit, err)
+			continue
+		}
+		if got != want {
+			t.Errorf("parseTimeLiteral(%q) = %v, want %v", lit, got, want)
+		}
+	}
+	for _, bad := range []string{"", "xyz", "5q", "s5"} {
+		if _, err := parseTimeLiteral(bad); err == nil {
+			t.Errorf("parseTimeLiteral(%q) accepted", bad)
+		}
+	}
+}
+
+func TestLexUnexpectedCharacter(t *testing.T) {
+	if _, err := Lex("a ? b"); err == nil {
+		t.Error("unexpected character accepted")
+	}
+}
+
+func TestSyntaxErrorFormat(t *testing.T) {
+	_, err := Lex("a ? b")
+	se, ok := err.(*SyntaxError)
+	if !ok {
+		t.Fatalf("error type %T", err)
+	}
+	if se.Line != 1 || se.Col != 3 {
+		t.Errorf("position %d:%d", se.Line, se.Col)
+	}
+	if se.Error() == "" {
+		t.Error("empty message")
+	}
+}

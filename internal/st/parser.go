@@ -1,0 +1,897 @@
+package st
+
+import "fmt"
+
+// Parse compiles ST source into a Program. The source may be a bare
+// statement list or wrapped in PROGRAM ... END_PROGRAM with VAR sections.
+func Parse(src string) (*Program, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	prog, err := p.parseProgram()
+	if err != nil {
+		return nil, err
+	}
+	if err := checkProgram(prog); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+type parser struct {
+	toks []Token
+	pos  int
+}
+
+func (p *parser) cur() Token  { return p.toks[p.pos] }
+func (p *parser) next() Token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) accept(kind TokenKind, text string) bool {
+	t := p.cur()
+	if t.Kind == kind && (text == "" || t.Text == text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind TokenKind, text string) (Token, error) {
+	t := p.cur()
+	if t.Kind != kind || (text != "" && t.Text != text) {
+		want := text
+		if want == "" {
+			want = fmt.Sprintf("token kind %d", kind)
+		}
+		return t, errAt(t.Line, t.Col, "expected %s, got %q", want, t.Raw)
+	}
+	p.pos++
+	return t, nil
+}
+
+func (p *parser) parseProgram() (*Program, error) {
+	prog := &Program{Name: "MAIN"}
+	if p.accept(TokKeyword, "PROGRAM") || p.accept(TokKeyword, "FUNCTION_BLOCK") {
+		name, err := p.expect(TokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		prog.Name = name.Text
+	}
+	// VAR sections.
+	for {
+		class := ClassLocal
+		switch {
+		case p.accept(TokKeyword, "VAR"):
+		case p.accept(TokKeyword, "VAR_INPUT"):
+			class = ClassInput
+		case p.accept(TokKeyword, "VAR_OUTPUT"):
+			class = ClassOutput
+		case p.accept(TokKeyword, "VAR_IN_OUT"):
+			class = ClassInOut
+		default:
+			goto body
+		}
+		// Optional RETAIN/CONSTANT qualifiers.
+		p.accept(TokKeyword, "RETAIN")
+		p.accept(TokKeyword, "CONSTANT")
+		for !p.accept(TokKeyword, "END_VAR") {
+			decls, err := p.parseVarDecl(class)
+			if err != nil {
+				return nil, err
+			}
+			prog.Vars = append(prog.Vars, decls...)
+		}
+	}
+body:
+	body, err := p.parseStatements(map[string]bool{"END_PROGRAM": true, "END_FUNCTION_BLOCK": true, "": true})
+	if err != nil {
+		return nil, err
+	}
+	prog.Body = body
+	p.accept(TokKeyword, "END_PROGRAM")
+	p.accept(TokKeyword, "END_FUNCTION_BLOCK")
+	if _, err := p.expect(TokEOF, ""); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+// parseVarDecl parses "a, b : INT := 5;" possibly with AT %QX0.0 bindings.
+func (p *parser) parseVarDecl(class VarClass) ([]VarDecl, error) {
+	var names []string
+	address := ""
+	for {
+		t, err := p.expect(TokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		names = append(names, t.Text)
+		if p.accept(TokKeyword, "AT") {
+			// Address like %QX0.0 — we lex it loosely as operator '%'? The
+			// lexer has no '%'; accept an identifier-ish run instead.
+			addr, err := p.expect(TokIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			address = addr.Raw
+		}
+		if !p.accept(TokComma, "") {
+			break
+		}
+	}
+	if _, err := p.expect(TokColon, ""); err != nil {
+		return nil, err
+	}
+	typTok, err := p.expect(TokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	typ := TypeName(typTok.Text)
+	switch typ {
+	case TypeBool, TypeInt, TypeDInt, TypeUInt, TypeReal, TypeLReal, TypeTime,
+		TypeTON, TypeTOF, TypeTP, TypeRTrig, TypeFTrig, TypeSR, TypeRS, TypeCTU, TypeCTD:
+	default:
+		return nil, errAt(typTok.Line, typTok.Col, "unsupported type %q", typTok.Raw)
+	}
+	var init Expr
+	if p.accept(TokAssign, "") {
+		init, err = p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(TokSemi, ""); err != nil {
+		return nil, err
+	}
+	out := make([]VarDecl, 0, len(names))
+	for _, name := range names {
+		out = append(out, VarDecl{Name: name, Type: typ, Class: class, Init: init, Address: address})
+	}
+	return out, nil
+}
+
+// parseStatements parses until one of the terminator keywords (not consumed).
+func (p *parser) parseStatements(terminators map[string]bool) ([]Stmt, error) {
+	var out []Stmt
+	for {
+		t := p.cur()
+		if t.Kind == TokEOF && terminators[""] {
+			return out, nil
+		}
+		if t.Kind == TokKeyword && terminators[t.Text] {
+			return out, nil
+		}
+		if t.Kind == TokEOF {
+			return nil, errAt(t.Line, t.Col, "unexpected end of input")
+		}
+		stmt, err := p.parseStatement()
+		if err != nil {
+			return nil, err
+		}
+		if stmt != nil {
+			out = append(out, stmt)
+		}
+	}
+}
+
+func (p *parser) parseStatement() (Stmt, error) {
+	t := p.cur()
+	switch {
+	case t.Kind == TokSemi:
+		p.next()
+		return nil, nil
+	case t.Kind == TokKeyword && t.Text == "IF":
+		return p.parseIf()
+	case t.Kind == TokKeyword && t.Text == "CASE":
+		return p.parseCase()
+	case t.Kind == TokKeyword && t.Text == "FOR":
+		return p.parseFor()
+	case t.Kind == TokKeyword && t.Text == "WHILE":
+		return p.parseWhile()
+	case t.Kind == TokKeyword && t.Text == "REPEAT":
+		return p.parseRepeat()
+	case t.Kind == TokKeyword && t.Text == "EXIT":
+		p.next()
+		if _, err := p.expect(TokSemi, ""); err != nil {
+			return nil, err
+		}
+		return &ExitStmt{Line: t.Line}, nil
+	case t.Kind == TokKeyword && t.Text == "RETURN":
+		p.next()
+		if _, err := p.expect(TokSemi, ""); err != nil {
+			return nil, err
+		}
+		return &ReturnStmt{Line: t.Line}, nil
+	case t.Kind == TokIdent:
+		return p.parseAssignOrCall()
+	default:
+		return nil, errAt(t.Line, t.Col, "unexpected token %q", t.Raw)
+	}
+}
+
+func (p *parser) parseAssignOrCall() (Stmt, error) {
+	ident := p.next() // TokIdent
+	// FB invocation: IDENT ( name := expr, ... ) ;
+	if p.cur().Kind == TokLParen {
+		p.next()
+		call := &FBCallStmt{Instance: ident.Text, Line: ident.Line}
+		if !p.accept(TokRParen, "") {
+			for {
+				argName, err := p.expect(TokIdent, "")
+				if err != nil {
+					return nil, err
+				}
+				if _, err := p.expect(TokAssign, ""); err != nil {
+					return nil, err
+				}
+				val, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				call.Args = append(call.Args, FBArg{Name: argName.Text, Value: val})
+				if p.accept(TokRParen, "") {
+					break
+				}
+				if _, err := p.expect(TokComma, ""); err != nil {
+					return nil, err
+				}
+			}
+		}
+		if _, err := p.expect(TokSemi, ""); err != nil {
+			return nil, err
+		}
+		return call, nil
+	}
+	// Assignment: IDENT[.member] := expr ;
+	ref := VarRef{Name: ident.Text, Line: ident.Line}
+	if p.accept(TokDot, "") {
+		member, err := p.expect(TokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		ref.Member = member.Text
+	}
+	if _, err := p.expect(TokAssign, ""); err != nil {
+		return nil, err
+	}
+	val, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokSemi, ""); err != nil {
+		return nil, err
+	}
+	return &AssignStmt{Target: ref, Value: val, Line: ident.Line}, nil
+}
+
+func (p *parser) parseIf() (Stmt, error) {
+	start := p.next() // IF
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokKeyword, "THEN"); err != nil {
+		return nil, err
+	}
+	stmt := &IfStmt{Cond: cond, Line: start.Line}
+	stmt.Then, err = p.parseStatements(map[string]bool{"ELSIF": true, "ELSE": true, "END_IF": true})
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(TokKeyword, "ELSIF") {
+		econd, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokKeyword, "THEN"); err != nil {
+			return nil, err
+		}
+		body, err := p.parseStatements(map[string]bool{"ELSIF": true, "ELSE": true, "END_IF": true})
+		if err != nil {
+			return nil, err
+		}
+		stmt.Elifs = append(stmt.Elifs, struct {
+			Cond Expr
+			Body []Stmt
+		}{econd, body})
+	}
+	if p.accept(TokKeyword, "ELSE") {
+		stmt.Else, err = p.parseStatements(map[string]bool{"END_IF": true})
+		if err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(TokKeyword, "END_IF"); err != nil {
+		return nil, err
+	}
+	p.accept(TokSemi, "")
+	return stmt, nil
+}
+
+func (p *parser) parseCase() (Stmt, error) {
+	start := p.next() // CASE
+	sel, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokKeyword, "OF"); err != nil {
+		return nil, err
+	}
+	stmt := &CaseStmt{Selector: sel, Line: start.Line}
+	for {
+		if p.accept(TokKeyword, "ELSE") {
+			stmt.Else, err = p.parseStatements(map[string]bool{"END_CASE": true})
+			if err != nil {
+				return nil, err
+			}
+			break
+		}
+		if p.cur().Kind == TokKeyword && p.cur().Text == "END_CASE" {
+			break
+		}
+		var labels []CaseLabel
+		for {
+			neg := false
+			if p.cur().Kind == TokOp && p.cur().Text == "-" {
+				p.next()
+				neg = true
+			}
+			lo, err := p.expect(TokIntLit, "")
+			if err != nil {
+				return nil, err
+			}
+			loVal := lo.Int
+			if neg {
+				loVal = -loVal
+			}
+			label := CaseLabel{Low: loVal, High: loVal}
+			if p.accept(TokDotDot, "") {
+				hi, err := p.expect(TokIntLit, "")
+				if err != nil {
+					return nil, err
+				}
+				label.High = hi.Int
+				label.IsRange = true
+			}
+			labels = append(labels, label)
+			if !p.accept(TokComma, "") {
+				break
+			}
+		}
+		if _, err := p.expect(TokColon, ""); err != nil {
+			return nil, err
+		}
+		body, err := p.parseCaseBody()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Cases = append(stmt.Cases, CaseBranch{Values: labels, Body: body})
+	}
+	if _, err := p.expect(TokKeyword, "END_CASE"); err != nil {
+		return nil, err
+	}
+	p.accept(TokSemi, "")
+	return stmt, nil
+}
+
+// parseCaseBody parses statements until the next case label, ELSE or
+// END_CASE. A case label is INT (possibly negative or a list) followed by
+// ':' — we detect it by lookahead.
+func (p *parser) parseCaseBody() ([]Stmt, error) {
+	var out []Stmt
+	for {
+		t := p.cur()
+		if t.Kind == TokKeyword && (t.Text == "END_CASE" || t.Text == "ELSE") {
+			return out, nil
+		}
+		if t.Kind == TokIntLit || (t.Kind == TokOp && t.Text == "-" && p.toks[p.pos+1].Kind == TokIntLit) {
+			return out, nil // next case label
+		}
+		if t.Kind == TokEOF {
+			return nil, errAt(t.Line, t.Col, "unterminated CASE")
+		}
+		stmt, err := p.parseStatement()
+		if err != nil {
+			return nil, err
+		}
+		if stmt != nil {
+			out = append(out, stmt)
+		}
+	}
+}
+
+func (p *parser) parseFor() (Stmt, error) {
+	start := p.next() // FOR
+	v, err := p.expect(TokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokAssign, ""); err != nil {
+		return nil, err
+	}
+	from, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokKeyword, "TO"); err != nil {
+		return nil, err
+	}
+	to, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	var by Expr
+	if p.accept(TokKeyword, "BY") {
+		by, err = p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(TokKeyword, "DO"); err != nil {
+		return nil, err
+	}
+	body, err := p.parseStatements(map[string]bool{"END_FOR": true})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokKeyword, "END_FOR"); err != nil {
+		return nil, err
+	}
+	p.accept(TokSemi, "")
+	return &ForStmt{Var: v.Text, From: from, To: to, By: by, Body: body, Line: start.Line}, nil
+}
+
+func (p *parser) parseWhile() (Stmt, error) {
+	start := p.next() // WHILE
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokKeyword, "DO"); err != nil {
+		return nil, err
+	}
+	body, err := p.parseStatements(map[string]bool{"END_WHILE": true})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokKeyword, "END_WHILE"); err != nil {
+		return nil, err
+	}
+	p.accept(TokSemi, "")
+	return &WhileStmt{Cond: cond, Body: body, Line: start.Line}, nil
+}
+
+func (p *parser) parseRepeat() (Stmt, error) {
+	start := p.next() // REPEAT
+	body, err := p.parseStatements(map[string]bool{"UNTIL": true})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokKeyword, "UNTIL"); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokKeyword, "END_REPEAT"); err != nil {
+		return nil, err
+	}
+	p.accept(TokSemi, "")
+	return &RepeatStmt{Body: body, Until: cond, Line: start.Line}, nil
+}
+
+// Expression parsing with precedence climbing.
+// Precedence (low→high): OR, XOR, AND (&), comparison (= <> < <= > >=),
+// additive (+ -), multiplicative (* / MOD), power (**), unary (NOT, -).
+
+func (p *parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (Expr, error) {
+	left, err := p.parseXor()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		if t.Kind == TokKeyword && t.Text == "OR" {
+			p.next()
+			right, err := p.parseXor()
+			if err != nil {
+				return nil, err
+			}
+			left = &BinaryExpr{Op: "OR", Left: left, Right: right, Line: t.Line}
+			continue
+		}
+		return left, nil
+	}
+}
+
+func (p *parser) parseXor() (Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		if t.Kind == TokKeyword && t.Text == "XOR" {
+			p.next()
+			right, err := p.parseAnd()
+			if err != nil {
+				return nil, err
+			}
+			left = &BinaryExpr{Op: "XOR", Left: left, Right: right, Line: t.Line}
+			continue
+		}
+		return left, nil
+	}
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	left, err := p.parseComparison()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		if (t.Kind == TokKeyword && t.Text == "AND") || (t.Kind == TokOp && t.Text == "&") {
+			p.next()
+			right, err := p.parseComparison()
+			if err != nil {
+				return nil, err
+			}
+			left = &BinaryExpr{Op: "AND", Left: left, Right: right, Line: t.Line}
+			continue
+		}
+		return left, nil
+	}
+}
+
+func (p *parser) parseComparison() (Expr, error) {
+	left, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	t := p.cur()
+	if t.Kind == TokOp {
+		switch t.Text {
+		case "=", "<>", "<", "<=", ">", ">=":
+			p.next()
+			right, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			return &BinaryExpr{Op: t.Text, Left: left, Right: right, Line: t.Line}, nil
+		}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAdditive() (Expr, error) {
+	left, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		if t.Kind == TokOp && (t.Text == "+" || t.Text == "-") {
+			p.next()
+			right, err := p.parseMultiplicative()
+			if err != nil {
+				return nil, err
+			}
+			left = &BinaryExpr{Op: t.Text, Left: left, Right: right, Line: t.Line}
+			continue
+		}
+		return left, nil
+	}
+}
+
+func (p *parser) parseMultiplicative() (Expr, error) {
+	left, err := p.parsePower()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		if (t.Kind == TokOp && (t.Text == "*" || t.Text == "/")) || (t.Kind == TokKeyword && t.Text == "MOD") {
+			p.next()
+			right, err := p.parsePower()
+			if err != nil {
+				return nil, err
+			}
+			left = &BinaryExpr{Op: t.Text, Left: left, Right: right, Line: t.Line}
+			continue
+		}
+		return left, nil
+	}
+}
+
+func (p *parser) parsePower() (Expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	t := p.cur()
+	if t.Kind == TokOp && t.Text == "**" {
+		p.next()
+		right, err := p.parsePower() // right-associative
+		if err != nil {
+			return nil, err
+		}
+		return &BinaryExpr{Op: "**", Left: left, Right: right, Line: t.Line}, nil
+	}
+	return left, nil
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	t := p.cur()
+	if t.Kind == TokKeyword && t.Text == "NOT" {
+		p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: "NOT", X: x, Line: t.Line}, nil
+	}
+	if t.Kind == TokOp && t.Text == "-" {
+		p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: "-", X: x, Line: t.Line}, nil
+	}
+	if t.Kind == TokOp && t.Text == "+" {
+		p.next()
+		return p.parseUnary()
+	}
+	return p.parsePrimary()
+}
+
+var stdFuncs = map[string]int{ // name -> arity (-1 = variadic >= 2)
+	"ABS": 1, "SQRT": 1, "LN": 1, "LOG": 1, "EXP": 1,
+	"SIN": 1, "COS": 1, "TAN": 1,
+	"MIN": -1, "MAX": -1, "LIMIT": 3, "SEL": 3,
+	"TRUNC": 1, "ROUND": 1,
+	"INT_TO_REAL": 1, "REAL_TO_INT": 1, "BOOL_TO_INT": 1, "INT_TO_BOOL": 1,
+	"TIME_TO_INT": 1, "INT_TO_TIME": 1, "DINT_TO_REAL": 1, "REAL_TO_DINT": 1,
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case TokIntLit:
+		p.next()
+		return &Literal{Val: IntVal(t.Int), Line: t.Line}, nil
+	case TokRealLit:
+		p.next()
+		return &Literal{Val: RealVal(t.Real), Line: t.Line}, nil
+	case TokBoolLit:
+		p.next()
+		return &Literal{Val: BoolVal(t.Int == 1), Line: t.Line}, nil
+	case TokTimeLit:
+		p.next()
+		return &Literal{Val: TimeVal(t.Dur), Line: t.Line}, nil
+	case TokLParen:
+		p.next()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen, ""); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case TokIdent:
+		p.next()
+		// Standard function call?
+		if p.cur().Kind == TokLParen {
+			if _, ok := stdFuncs[t.Text]; !ok {
+				return nil, errAt(t.Line, t.Col, "unknown function %q (FB invocations are statements)", t.Raw)
+			}
+			p.next()
+			call := &CallExpr{Func: t.Text, Line: t.Line}
+			if !p.accept(TokRParen, "") {
+				for {
+					arg, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					call.Args = append(call.Args, arg)
+					if p.accept(TokRParen, "") {
+						break
+					}
+					if _, err := p.expect(TokComma, ""); err != nil {
+						return nil, err
+					}
+				}
+			}
+			if err := checkArity(call, t); err != nil {
+				return nil, err
+			}
+			return call, nil
+		}
+		ref := VarRef{Name: t.Text, Line: t.Line}
+		if p.accept(TokDot, "") {
+			member, err := p.expect(TokIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			ref.Member = member.Text
+		}
+		return ref, nil
+	default:
+		return nil, errAt(t.Line, t.Col, "unexpected token %q in expression", t.Raw)
+	}
+}
+
+func checkArity(call *CallExpr, t Token) error {
+	want := stdFuncs[call.Func]
+	if want == -1 {
+		if len(call.Args) < 2 {
+			return errAt(t.Line, t.Col, "%s needs at least 2 arguments", call.Func)
+		}
+		return nil
+	}
+	if len(call.Args) != want {
+		return errAt(t.Line, t.Col, "%s needs %d arguments, got %d", call.Func, want, len(call.Args))
+	}
+	return nil
+}
+
+// checkProgram performs static checks: every referenced variable is declared,
+// FB calls target FB-typed variables, assignment targets are writable.
+func checkProgram(prog *Program) error {
+	declared := map[string]TypeName{}
+	for _, v := range prog.Vars {
+		if _, dup := declared[v.Name]; dup {
+			return fmt.Errorf("st: duplicate variable %q", v.Name)
+		}
+		declared[v.Name] = v.Type
+	}
+	var checkExpr func(e Expr) error
+	var checkStmts func(body []Stmt) error
+	checkExpr = func(e Expr) error {
+		switch x := e.(type) {
+		case *BinaryExpr:
+			if err := checkExpr(x.Left); err != nil {
+				return err
+			}
+			return checkExpr(x.Right)
+		case *UnaryExpr:
+			return checkExpr(x.X)
+		case *CallExpr:
+			for _, a := range x.Args {
+				if err := checkExpr(a); err != nil {
+					return err
+				}
+			}
+			return nil
+		case VarRef:
+			typ, ok := declared[x.Name]
+			if !ok {
+				return fmt.Errorf("st: line %d: undeclared variable %q", x.Line, x.Name)
+			}
+			if x.Member != "" && !typ.IsFB() {
+				return fmt.Errorf("st: line %d: %q is not a function block (member %q)", x.Line, x.Name, x.Member)
+			}
+			return nil
+		case *Literal:
+			return nil
+		}
+		return nil
+	}
+	checkStmts = func(body []Stmt) error {
+		for _, s := range body {
+			switch x := s.(type) {
+			case *AssignStmt:
+				typ, ok := declared[x.Target.Name]
+				if !ok {
+					return fmt.Errorf("st: line %d: assignment to undeclared variable %q", x.Line, x.Target.Name)
+				}
+				if x.Target.Member != "" && !typ.IsFB() {
+					return fmt.Errorf("st: line %d: %q is not a function block", x.Line, x.Target.Name)
+				}
+				if err := checkExpr(x.Value); err != nil {
+					return err
+				}
+			case *IfStmt:
+				if err := checkExpr(x.Cond); err != nil {
+					return err
+				}
+				if err := checkStmts(x.Then); err != nil {
+					return err
+				}
+				for _, e := range x.Elifs {
+					if err := checkExpr(e.Cond); err != nil {
+						return err
+					}
+					if err := checkStmts(e.Body); err != nil {
+						return err
+					}
+				}
+				if err := checkStmts(x.Else); err != nil {
+					return err
+				}
+			case *CaseStmt:
+				if err := checkExpr(x.Selector); err != nil {
+					return err
+				}
+				for _, c := range x.Cases {
+					if err := checkStmts(c.Body); err != nil {
+						return err
+					}
+				}
+				if err := checkStmts(x.Else); err != nil {
+					return err
+				}
+			case *ForStmt:
+				if _, ok := declared[x.Var]; !ok {
+					return fmt.Errorf("st: line %d: undeclared loop variable %q", x.Line, x.Var)
+				}
+				for _, e := range []Expr{x.From, x.To, x.By} {
+					if e != nil {
+						if err := checkExpr(e); err != nil {
+							return err
+						}
+					}
+				}
+				if err := checkStmts(x.Body); err != nil {
+					return err
+				}
+			case *WhileStmt:
+				if err := checkExpr(x.Cond); err != nil {
+					return err
+				}
+				if err := checkStmts(x.Body); err != nil {
+					return err
+				}
+			case *RepeatStmt:
+				if err := checkStmts(x.Body); err != nil {
+					return err
+				}
+				if err := checkExpr(x.Until); err != nil {
+					return err
+				}
+			case *FBCallStmt:
+				typ, ok := declared[x.Instance]
+				if !ok {
+					return fmt.Errorf("st: line %d: undeclared FB instance %q", x.Line, x.Instance)
+				}
+				if !typ.IsFB() {
+					return fmt.Errorf("st: line %d: %q is not a function block", x.Line, x.Instance)
+				}
+				for _, a := range x.Args {
+					if err := checkExpr(a.Value); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		return nil
+	}
+	if err := checkStmts(prog.Body); err != nil {
+		return err
+	}
+	// Initialisers may only reference literals/earlier vars; check leniently.
+	for _, v := range prog.Vars {
+		if v.Init != nil {
+			if err := checkExpr(v.Init); err != nil {
+				return fmt.Errorf("in initialiser of %q: %w", v.Name, err)
+			}
+		}
+	}
+	return nil
+}
+
+// MustParse parses or panics; for tests and embedded fixtures.
+func MustParse(src string) *Program {
+	p, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

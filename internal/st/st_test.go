@@ -1,0 +1,522 @@
+package st
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// run parses src, steps once and returns the env.
+func run(t *testing.T, src string) *Env {
+	t.Helper()
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := NewEnv(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := env.Step(time.Now()); err != nil {
+		t.Fatal(err)
+	}
+	return env
+}
+
+func wantInt(t *testing.T, env *Env, name string, want int64) {
+	t.Helper()
+	v, ok := env.Get(name)
+	if !ok {
+		t.Fatalf("variable %q missing", name)
+	}
+	if v.AsInt() != want {
+		t.Errorf("%s = %v, want %d", name, v, want)
+	}
+}
+
+func wantBool(t *testing.T, env *Env, name string, want bool) {
+	t.Helper()
+	v, ok := env.Get(name)
+	if !ok {
+		t.Fatalf("variable %q missing", name)
+	}
+	if v.AsBool() != want {
+		t.Errorf("%s = %v, want %t", name, v, want)
+	}
+}
+
+func wantReal(t *testing.T, env *Env, name string, want float64) {
+	t.Helper()
+	v, _ := env.Get(name)
+	if diff := v.AsReal() - want; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("%s = %v, want %v", name, v, want)
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	env := run(t, `
+		VAR a, b, c : INT; r : REAL; END_VAR
+		a := 2 + 3 * 4;
+		b := (2 + 3) * 4;
+		c := 17 MOD 5;
+		r := 10.0 / 4.0 + 2 ** 3;
+	`)
+	wantInt(t, env, "A", 14)
+	wantInt(t, env, "B", 20)
+	wantInt(t, env, "C", 2)
+	wantReal(t, env, "R", 10.5)
+}
+
+func TestBooleansAndComparisons(t *testing.T) {
+	env := run(t, `
+		VAR p, q, r, s, x : BOOL; a : INT := 5; END_VAR
+		p := a > 3 AND a < 10;
+		q := NOT p OR FALSE;
+		r := a = 5 XOR a <> 5;
+		s := a >= 5 AND a <= 5;
+		x := TRUE & (3 < 2);
+	`)
+	wantBool(t, env, "P", true)
+	wantBool(t, env, "Q", false)
+	wantBool(t, env, "R", true)
+	wantBool(t, env, "S", true)
+	wantBool(t, env, "X", false)
+}
+
+func TestIfElsifElse(t *testing.T) {
+	src := `
+		VAR x : INT := %d; out : INT; END_VAR
+		IF x < 0 THEN out := -1;
+		ELSIF x = 0 THEN out := 0;
+		ELSIF x < 10 THEN out := 1;
+		ELSE out := 2;
+		END_IF;
+	`
+	for _, tc := range []struct{ in, want int64 }{{-5, -1}, {0, 0}, {5, 1}, {50, 2}} {
+		env := run(t, strings.Replace(src, "%d", itoa(tc.in), 1))
+		wantInt(t, env, "OUT", tc.want)
+	}
+}
+
+func itoa(v int64) string {
+	if v < 0 {
+		return "0 - " + itoa(-v)
+	}
+	digits := ""
+	for {
+		digits = string(rune('0'+v%10)) + digits
+		v /= 10
+		if v == 0 {
+			return digits
+		}
+	}
+}
+
+func TestCaseStatement(t *testing.T) {
+	src := `
+		VAR x : INT := %d; out : INT; END_VAR
+		CASE x OF
+			1: out := 10;
+			2, 3: out := 20;
+			4..6: out := 30;
+		ELSE out := 99;
+		END_CASE;
+	`
+	for _, tc := range []struct{ in, want int64 }{{1, 10}, {2, 20}, {3, 20}, {4, 30}, {6, 30}, {7, 99}} {
+		env := run(t, strings.Replace(src, "%d", itoa(tc.in), 1))
+		wantInt(t, env, "OUT", tc.want)
+	}
+}
+
+func TestForLoop(t *testing.T) {
+	env := run(t, `
+		VAR i, sum : INT; END_VAR
+		FOR i := 1 TO 10 DO sum := sum + i; END_FOR;
+	`)
+	wantInt(t, env, "SUM", 55)
+	env = run(t, `
+		VAR i, sum : INT; END_VAR
+		FOR i := 10 TO 2 BY -2 DO sum := sum + i; END_FOR;
+	`)
+	wantInt(t, env, "SUM", 30)
+}
+
+func TestForLoopExit(t *testing.T) {
+	env := run(t, `
+		VAR i, sum : INT; END_VAR
+		FOR i := 1 TO 100 DO
+			IF i > 5 THEN EXIT; END_IF;
+			sum := sum + i;
+		END_FOR;
+	`)
+	wantInt(t, env, "SUM", 15)
+}
+
+func TestWhileAndRepeat(t *testing.T) {
+	env := run(t, `
+		VAR n, steps : INT; END_VAR
+		n := 27;
+		WHILE n > 1 DO
+			IF n MOD 2 = 0 THEN n := n / 2; ELSE n := 3 * n + 1; END_IF;
+			steps := steps + 1;
+		END_WHILE;
+	`)
+	wantInt(t, env, "STEPS", 111) // Collatz length of 27
+	env = run(t, `
+		VAR x : INT; END_VAR
+		REPEAT x := x + 1; UNTIL x >= 3 END_REPEAT;
+	`)
+	wantInt(t, env, "X", 3)
+}
+
+func TestReturnStopsScan(t *testing.T) {
+	env := run(t, `
+		VAR a, b : INT; END_VAR
+		a := 1;
+		RETURN;
+		b := 1;
+	`)
+	wantInt(t, env, "A", 1)
+	wantInt(t, env, "B", 0)
+}
+
+func TestStandardFunctions(t *testing.T) {
+	env := run(t, `
+		VAR a : INT; b, c, d : REAL; e, f : INT; g : REAL; END_VAR
+		a := ABS(-7);
+		b := SQRT(16.0);
+		c := MAX(1.5, 2.5, 0.5);
+		d := MIN(3.0, -1.0);
+		e := LIMIT(0, 15, 10);
+		f := SEL(TRUE, 1, 2);
+		g := INT_TO_REAL(3) / 2.0;
+	`)
+	wantInt(t, env, "A", 7)
+	wantReal(t, env, "B", 4)
+	wantReal(t, env, "C", 2.5)
+	wantReal(t, env, "D", -1)
+	wantInt(t, env, "E", 10)
+	wantInt(t, env, "F", 2)
+	wantReal(t, env, "G", 1.5)
+}
+
+func TestVarInitialisers(t *testing.T) {
+	env := run(t, `
+		VAR a : INT := 5; b : REAL := 2.5; c : BOOL := TRUE; d : TIME := T#1s500ms; e : INT := 16#FF; END_VAR
+	`)
+	wantInt(t, env, "A", 5)
+	wantReal(t, env, "B", 2.5)
+	wantBool(t, env, "C", true)
+	wantInt(t, env, "E", 255)
+	v, _ := env.Get("D")
+	if v.AsTime() != 1500*time.Millisecond {
+		t.Errorf("D = %v", v.AsTime())
+	}
+}
+
+func TestProgramWrapper(t *testing.T) {
+	prog, err := Parse(`
+		PROGRAM Blinker
+		VAR_INPUT  in1 : BOOL; END_VAR
+		VAR_OUTPUT out1 : BOOL; END_VAR
+		VAR tmp : BOOL; END_VAR
+		tmp := NOT in1;
+		out1 := tmp;
+		END_PROGRAM
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Name != "BLINKER" {
+		t.Errorf("name = %q", prog.Name)
+	}
+	if d := prog.FindVar("IN1"); d == nil || d.Class != ClassInput {
+		t.Error("input class lost")
+	}
+	env, err := NewEnv(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.Set("IN1", BoolVal(false))
+	env.Step(time.Now())
+	wantBool(t, env, "OUT1", true)
+	env.Set("IN1", BoolVal(true))
+	env.Step(time.Now())
+	wantBool(t, env, "OUT1", false)
+}
+
+func TestTONTimer(t *testing.T) {
+	prog := MustParse(`
+		VAR t1 : TON; start : BOOL; lamp : BOOL; END_VAR
+		t1(IN := start, PT := T#100ms);
+		lamp := t1.Q;
+	`)
+	env, err := NewEnv(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := time.Unix(0, 0)
+	env.Set("START", BoolVal(true))
+	env.Step(base)
+	wantBool(t, env, "LAMP", false)
+	env.Step(base.Add(50 * time.Millisecond))
+	wantBool(t, env, "LAMP", false)
+	env.Step(base.Add(120 * time.Millisecond))
+	wantBool(t, env, "LAMP", true)
+	// Dropping IN resets.
+	env.Set("START", BoolVal(false))
+	env.Step(base.Add(130 * time.Millisecond))
+	wantBool(t, env, "LAMP", false)
+	fb, _ := env.GetFB("T1")
+	et, _ := fb.Member("ET")
+	if et.AsTime() != 0 {
+		t.Errorf("ET after reset = %v", et.AsTime())
+	}
+}
+
+func TestTOFTimer(t *testing.T) {
+	prog := MustParse(`
+		VAR t1 : TOF; in1 : BOOL; out1 : BOOL; END_VAR
+		t1(IN := in1, PT := T#100ms);
+		out1 := t1.Q;
+	`)
+	env, _ := NewEnv(prog)
+	base := time.Unix(0, 0)
+	env.Set("IN1", BoolVal(true))
+	env.Step(base)
+	wantBool(t, env, "OUT1", true)
+	env.Set("IN1", BoolVal(false))
+	env.Step(base.Add(10 * time.Millisecond))
+	wantBool(t, env, "OUT1", true) // still on during off-delay
+	env.Step(base.Add(60 * time.Millisecond))
+	wantBool(t, env, "OUT1", true)
+	env.Step(base.Add(150 * time.Millisecond))
+	wantBool(t, env, "OUT1", false)
+}
+
+func TestTPPulse(t *testing.T) {
+	prog := MustParse(`
+		VAR t1 : TP; trig : BOOL; out1 : BOOL; END_VAR
+		t1(IN := trig, PT := T#100ms);
+		out1 := t1.Q;
+	`)
+	env, _ := NewEnv(prog)
+	base := time.Unix(0, 0)
+	env.Set("TRIG", BoolVal(true))
+	env.Step(base)
+	wantBool(t, env, "OUT1", true)
+	env.Step(base.Add(50 * time.Millisecond))
+	wantBool(t, env, "OUT1", true)
+	env.Step(base.Add(150 * time.Millisecond))
+	wantBool(t, env, "OUT1", false)
+}
+
+func TestEdgeTriggers(t *testing.T) {
+	prog := MustParse(`
+		VAR rt : R_TRIG; ft : F_TRIG; clk : BOOL; rises, falls : INT; END_VAR
+		rt(CLK := clk);
+		ft(CLK := clk);
+		IF rt.Q THEN rises := rises + 1; END_IF;
+		IF ft.Q THEN falls := falls + 1; END_IF;
+	`)
+	env, _ := NewEnv(prog)
+	pattern := []bool{false, true, true, false, true, false, false}
+	for _, v := range pattern {
+		env.Set("CLK", BoolVal(v))
+		env.Step(time.Now())
+	}
+	wantInt(t, env, "RISES", 2)
+	wantInt(t, env, "FALLS", 2)
+}
+
+func TestLatches(t *testing.T) {
+	prog := MustParse(`
+		VAR sr1 : SR; rs1 : RS; s, r : BOOL; qs, qr : BOOL; END_VAR
+		sr1(S1 := s, R := r);
+		rs1(S := s, R1 := r);
+		qs := sr1.Q;
+		qr := rs1.Q;
+	`)
+	env, _ := NewEnv(prog)
+	step := func(s, r bool) {
+		env.Set("S", BoolVal(s))
+		env.Set("R", BoolVal(r))
+		env.Step(time.Now())
+	}
+	step(true, false)
+	wantBool(t, env, "QS", true)
+	wantBool(t, env, "QR", true)
+	step(false, false)
+	wantBool(t, env, "QS", true) // latched
+	wantBool(t, env, "QR", true)
+	// Conflicting inputs: SR is set-dominant, RS is reset-dominant.
+	step(true, true)
+	wantBool(t, env, "QS", true)
+	wantBool(t, env, "QR", false)
+	step(false, true)
+	wantBool(t, env, "QS", false)
+	wantBool(t, env, "QR", false)
+}
+
+func TestCounters(t *testing.T) {
+	prog := MustParse(`
+		VAR c : CTU; clk : BOOL; done : BOOL; count : INT; END_VAR
+		c(CU := clk, PV := 3);
+		done := c.Q;
+		count := c.CV;
+	`)
+	env, _ := NewEnv(prog)
+	for i := 0; i < 3; i++ {
+		env.Set("CLK", BoolVal(true))
+		env.Step(time.Now())
+		env.Set("CLK", BoolVal(false))
+		env.Step(time.Now())
+	}
+	wantBool(t, env, "DONE", true)
+	wantInt(t, env, "COUNT", 3)
+}
+
+func TestRuntimeErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want error
+	}{
+		{"div by zero int", `VAR a : INT; END_VAR a := 1 / 0;`, ErrDivideByZero},
+		{"mod by zero", `VAR a : INT; END_VAR a := 1 MOD 0;`, ErrDivideByZero},
+		{"infinite while", `VAR a : INT; END_VAR WHILE TRUE DO a := a + 1; END_WHILE;`, ErrLoopBudget},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			prog, err := Parse(tc.src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			env, err := NewEnv(prog)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := env.Step(time.Now()); !errors.Is(err, tc.want) {
+				t.Errorf("Step err = %v, want %v", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		`VAR a : FLOAT; END_VAR`,                            // unsupported type
+		`VAR a : INT; END_VAR b := 1;`,                      // undeclared assignment
+		`VAR a : INT; END_VAR a := b + 1;`,                  // undeclared read
+		`VAR a : INT; END_VAR a := ;`,                       // missing expr
+		`VAR a : INT; END_VAR IF a THEN a := 1;`,            // unterminated IF
+		`VAR a : INT; END_VAR a := FOO(1);`,                 // unknown function
+		`VAR a : INT; a : INT; END_VAR`,                     // duplicate decl (needs semi)
+		`VAR a : INT; END_VAR a.Q := 1;`,                    // member on non-FB
+		`VAR t : TON; END_VAR t.BOGUS := 1; t(IN := TRUE);`, // static OK but runtime member fails
+		`VAR a : INT; END_VAR a := ABS(1, 2);`,              // arity
+		`(* unterminated`,
+		`VAR a : INT := 99#1; END_VAR`, // bad base
+	}
+	for i, src := range cases {
+		prog, err := Parse(src)
+		if err != nil {
+			continue // parse-time rejection is fine
+		}
+		env, envErr := NewEnv(prog)
+		if envErr != nil {
+			continue
+		}
+		if stepErr := env.Step(time.Now()); stepErr == nil {
+			t.Errorf("case %d accepted: %q", i, src)
+		}
+	}
+}
+
+func TestCommentsAndCase(t *testing.T) {
+	env := run(t, `
+		(* block comment
+		   spanning lines *)
+		var A : int := 1; end_var // trailing comment
+		a := A + 1; (* inline *) a := a + 1;
+	`)
+	wantInt(t, env, "A", 3)
+}
+
+func TestTimeLiterals(t *testing.T) {
+	cases := map[string]time.Duration{
+		"T#500ms":   500 * time.Millisecond,
+		"T#1s":      time.Second,
+		"T#1s500ms": 1500 * time.Millisecond,
+		"T#2m30s":   150 * time.Second,
+		"T#1h":      time.Hour,
+		"T#1d2h":    26 * time.Hour,
+		"TIME#10us": 10 * time.Microsecond,
+	}
+	for lit, want := range cases {
+		prog, err := Parse(`VAR t : TIME := ` + lit + `; END_VAR`)
+		if err != nil {
+			t.Errorf("%s: %v", lit, err)
+			continue
+		}
+		env, err := NewEnv(prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, _ := env.Get("T")
+		if v.AsTime() != want {
+			t.Errorf("%s = %v, want %v", lit, v.AsTime(), want)
+		}
+	}
+}
+
+func TestScanStatePersistsAcrossSteps(t *testing.T) {
+	prog := MustParse(`VAR counter : INT; END_VAR counter := counter + 1;`)
+	env, _ := NewEnv(prog)
+	for i := 0; i < 5; i++ {
+		if err := env.Step(time.Now()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wantInt(t, env, "COUNTER", 5)
+}
+
+func TestLexNeverPanics(t *testing.T) {
+	f := func(s string) bool {
+		_, _ = Lex(s)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseNeverPanics(t *testing.T) {
+	f := func(s string) bool {
+		_, _ = Parse(s)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValueCoercions(t *testing.T) {
+	if IntVal(5).AsReal() != 5 || !IntVal(1).AsBool() || IntVal(0).AsBool() {
+		t.Error("int coercions wrong")
+	}
+	if RealVal(2.9).AsInt() != 2 || !RealVal(0.1).AsBool() {
+		t.Error("real coercions wrong")
+	}
+	if BoolVal(true).AsInt() != 1 || BoolVal(true).AsReal() != 1 {
+		t.Error("bool coercions wrong")
+	}
+	if TimeVal(time.Second).AsInt() != 1000 {
+		t.Error("time->int should be milliseconds")
+	}
+	if IntVal(250).AsTime() != 250*time.Millisecond {
+		t.Error("int->time should be milliseconds")
+	}
+}

@@ -1,0 +1,421 @@
+// Package sv implements IEC 61850-9-2 Sampled Values messaging and the
+// routable R-SV variant, substituting libiec61850's SV layer (§III-B).
+//
+// SV streams power-grid measurements (phase currents and voltages) between
+// merging units and IEDs at a fixed rate. In the cyber range R-SV carries
+// measurements between substations for differential protection (PDIF,
+// Table II): each gateway IED streams its local line current to the remote
+// end, which compares the two. Frames use EtherType 0x88BA on the LAN and
+// UDP datagrams across the WAN.
+package sv
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"repro/internal/ber"
+	"repro/internal/netem"
+)
+
+// RSVPort is the UDP port used for routable SV.
+const RSVPort = 103
+
+// ErrBadPDU is returned for malformed SV payloads.
+var ErrBadPDU = errors.New("sv: malformed PDU")
+
+// Sample is one ASDU: a snapshot of measured values.
+type Sample struct {
+	SvID    string
+	SmpCnt  uint16
+	ConfRev uint32
+	// Values carries the dataset in dataset order (e.g. [iA, iB, iC, vA, vB, vC]
+	// or a single line current for R-SV differential exchange).
+	Values []float64
+	// RefrTm is the refresh timestamp.
+	RefrTm time.Time
+}
+
+// PDU field tags (context-specific, after IEC 61850-9-2 savPdu).
+const (
+	tagSavPDU   = 0x60 // APPLICATION 0 constructed
+	tagNoASDU   = 0x80
+	tagSeqASDU  = 0xA2
+	tagASDU     = 0x30
+	tagSvID     = 0x80
+	tagSmpCnt   = 0x82
+	tagConfRev  = 0x83
+	tagRefrTm   = 0x84
+	tagSamples  = 0x87
+	tagSmpSynch = 0x85
+)
+
+// Marshal encodes APPID header + savPdu with one ASDU.
+func Marshal(appID uint16, s Sample) []byte {
+	var pdu ber.Encoder
+	pdu.AppendConstructed(tagSavPDU, func(e *ber.Encoder) {
+		e.AppendUint(tagNoASDU, 1)
+		e.AppendConstructed(tagSeqASDU, func(seq *ber.Encoder) {
+			seq.AppendConstructed(tagASDU, func(a *ber.Encoder) {
+				a.AppendString(tagSvID, s.SvID)
+				var cnt [2]byte
+				binary.BigEndian.PutUint16(cnt[:], s.SmpCnt)
+				a.AppendTLV(tagSmpCnt, cnt[:])
+				a.AppendUint(tagConfRev, uint64(s.ConfRev))
+				a.AppendUTCTime(tagRefrTm, s.RefrTm.Unix(), int64(s.RefrTm.Nanosecond()))
+				a.AppendTLV(tagSmpSynch, []byte{0x01})
+				// Samples: packed IEEE-754 doubles (the production protocol
+				// uses scaled INT32; doubles keep the simulator exact).
+				buf := make([]byte, 8*len(s.Values))
+				for i, v := range s.Values {
+					binary.BigEndian.PutUint64(buf[i*8:], math.Float64bits(v))
+				}
+				a.AppendTLV(tagSamples, buf)
+			})
+		})
+	})
+	out := make([]byte, 8, 8+pdu.Len())
+	binary.BigEndian.PutUint16(out[0:], appID)
+	binary.BigEndian.PutUint16(out[2:], uint16(8+pdu.Len()))
+	return append(out, pdu.Bytes()...)
+}
+
+// Unmarshal decodes an SV payload, returning APPID and the first ASDU.
+func Unmarshal(payload []byte) (uint16, Sample, error) {
+	var s Sample
+	if len(payload) < 8 {
+		return 0, s, fmt.Errorf("%w: short header", ErrBadPDU)
+	}
+	appID := binary.BigEndian.Uint16(payload[0:])
+	length := int(binary.BigEndian.Uint16(payload[2:]))
+	if length < 8 || length > len(payload) {
+		return 0, s, fmt.Errorf("%w: bad length %d", ErrBadPDU, length)
+	}
+	t, _, err := ber.Decode(payload[8:length])
+	if err != nil || t.Tag != tagSavPDU {
+		return 0, s, fmt.Errorf("%w: savPdu", ErrBadPDU)
+	}
+	seq, err := t.Child(tagSeqASDU)
+	if err != nil || len(seq.Children) == 0 {
+		return 0, s, fmt.Errorf("%w: no ASDU", ErrBadPDU)
+	}
+	asdu := seq.Children[0]
+	for _, c := range asdu.Children {
+		switch c.Tag {
+		case tagSvID:
+			s.SvID = c.String()
+		case tagSmpCnt:
+			if len(c.Value) == 2 {
+				s.SmpCnt = binary.BigEndian.Uint16(c.Value)
+			}
+		case tagConfRev:
+			v, _ := c.Uint()
+			s.ConfRev = uint32(v)
+		case tagRefrTm:
+			sec, nanos, err := c.UTCTime()
+			if err == nil {
+				s.RefrTm = time.Unix(sec, nanos).UTC()
+			}
+		case tagSamples:
+			if len(c.Value)%8 != 0 {
+				return 0, s, fmt.Errorf("%w: sample block size %d", ErrBadPDU, len(c.Value))
+			}
+			for i := 0; i+8 <= len(c.Value); i += 8 {
+				bits := binary.BigEndian.Uint64(c.Value[i:])
+				s.Values = append(s.Values, math.Float64frombits(bits))
+			}
+		}
+	}
+	if s.SvID == "" {
+		return 0, s, fmt.Errorf("%w: missing svID", ErrBadPDU)
+	}
+	return appID, s, nil
+}
+
+// SourceFunc supplies the current measurement values for each transmission.
+type SourceFunc func() []float64
+
+// PublisherConfig configures an SV stream.
+type PublisherConfig struct {
+	SvID    string
+	AppID   uint16
+	ConfRev uint32
+	Rate    time.Duration // sampling period; default 10 ms
+}
+
+// Publisher streams samples as L2 multicast frames.
+type Publisher struct {
+	cfg  PublisherConfig
+	host *netem.Host
+	src  SourceFunc
+
+	mu     sync.Mutex
+	smpCnt uint16
+	sent   uint64
+	cancel context.CancelFunc
+	done   chan struct{}
+}
+
+// NewPublisher creates an SV publisher on a host NIC.
+func NewPublisher(h *netem.Host, cfg PublisherConfig, src SourceFunc) *Publisher {
+	if cfg.Rate <= 0 {
+		cfg.Rate = 10 * time.Millisecond
+	}
+	return &Publisher{cfg: cfg, host: h, src: src}
+}
+
+// Start begins streaming until Stop is called.
+func (p *Publisher) Start() {
+	ctx, cancel := context.WithCancel(context.Background())
+	p.mu.Lock()
+	p.cancel = cancel
+	p.done = make(chan struct{})
+	done := p.done
+	p.mu.Unlock()
+	go func() {
+		defer close(done)
+		ticker := time.NewTicker(p.cfg.Rate)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-ticker.C:
+				p.publishOnce()
+			}
+		}
+	}()
+}
+
+// publishOnce transmits a single sample (exported for step-driven tests via
+// PublishNow).
+func (p *Publisher) publishOnce() {
+	values := p.src()
+	p.mu.Lock()
+	s := Sample{
+		SvID:    p.cfg.SvID,
+		SmpCnt:  p.smpCnt,
+		ConfRev: p.cfg.ConfRev,
+		Values:  values,
+		RefrTm:  time.Now(),
+	}
+	p.smpCnt++
+	p.sent++
+	p.mu.Unlock()
+	payload := Marshal(p.cfg.AppID, s)
+	p.host.SendFrame(netem.Frame{
+		Dst: netem.SVMAC(p.cfg.AppID), Src: p.host.MAC(),
+		EtherType: netem.EtherTypeSV, Payload: payload,
+	})
+}
+
+// PublishNow transmits one sample immediately (step-driven mode).
+func (p *Publisher) PublishNow() { p.publishOnce() }
+
+// Stop halts the stream.
+func (p *Publisher) Stop() {
+	p.mu.Lock()
+	cancel := p.cancel
+	done := p.done
+	p.cancel = nil
+	p.mu.Unlock()
+	if cancel != nil {
+		cancel()
+		<-done
+	}
+}
+
+// Sent reports transmitted samples.
+func (p *Publisher) Sent() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.sent
+}
+
+// Subscriber receives an SV stream.
+type Subscriber struct {
+	mu       sync.Mutex
+	received uint64
+	lost     uint64
+	lastCnt  uint16
+	seen     bool
+	ch       chan Sample
+}
+
+// Subscribe joins the SV multicast group for appID.
+func Subscribe(h *netem.Host, appID uint16) *Subscriber {
+	s := &Subscriber{ch: make(chan Sample, 1024)}
+	h.JoinMulticast(netem.SVMAC(appID))
+	h.HandleEtherType(netem.EtherTypeSV, func(f netem.Frame) {
+		gotID, sample, err := Unmarshal(f.Payload)
+		if err != nil || gotID != appID {
+			return
+		}
+		s.deliver(sample)
+	})
+	return s
+}
+
+func (s *Subscriber) deliver(sample Sample) {
+	s.mu.Lock()
+	if s.seen {
+		expected := s.lastCnt + 1
+		if sample.SmpCnt != expected {
+			s.lost += uint64(uint16(sample.SmpCnt - expected))
+		}
+	}
+	s.lastCnt = sample.SmpCnt
+	s.seen = true
+	s.received++
+	s.mu.Unlock()
+	select {
+	case s.ch <- sample:
+	default: // measurement streams tolerate consumer lag
+	}
+}
+
+// Samples returns the delivery channel.
+func (s *Subscriber) Samples() <-chan Sample { return s.ch }
+
+// Stats reports received and lost sample counts (from smpCnt gaps).
+func (s *Subscriber) Stats() (received, lost uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.received, s.lost
+}
+
+// RPublisher streams samples over UDP to peer gateways (R-SV).
+type RPublisher struct {
+	cfg   PublisherConfig
+	sock  *netem.UDPSocket
+	peers []netem.IPv4
+	src   SourceFunc
+
+	mu     sync.Mutex
+	smpCnt uint16
+	sent   uint64
+	cancel context.CancelFunc
+	done   chan struct{}
+}
+
+// NewRPublisher binds an ephemeral UDP socket for an R-SV stream.
+func NewRPublisher(h *netem.Host, cfg PublisherConfig, peers []netem.IPv4, src SourceFunc) (*RPublisher, error) {
+	if cfg.Rate <= 0 {
+		cfg.Rate = 10 * time.Millisecond
+	}
+	sock, err := h.BindUDP(0)
+	if err != nil {
+		return nil, err
+	}
+	return &RPublisher{cfg: cfg, sock: sock, peers: append([]netem.IPv4(nil), peers...), src: src}, nil
+}
+
+// Start begins streaming until Stop.
+func (p *RPublisher) Start() {
+	ctx, cancel := context.WithCancel(context.Background())
+	p.mu.Lock()
+	p.cancel = cancel
+	p.done = make(chan struct{})
+	done := p.done
+	p.mu.Unlock()
+	go func() {
+		defer close(done)
+		ticker := time.NewTicker(p.cfg.Rate)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-ticker.C:
+				p.PublishNow()
+			}
+		}
+	}()
+}
+
+// PublishNow transmits one sample to all peers immediately.
+func (p *RPublisher) PublishNow() {
+	values := p.src()
+	p.mu.Lock()
+	s := Sample{
+		SvID:    p.cfg.SvID,
+		SmpCnt:  p.smpCnt,
+		ConfRev: p.cfg.ConfRev,
+		Values:  values,
+		RefrTm:  time.Now(),
+	}
+	p.smpCnt++
+	p.mu.Unlock()
+	payload := Marshal(p.cfg.AppID, s)
+	for _, peer := range p.peers {
+		if err := p.sock.SendTo(peer, RSVPort, payload); err == nil {
+			p.mu.Lock()
+			p.sent++
+			p.mu.Unlock()
+		}
+	}
+}
+
+// Stop halts the stream and closes the socket.
+func (p *RPublisher) Stop() {
+	p.mu.Lock()
+	cancel := p.cancel
+	done := p.done
+	p.cancel = nil
+	p.mu.Unlock()
+	if cancel != nil {
+		cancel()
+		<-done
+	}
+	p.sock.Close()
+}
+
+// Sent reports transmitted datagrams.
+func (p *RPublisher) Sent() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.sent
+}
+
+// RSubscriber receives an R-SV stream on the R-SV UDP port.
+type RSubscriber struct {
+	sub  *Subscriber
+	sock *netem.UDPSocket
+	done chan struct{}
+}
+
+// SubscribeR binds the R-SV port and decodes inbound datagrams for appID.
+func SubscribeR(h *netem.Host, appID uint16) (*RSubscriber, error) {
+	sock, err := h.BindUDP(RSVPort)
+	if err != nil {
+		return nil, err
+	}
+	rs := &RSubscriber{sub: &Subscriber{ch: make(chan Sample, 1024)}, sock: sock, done: make(chan struct{})}
+	go func() {
+		defer close(rs.done)
+		for m := range sock.Recv() {
+			gotID, sample, err := Unmarshal(m.Data)
+			if err != nil || gotID != appID {
+				continue
+			}
+			rs.sub.deliver(sample)
+		}
+	}()
+	return rs, nil
+}
+
+// Samples returns the delivery channel.
+func (rs *RSubscriber) Samples() <-chan Sample { return rs.sub.Samples() }
+
+// Stats reports received and lost counts.
+func (rs *RSubscriber) Stats() (received, lost uint64) { return rs.sub.Stats() }
+
+// Close releases the socket.
+func (rs *RSubscriber) Close() {
+	rs.sock.Close()
+	<-rs.done
+}

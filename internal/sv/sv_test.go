@@ -1,0 +1,258 @@
+package sv
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/netem"
+)
+
+func testLAN(t *testing.T, hosts int) []*netem.Host {
+	t.Helper()
+	n := netem.NewNetwork()
+	if _, err := netem.NewSwitch(n, "sw", hosts+1); err != nil {
+		t.Fatal(err)
+	}
+	out := make([]*netem.Host, hosts)
+	for i := 0; i < hosts; i++ {
+		h, err := netem.NewHost(n, string(rune('a'+i))+"-host",
+			netem.MAC{0x02, 0, 0, 0, 0, byte(i + 1)}, netem.IPv4{10, 0, 0, byte(i + 1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := n.Connect(h.Name(), 0, "sw", i, 0); err != nil {
+			t.Fatal(err)
+		}
+		out[i] = h
+	}
+	if err := n.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(n.Stop)
+	return out
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	s := Sample{
+		SvID:    "GIED1MU01",
+		SmpCnt:  4095,
+		ConfRev: 2,
+		Values:  []float64{0.123, -4.5, 1e6, 0},
+		RefrTm:  time.Unix(1_700_000_000, 500_000_000).UTC(),
+	}
+	appID, got, err := Unmarshal(Marshal(0x4001, s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if appID != 0x4001 {
+		t.Errorf("appID = 0x%04x", appID)
+	}
+	if got.SvID != s.SvID || got.SmpCnt != s.SmpCnt || got.ConfRev != s.ConfRev {
+		t.Errorf("got %+v", got)
+	}
+	if len(got.Values) != 4 {
+		t.Fatalf("values = %v", got.Values)
+	}
+	for i := range s.Values {
+		if got.Values[i] != s.Values[i] {
+			t.Errorf("value %d = %v, want %v", i, got.Values[i], s.Values[i])
+		}
+	}
+}
+
+func TestValueRoundTripProperty(t *testing.T) {
+	f := func(a, b, c float64, cnt uint16) bool {
+		s := Sample{SvID: "x", SmpCnt: cnt, Values: []float64{a, b, c}, RefrTm: time.Unix(1, 0)}
+		_, got, err := Unmarshal(Marshal(1, s))
+		if err != nil || got.SmpCnt != cnt || len(got.Values) != 3 {
+			return false
+		}
+		for i, v := range []float64{a, b, c} {
+			if got.Values[i] != v && !(v != v && got.Values[i] != got.Values[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnmarshalNeverPanics(t *testing.T) {
+	f := func(b []byte) bool {
+		_, _, _ = Unmarshal(b)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{0x40, 0x01, 0x00, 0x02},
+		append([]byte{0x40, 0x01, 0x00, 0x0C, 0, 0, 0, 0}, 0x30, 0x02, 0x01, 0x01),
+	}
+	for i, c := range cases {
+		if _, _, err := Unmarshal(c); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestStreamDelivery(t *testing.T) {
+	hosts := testLAN(t, 2)
+	var mu sync.Mutex
+	current := []float64{0.1, 0.1, 0.1}
+	pub := NewPublisher(hosts[0], PublisherConfig{SvID: "MU01", AppID: 0x4000, Rate: 5 * time.Millisecond},
+		func() []float64 {
+			mu.Lock()
+			defer mu.Unlock()
+			return append([]float64(nil), current...)
+		})
+	sub := Subscribe(hosts[1], 0x4000)
+	pub.Start()
+	defer pub.Stop()
+
+	// Collect some samples, then change the source and observe the change.
+	var first Sample
+	select {
+	case first = <-sub.Samples():
+	case <-time.After(2 * time.Second):
+		t.Fatal("no samples")
+	}
+	if first.SvID != "MU01" || len(first.Values) != 3 {
+		t.Errorf("first sample = %+v", first)
+	}
+	mu.Lock()
+	current = []float64{9, 9, 9}
+	mu.Unlock()
+	deadline := time.After(2 * time.Second)
+	for {
+		select {
+		case s := <-sub.Samples():
+			if s.Values[0] == 9 {
+				goto done
+			}
+		case <-deadline:
+			t.Fatal("source change never observed")
+		}
+	}
+done:
+	received, _ := sub.Stats()
+	if received < 2 {
+		t.Errorf("received = %d", received)
+	}
+	if pub.Sent() < received {
+		t.Errorf("sent %d < received %d", pub.Sent(), received)
+	}
+}
+
+func TestSmpCntIncrementsAndLossDetection(t *testing.T) {
+	hosts := testLAN(t, 2)
+	pub := NewPublisher(hosts[0], PublisherConfig{SvID: "MU02", AppID: 0x4001},
+		func() []float64 { return []float64{1} })
+	sub := Subscribe(hosts[1], 0x4001)
+
+	for i := 0; i < 5; i++ {
+		pub.PublishNow()
+	}
+	time.Sleep(50 * time.Millisecond)
+	received, lost := sub.Stats()
+	if received != 5 || lost != 0 {
+		t.Fatalf("received=%d lost=%d", received, lost)
+	}
+	var prev *Sample
+	for i := 0; i < 5; i++ {
+		s := <-sub.Samples()
+		if prev != nil && s.SmpCnt != prev.SmpCnt+1 {
+			t.Errorf("smpCnt jump %d -> %d", prev.SmpCnt, s.SmpCnt)
+		}
+		cp := s
+		prev = &cp
+	}
+}
+
+func TestRSVGatewayExchange(t *testing.T) {
+	hosts := testLAN(t, 2)
+	// Bidirectional differential-protection exchange: each gateway streams
+	// its local current to the other.
+	subA, err := SubscribeR(hosts[0], 0x4100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer subA.Close()
+	subB, err := SubscribeR(hosts[1], 0x4100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer subB.Close()
+
+	pubA, err := NewRPublisher(hosts[0], PublisherConfig{SvID: "GW-A", AppID: 0x4100},
+		[]netem.IPv4{hosts[1].IP()}, func() []float64 { return []float64{0.351} })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pubA.Stop()
+	pubB, err := NewRPublisher(hosts[1], PublisherConfig{SvID: "GW-B", AppID: 0x4100},
+		[]netem.IPv4{hosts[0].IP()}, func() []float64 { return []float64{0.349} })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pubB.Stop()
+
+	pubA.PublishNow()
+	pubB.PublishNow()
+
+	select {
+	case s := <-subB.Samples():
+		if s.SvID != "GW-A" || s.Values[0] != 0.351 {
+			t.Errorf("B received %+v", s)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("B missed A's stream")
+	}
+	select {
+	case s := <-subA.Samples():
+		if s.SvID != "GW-B" || s.Values[0] != 0.349 {
+			t.Errorf("A received %+v", s)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("A missed B's stream")
+	}
+	if pubA.Sent() != 1 || pubB.Sent() != 1 {
+		t.Errorf("sent counts %d/%d", pubA.Sent(), pubB.Sent())
+	}
+}
+
+func TestRSVStartStop(t *testing.T) {
+	hosts := testLAN(t, 2)
+	sub, err := SubscribeR(hosts[1], 0x4200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	pub, err := NewRPublisher(hosts[0], PublisherConfig{SvID: "GW", AppID: 0x4200, Rate: 5 * time.Millisecond},
+		[]netem.IPv4{hosts[1].IP()}, func() []float64 { return []float64{1} })
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub.Start()
+	time.Sleep(40 * time.Millisecond)
+	pub.Stop()
+	received, _ := sub.Stats()
+	if received < 2 {
+		t.Errorf("received = %d before stop", received)
+	}
+	time.Sleep(30 * time.Millisecond)
+	afterStop, _ := sub.Stats()
+	time.Sleep(30 * time.Millisecond)
+	final, _ := sub.Stats()
+	if final != afterStop {
+		t.Error("samples still flowing after Stop")
+	}
+}

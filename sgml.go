@@ -1,0 +1,108 @@
+// Package sgml is the public API of the SG-ML cyber range framework — a Go
+// reproduction of "Towards Automated Generation of Smart Grid Cyber Range
+// for Cybersecurity Experiments and Training" (DSN 2023).
+//
+// The workflow mirrors Fig 2 of the paper:
+//
+//	model files (SCL + supplementary XML)  --Compile-->  operational CyberRange
+//
+// A ModelSet holds the parsed SG-ML input (IEC 61850 SCD/ICD/SED documents
+// plus the IED/SCADA/Power supplementary configs); Compile runs the SG-ML
+// Processor pipeline and returns a CyberRange whose emulated network,
+// virtual IEDs, PLCs, SCADA HMI and power-flow simulation are ready to start.
+//
+// Quick start:
+//
+//	ms, _ := sgml.EPICModelSet()          // generate the EPIC demo model
+//	r, _ := sgml.Compile(ms)              // "compile" it into a cyber range
+//	r.Start(ctx, false)                   // bring devices up (step-driven)
+//	r.StepAll(time.Now())                 // advance one 100 ms interval
+//	fmt.Println(r.HMI.StatusPanel())      // operator view
+//	r.Stop()
+package sgml
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/epic"
+	"repro/internal/scl"
+)
+
+// Re-exported model and range types.
+type (
+	// ModelSet is the parsed SG-ML input (Fig 2 left-hand side).
+	ModelSet = core.ModelSet
+	// CyberRange is a compiled, runnable cyber range (Fig 1 architecture).
+	CyberRange = core.CyberRange
+	// PLCSpec couples PLC control logic with its I/O mapping.
+	PLCSpec = core.PLCSpec
+	// EventSpec is one scenario step in neutral form.
+	EventSpec = core.EventSpec
+)
+
+// ErrModel is returned when an SG-ML model cannot be compiled.
+var ErrModel = core.ErrModel
+
+// Compile runs the SG-ML Processor on a model set.
+func Compile(ms *ModelSet) (*CyberRange, error) { return core.Compile(ms) }
+
+// LoadModelDir reads an SG-ML model directory (the on-disk file set the
+// paper's toolchain consumes) into a ModelSet.
+func LoadModelDir(name, dir string) (*ModelSet, error) { return core.LoadModelDir(name, dir) }
+
+// LoadModelFiles assembles a ModelSet from in-memory files.
+func LoadModelFiles(name string, files map[string][]byte) (*ModelSet, error) {
+	return core.LoadModelFiles(name, files)
+}
+
+// EPICModelSet generates the EPIC testbed demonstration model (§IV-A) as a
+// ready-to-compile ModelSet.
+func EPICModelSet() (*ModelSet, error) {
+	m, err := epic.NewModel()
+	if err != nil {
+		return nil, err
+	}
+	return ModelSetFromEPIC(m), nil
+}
+
+// EPICFiles generates the EPIC model as its on-disk SG-ML file set
+// (SCD, ICDs, supplementary XML, PLCopen XML, SCADABR import JSON).
+func EPICFiles() (map[string][]byte, error) {
+	m, err := epic.NewModel()
+	if err != nil {
+		return nil, err
+	}
+	return m.Files()
+}
+
+// ModelSetFromEPIC converts a generated EPIC model into a ModelSet.
+func ModelSetFromEPIC(m *epic.Model) *ModelSet {
+	return &ModelSet{
+		Name:        "epic",
+		SCDs:        map[string]*scl.Document{m.Substation: m.SCD},
+		ICDs:        m.ICDs,
+		IEDConfig:   m.IEDConfig,
+		SCADAConfig: m.SCADAConfig,
+		PowerConfig: m.PowerConfig,
+		PLCs:        []PLCSpec{{Config: m.PLCConfig, PLCopenXML: m.PLCopenXML}},
+	}
+}
+
+// ScaleModelSet generates the parametric multi-substation model used by the
+// §IV-A scalability experiment: nSubs substations chained by SED ties, each
+// with feeders feeder IEDs plus one gateway IED.
+func ScaleModelSet(nSubs, feeders int) (*ModelSet, int, error) {
+	sm, err := epic.NewScaleModel(nSubs, feeders)
+	if err != nil {
+		return nil, 0, err
+	}
+	ms := &ModelSet{
+		Name:        fmt.Sprintf("scale-%dx%d", nSubs, feeders),
+		SCDs:        sm.SCDs,
+		SED:         sm.SED,
+		IEDConfig:   sm.IEDConfigs,
+		PowerConfig: sm.PowerConfig,
+	}
+	return ms, sm.TotalIEDs, nil
+}

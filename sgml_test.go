@@ -1,0 +1,64 @@
+package sgml_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	sgml "repro"
+)
+
+func TestEPICModelSetCompiles(t *testing.T) {
+	ms, err := sgml.EPICModelSet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := sgml.Compile(ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Stop()
+	if err := r.Start(context.Background(), false); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.StepAll(time.Now()); err != nil {
+		t.Fatal(err)
+	}
+	panel := r.HMI.StatusPanel()
+	if !strings.Contains(panel, "MainVoltage") {
+		t.Errorf("panel:\n%s", panel)
+	}
+}
+
+func TestEPICFilesRoundTrip(t *testing.T) {
+	files, err := sgml.EPICFiles()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := sgml.LoadModelFiles("epic", files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sgml.Compile(ms); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScaleModelSet(t *testing.T) {
+	ms, total, err := sgml.ScaleModelSet(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 8 {
+		t.Errorf("total = %d", total)
+	}
+	r, err := sgml.Compile(ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Stop()
+	if len(r.IEDs) != 8 {
+		t.Errorf("IEDs = %d", len(r.IEDs))
+	}
+}

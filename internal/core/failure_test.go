@@ -30,6 +30,9 @@ func linkOf(t *testing.T, r *CyberRange, host string) interface {
 }
 
 func TestRangeSurvivesLossyLinks(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow: loss-rate soak with TCP-lite retransmissions")
+	}
 	r := compiledEPIC(t)
 	if err := r.Start(context.Background(), false); err != nil {
 		t.Fatal(err)

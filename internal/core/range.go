@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
 	"time"
@@ -41,6 +42,25 @@ type ModelSet struct {
 	PLCs        []PLCSpec
 	// SCADAHost names the node running the HMI (default "SCADA").
 	SCADAHost string
+	// ShardHints optionally overrides the SCL-derived device -> substation
+	// attribution used to partition the range into parallel step shards.
+	// Model generators (e.g. the scale model) populate it; unknown devices
+	// fall back to the merge stage's substation map.
+	ShardHints map[string]string
+}
+
+// CompileOption tunes the compiled range.
+type CompileOption func(*compileOptions)
+
+type compileOptions struct {
+	workers int
+}
+
+// WithWorkers sets the worker-pool size of the parallel step engine. The
+// default is runtime.GOMAXPROCS(0); 1 confines the two-phase step to a
+// single goroutine (still deterministic, no parallelism).
+func WithWorkers(n int) CompileOption {
+	return func(o *compileOptions) { o.workers = n }
 }
 
 // CyberRange is a compiled, operational cyber range (Fig 1's architecture):
@@ -57,6 +77,8 @@ type CyberRange struct {
 	HMI   *scada.HMI
 
 	cons     *sclmerge.Consolidated
+	shards   []Shard
+	engine   *stepEngine
 	interval time.Duration
 	started  bool
 	cancel   context.CancelFunc
@@ -64,7 +86,11 @@ type CyberRange struct {
 
 // Compile runs the SG-ML Processor pipeline and assembles the range.
 // Nothing is started; call Start (real-time) or StepAll (deterministic).
-func Compile(ms *ModelSet) (*CyberRange, error) {
+func Compile(ms *ModelSet, opts ...CompileOption) (*CyberRange, error) {
+	co := compileOptions{workers: runtime.GOMAXPROCS(0)}
+	for _, o := range opts {
+		o(&co)
+	}
 	if ms.Name == "" {
 		ms.Name = "sgml-range"
 	}
@@ -252,6 +278,15 @@ func Compile(ms *ModelSet) (*CyberRange, error) {
 		}
 		r.HMI = hmi
 	}
+
+	// Stage 8: step scheduler — partition devices along the substation
+	// hierarchy and build the bounded-pool two-phase engine.
+	workers := co.workers
+	if workers < 1 {
+		workers = 1
+	}
+	r.shards = partitionShards(cons.SubstationOf, ms.ShardHints, r.IEDs, r.PLCs)
+	r.engine = newStepEngine(r.shards, workers, r.IEDs, r.PLCs, bus)
 	return r, nil
 }
 
@@ -402,8 +437,29 @@ func (r *CyberRange) plcBindingsOf(name string) map[string]bool {
 }
 
 // StepAll advances the whole range one simulation interval, deterministically:
-// physical solve, device protection passes, PLC scans, one HMI poll.
+// physical solve, then the sharded two-phase device pass (parallel IED
+// compute with buffered bus writes, ordered commit, PLC scans), one HMI poll.
+// The committed state is byte-identical to StepAllSequential.
 func (r *CyberRange) StepAll(now time.Time) error {
+	if _, err := r.Sim.Step(); err != nil {
+		return err
+	}
+	if err := r.engine.step(now); err != nil {
+		return err
+	}
+	if r.HMI != nil {
+		r.HMI.PollOnce()
+	}
+	return nil
+}
+
+// StepAllSequential is the single-threaded reference engine: every IED in
+// sorted order with immediate bus writes, then every PLC in shard/name
+// order — the exact order the parallel engine commits in. Like the parallel
+// path, it scans every PLC before reporting the first error, so a failing
+// scan never forks the two engines' state. The determinism test and the
+// parallel-engine ablation bench diff StepAll against it.
+func (r *CyberRange) StepAllSequential(now time.Time) error {
 	if _, err := r.Sim.Step(); err != nil {
 		return err
 	}
@@ -415,16 +471,28 @@ func (r *CyberRange) StepAll(now time.Time) error {
 	for _, n := range names {
 		r.IEDs[n].Step(now)
 	}
-	for _, p := range r.PLCs {
-		if err := p.Scan(now); err != nil {
-			return err
+	var firstErr error
+	for _, s := range r.shards {
+		for _, n := range s.PLCs {
+			if err := r.PLCs[n].Scan(now); err != nil && firstErr == nil {
+				firstErr = err
+			}
 		}
+	}
+	if firstErr != nil {
+		return firstErr
 	}
 	if r.HMI != nil {
 		r.HMI.PollOnce()
 	}
 	return nil
 }
+
+// Shards exposes the step engine's device partition (diagnostics, tests).
+func (r *CyberRange) Shards() []Shard { return r.shards }
+
+// Workers reports the step engine's worker-pool size.
+func (r *CyberRange) Workers() int { return r.engine.workers }
 
 // Stop tears the range down in reverse dependency order.
 func (r *CyberRange) Stop() {

@@ -188,6 +188,9 @@ func plcRead(t *testing.T, r *CyberRange) uint16 {
 }
 
 func TestEPICRealTimeMode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow: wall-clock soak, timing-sensitive on loaded CI runners")
+	}
 	r := compiledEPIC(t)
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()

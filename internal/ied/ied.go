@@ -342,8 +342,20 @@ func (d *IED) operateBreaker(breaker string, closeIt bool) error {
 	return nil
 }
 
-// Step performs one acquisition + protection pass at the given instant.
-func (d *IED) Step(now time.Time) {
+// Step performs one acquisition + protection pass at the given instant,
+// writing actuation commands directly to the bus.
+func (d *IED) Step(now time.Time) { d.StepTx(now, d.bus) }
+
+// StepTx is Step with the bus writes routed through w. The parallel step
+// engine passes a kvbus.Tx so trip commands from concurrently-stepped IEDs
+// can be committed in a deterministic order afterwards. Bus reads and MMS
+// model updates are confined to this IED and need no deferral; GOOSE/R-SV
+// publications are emitted immediately, but peers consume them through
+// asynchronous per-device delivery whose arrival timing is scheduler- and
+// wall-clock-dependent under sequential stepping too, so deferring them
+// would buy no additional determinism. Two IEDs may be stepped
+// concurrently; a single IED must not.
+func (d *IED) StepTx(now time.Time, w kvbus.Writer) {
 	d.mu.Lock()
 	d.steps++
 	d.mu.Unlock()
@@ -351,7 +363,7 @@ func (d *IED) Step(now time.Time) {
 	d.drainSubscriptions(now)
 	vm, ika := d.refreshMeasurements()
 	d.refreshBreakerStatus()
-	d.evaluateProtection(now, vm, ika)
+	d.evaluateProtection(now, vm, ika, w)
 	if d.rpub != nil {
 		d.rpub.PublishNow()
 	}
@@ -451,7 +463,7 @@ func (d *IED) lastStatusOf(cb string) bool {
 
 // evaluateProtection applies the Table II functions with their IED Config
 // XML thresholds and time delays.
-func (d *IED) evaluateProtection(now time.Time, vmPU, iKA float64) {
+func (d *IED) evaluateProtection(now time.Time, vmPU, iKA float64, w kvbus.Writer) {
 	p := d.cfg.Entry
 	if p == nil {
 		return
@@ -462,7 +474,7 @@ func (d *IED) evaluateProtection(now time.Time, vmPU, iKA float64) {
 		if c.Line != "" {
 			i = d.bus.GetFloat(kvbus.LineCurrentKey(d.cfg.Substation, c.Line), iKA)
 		}
-		d.applyFunction(now, "PTOC", &d.ptoc, i > c.ThresholdKA,
+		d.applyFunction(now, w, "PTOC", &d.ptoc, i > c.ThresholdKA,
 			time.Duration(c.DelayMS)*time.Millisecond,
 			fmt.Sprintf("current %.3f kA > %.3f kA", i, c.ThresholdKA))
 	}
@@ -472,7 +484,7 @@ func (d *IED) evaluateProtection(now time.Time, vmPU, iKA float64) {
 		if c.Bus != "" {
 			v = d.bus.GetFloat(kvbus.BusVoltageKey(d.cfg.Substation, c.Bus), vmPU)
 		}
-		d.applyFunction(now, "PTOV", &d.ptov, v > c.ThresholdPU,
+		d.applyFunction(now, w, "PTOV", &d.ptov, v > c.ThresholdPU,
 			time.Duration(c.DelayMS)*time.Millisecond,
 			fmt.Sprintf("voltage %.4f pu > %.4f pu", v, c.ThresholdPU))
 	}
@@ -484,7 +496,7 @@ func (d *IED) evaluateProtection(now time.Time, vmPU, iKA float64) {
 		}
 		// A de-energised bus (≈0 pu) is not an under-voltage condition —
 		// the breaker is already open; re-tripping would mask restoration.
-		d.applyFunction(now, "PTUV", &d.ptuv, v > 0.05 && v < c.ThresholdPU,
+		d.applyFunction(now, w, "PTUV", &d.ptuv, v > 0.05 && v < c.ThresholdPU,
 			time.Duration(c.DelayMS)*time.Millisecond,
 			fmt.Sprintf("voltage %.4f pu < %.4f pu", v, c.ThresholdPU))
 	}
@@ -499,7 +511,7 @@ func (d *IED) evaluateProtection(now time.Time, vmPU, iKA float64) {
 		if diff < 0 {
 			diff = -diff
 		}
-		d.applyFunction(now, "PDIF", &d.pdif, fresh && diff > c.ThresholdKA,
+		d.applyFunction(now, w, "PDIF", &d.pdif, fresh && diff > c.ThresholdKA,
 			time.Duration(c.DelayMS)*time.Millisecond,
 			fmt.Sprintf("differential %.3f kA > %.3f kA (local %.3f, remote %.3f)", diff, c.ThresholdKA, local, remote))
 	}
@@ -507,7 +519,7 @@ func (d *IED) evaluateProtection(now time.Time, vmPU, iKA float64) {
 
 // applyFunction implements the pickup/delay/trip state machine shared by all
 // threshold protections.
-func (d *IED) applyFunction(now time.Time, fn string, ps *protState, violated bool, delay time.Duration, detail string) {
+func (d *IED) applyFunction(now time.Time, w kvbus.Writer, fn string, ps *protState, violated bool, delay time.Duration, detail string) {
 	d.mu.Lock()
 	if !violated {
 		ps.armed = false
@@ -528,16 +540,16 @@ func (d *IED) applyFunction(now time.Time, fn string, ps *protState, violated bo
 	}
 	d.mu.Unlock()
 	if shouldTrip {
-		d.trip(fn, detail)
+		d.trip(w, fn, detail)
 	}
 }
 
 // trip opens every controlled breaker, raises the protection status and
 // publishes a GOOSE trip event.
-func (d *IED) trip(fn, detail string) {
+func (d *IED) trip(w kvbus.Writer, fn, detail string) {
 	d.srv.Update(RefProtTrip(fn), mms.NewBool(true))
 	for _, cb := range d.breakers {
-		d.bus.SetBool(kvbus.BreakerCmdKey(d.cfg.Substation, cb), false)
+		w.SetBool(kvbus.BreakerCmdKey(d.cfg.Substation, cb), false)
 	}
 	d.logEvent(EventTrip, fn, detail)
 	d.srv.Report(RefProtTrip(fn), mms.NewBool(true))

@@ -19,6 +19,30 @@
 //	r.StepAll(time.Now())                 // advance one 100 ms interval
 //	fmt.Println(r.HMI.StatusPanel())      // operator view
 //	r.Stop()
+//
+// # Parallel step engine
+//
+// StepAll advances the device layer with a sharded, deterministic two-phase
+// engine. At compile time the range is partitioned into per-substation
+// shards (the model's natural hierarchy; ModelSet.ShardHints can override
+// the attribution). Each step then runs two phases:
+//
+//  1. Compute — shards execute concurrently on a bounded worker pool, each
+//     stepping its IEDs in sorted order. Bus writes (breaker trip commands)
+//     are buffered into per-IED transactions, so every device reads the
+//     same pre-step simulator state it would see sequentially.
+//  2. Commit — the buffered transactions are applied to the kv bus in
+//     globally sorted IED order, reproducing the sequential engine's write
+//     order exactly.
+//
+// PLC scans and the HMI poll follow against the committed state. The kv bus
+// and HMI state is byte-identical to CyberRange.StepAllSequential — the
+// single-threaded reference path — while step latency scales with
+// substation count instead of total device count. (GOOSE/R-SV arrival
+// timing is asynchronous under both engines and is not part of that
+// contract.) WithWorkers sets the pool size (default runtime.GOMAXPROCS):
+//
+//	r, _ := sgml.Compile(ms, sgml.WithWorkers(4))
 package sgml
 
 import (
@@ -41,11 +65,21 @@ type (
 	EventSpec = core.EventSpec
 )
 
+// CompileOption tunes the compiled range (see WithWorkers).
+type CompileOption = core.CompileOption
+
 // ErrModel is returned when an SG-ML model cannot be compiled.
 var ErrModel = core.ErrModel
 
+// WithWorkers sets the parallel step engine's worker-pool size; the default
+// is runtime.GOMAXPROCS(0). WithWorkers(1) keeps the two-phase engine but
+// runs it on a single goroutine.
+func WithWorkers(n int) CompileOption { return core.WithWorkers(n) }
+
 // Compile runs the SG-ML Processor on a model set.
-func Compile(ms *ModelSet) (*CyberRange, error) { return core.Compile(ms) }
+func Compile(ms *ModelSet, opts ...CompileOption) (*CyberRange, error) {
+	return core.Compile(ms, opts...)
+}
 
 // LoadModelDir reads an SG-ML model directory (the on-disk file set the
 // paper's toolchain consumes) into a ModelSet.
@@ -103,6 +137,7 @@ func ScaleModelSet(nSubs, feeders int) (*ModelSet, int, error) {
 		SED:         sm.SED,
 		IEDConfig:   sm.IEDConfigs,
 		PowerConfig: sm.PowerConfig,
+		ShardHints:  sm.ShardHints,
 	}
 	return ms, sm.TotalIEDs, nil
 }

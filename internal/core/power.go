@@ -165,7 +165,9 @@ func addEquipment(net *powergrid.Network, pc *sgmlconf.PowerConfig, subName stri
 		}
 		net.Lines = append(net.Lines, l)
 	case scl.TypeLoad:
-		ld := powergrid.Load{Name: eq.Name, Bus: nodeOf(0), PMW: defLoadPMW, QMVAr: defLoadQMVAr, Scaling: 1, InService: true}
+		// Scaling is explicitly 1.0 (ScalingSet) so later load-profile events
+		// can zero it out without tripping the unset-field default.
+		ld := powergrid.Load{Name: eq.Name, Bus: nodeOf(0), PMW: defLoadPMW, QMVAr: defLoadQMVAr, Scaling: 1, ScalingSet: true, InService: true}
 		if p := pc.Element("load", eq.Name); p != nil {
 			if p.PMW != 0 {
 				ld.PMW = p.PMW

@@ -488,6 +488,15 @@ func (r *CyberRange) StepAllSequential(now time.Time) error {
 	return nil
 }
 
+// PowerSolverStats reports the coupled power simulator's health: topology
+// cache hits/misses of the warm-path solver (hits = steps that reused the
+// island assignment, Ybus and symbolic factorization) and the number of
+// failed solves.
+func (r *CyberRange) PowerSolverStats() (cacheHits, cacheMisses, solveFailures uint64) {
+	cacheHits, cacheMisses = r.Sim.SolverCacheStats()
+	return cacheHits, cacheMisses, r.Sim.Failures()
+}
+
 // Shards exposes the step engine's device partition (diagnostics, tests).
 func (r *CyberRange) Shards() []Shard { return r.shards }
 

@@ -111,6 +111,41 @@ func NewScaleModel(nSubs, feeders int) (*ScaleModel, error) {
 	return out, nil
 }
 
+// The XL scale-model size: 10 substations × 50 feeders (510 buses), the
+// size the sparse-solver ablation runs at. Past the 5×20 of the paper's
+// §IV-A experiment, the radial chain needs lighter feeders and stiffer ties
+// than the default parameters or the head of the chain collapses, so
+// NewScaleModelXL rewrites the electrical parameters accordingly.
+const (
+	ScaleXLSubs    = 10
+	ScaleXLFeeders = 50
+)
+
+// NewScaleModelXL builds the 10×50 model used by the sparse-solver ablation:
+// NewScaleModel's topology with XL electrical parameters (0.05 MW feeders,
+// low-impedance ties) so the ten-substation radial chain stays solvable.
+func NewScaleModelXL() (*ScaleModel, error) {
+	out, err := NewScaleModel(ScaleXLSubs, ScaleXLFeeders)
+	if err != nil {
+		return nil, err
+	}
+	for i := range out.PowerConfig.Elements {
+		e := &out.PowerConfig.Elements[i]
+		if e.Kind == "load" {
+			e.PMW = 0.05
+			e.QMVAr = 0.0125
+		}
+	}
+	for i := range out.SED.Ties {
+		t := &out.SED.Ties[i]
+		t.LengthKM = 2
+		t.ROhmPerKM = 0.02
+		t.XOhmPerKM = 0.12
+		t.MaxIKA = 2.0
+	}
+	return out, nil
+}
+
 func buildScaleSub(sub string, index, feeders int, withGrid bool) *scl.Document {
 	mainBay := scl.Bay{
 		Name: "Main",

@@ -14,14 +14,27 @@ var ErrSingular = errors.New("powerflow: singular matrix")
 // pivoting. A is row-major n×n; both A and b are destroyed. The returned slice
 // aliases b.
 //
-// The networks a substation cyber range solves are a few hundred buses at
-// most, where a cache-friendly dense solve beats a sparse setup; the 100 ms
-// stepping budget of the paper (§III-C) is validated by the benches.
+// This is the solver's dense reference path: small systems use it directly
+// (cache-friendly elimination beats a sparse setup there), and the sparse
+// engine falls back to it when static pivoting fails. The singularity test
+// is relative to the matrix norm (singularTol, shared with the sparse LU),
+// so a well-conditioned but uniformly small- or large-valued Jacobian is
+// judged by its conditioning, not its scale.
 func solveDense(a []float64, b []float64) ([]float64, error) {
 	n := len(b)
 	if len(a) != n*n {
 		return nil, fmt.Errorf("powerflow: matrix %d elements, want %d", len(a), n*n)
 	}
+	scale := 0.0
+	for _, v := range a {
+		if av := math.Abs(v); av > scale {
+			scale = av
+		}
+	}
+	if scale == 0 && n > 0 {
+		return nil, ErrSingular
+	}
+	tol := singularTol * scale
 	for col := 0; col < n; col++ {
 		// Partial pivot.
 		pivot := col
@@ -31,7 +44,7 @@ func solveDense(a []float64, b []float64) ([]float64, error) {
 				maxAbs, pivot = v, r
 			}
 		}
-		if maxAbs < 1e-12 {
+		if maxAbs < tol {
 			return nil, ErrSingular
 		}
 		if pivot != col {

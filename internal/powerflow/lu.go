@@ -1,0 +1,289 @@
+package powerflow
+
+import (
+	"container/heap"
+	"math"
+	"sort"
+)
+
+// Sparse LU factorization for the Newton-Raphson Jacobian.
+//
+// The factorization is split the classical way:
+//
+//   - ordering: a minimum-degree permutation of the (structurally symmetric)
+//     Jacobian pattern, computed on the elimination graph so fill-in stays
+//     near the O(n) of a radial network instead of the O(n²) a natural
+//     ordering can produce;
+//   - symbolic: the fill pattern of L and U for that permutation, computed
+//     once per topology and reused by every numeric refactorization;
+//   - numeric: a row-wise (Doolittle) factorization confined to the symbolic
+//     pattern, re-run each NR iteration with fresh Jacobian values.
+//
+// Pivoting is static (the diagonal of the permuted matrix). That is safe for
+// power-flow Jacobians, which are structurally symmetric with dominant
+// diagonal blocks; a pivot smaller than singularTol times the matrix norm
+// reports ErrSingular, and the caller may fall back to the dense path.
+
+// singularTol is the relative pivot threshold shared by the sparse and dense
+// solvers: a pivot below singularTol * max|a_ij| declares the system
+// singular. Relative (not absolute) so a well-conditioned Jacobian from a
+// large-BaseMVA system (uniformly tiny per-unit entries) does not falsely
+// trip, and a singular system with huge entries does not slip through.
+const singularTol = 1e-12
+
+// luSymbolic holds the permutation and fill pattern, reusable across numeric
+// refactorizations as long as the matrix structure is unchanged.
+type luSymbolic struct {
+	n     int
+	perm  []int // perm[i] = original index of the i-th pivot
+	iperm []int // inverse permutation
+	// Strictly-lower pattern per row, columns ascending (elimination order).
+	lRowPtr []int
+	lCol    []int
+	// Upper pattern per row including the diagonal (first entry), ascending.
+	uRowPtr []int
+	uCol    []int
+}
+
+// luNumeric holds factor values matching a luSymbolic pattern.
+type luNumeric struct {
+	lVal []float64
+	uVal []float64
+	// work is the dense accumulator reused across factorizations.
+	work []float64
+}
+
+// degHeap is a min-heap of (degree, node) pairs for the ordering pass.
+type degHeap struct {
+	deg  []int
+	node []int
+}
+
+func (h *degHeap) Len() int { return len(h.node) }
+func (h *degHeap) Less(i, j int) bool {
+	if h.deg[i] != h.deg[j] {
+		return h.deg[i] < h.deg[j]
+	}
+	return h.node[i] < h.node[j] // deterministic tie-break
+}
+func (h *degHeap) Swap(i, j int) {
+	h.deg[i], h.deg[j] = h.deg[j], h.deg[i]
+	h.node[i], h.node[j] = h.node[j], h.node[i]
+}
+func (h *degHeap) Push(x any) {
+	p := x.([2]int)
+	h.deg = append(h.deg, p[0])
+	h.node = append(h.node, p[1])
+}
+func (h *degHeap) Pop() any {
+	n := len(h.node) - 1
+	p := [2]int{h.deg[n], h.node[n]}
+	h.deg = h.deg[:n]
+	h.node = h.node[:n]
+	return p
+}
+
+// minDegreeOrder computes a fill-reducing elimination order for a matrix with
+// the given (assumed structurally symmetric) CSR pattern, by simulating
+// elimination on the adjacency graph and always picking the currently
+// lowest-degree node (lazy-deletion heap; stale entries are skipped).
+func minDegreeOrder(n int, rowPtr, colIdx []int) []int {
+	adj := make([]map[int]struct{}, n)
+	for i := 0; i < n; i++ {
+		adj[i] = make(map[int]struct{})
+	}
+	for i := 0; i < n; i++ {
+		for _, j := range colIdx[rowPtr[i]:rowPtr[i+1]] {
+			if i != j {
+				adj[i][j] = struct{}{}
+				adj[j][i] = struct{}{}
+			}
+		}
+	}
+	h := &degHeap{}
+	for i := 0; i < n; i++ {
+		h.deg = append(h.deg, len(adj[i]))
+		h.node = append(h.node, i)
+	}
+	heap.Init(h)
+	eliminated := make([]bool, n)
+	perm := make([]int, 0, n)
+	for len(perm) < n {
+		p := heap.Pop(h).([2]int)
+		v := p[1]
+		if eliminated[v] || p[0] != len(adj[v]) {
+			if !eliminated[v] {
+				heap.Push(h, [2]int{len(adj[v]), v}) // stale degree: requeue
+			}
+			continue
+		}
+		eliminated[v] = true
+		perm = append(perm, v)
+		// Form the elimination clique among v's remaining neighbours.
+		nbrs := make([]int, 0, len(adj[v]))
+		for u := range adj[v] {
+			nbrs = append(nbrs, u)
+		}
+		sort.Ints(nbrs)
+		for _, u := range nbrs {
+			delete(adj[u], v)
+		}
+		for ai, u := range nbrs {
+			for _, w := range nbrs[ai+1:] {
+				if _, ok := adj[u][w]; !ok {
+					adj[u][w] = struct{}{}
+					adj[w][u] = struct{}{}
+				}
+			}
+		}
+		for _, u := range nbrs {
+			heap.Push(h, [2]int{len(adj[u]), u})
+		}
+	}
+	return perm
+}
+
+// colHeap is a plain int min-heap used during symbolic factorization.
+type colHeap []int
+
+func (h colHeap) Len() int           { return len(h) }
+func (h colHeap) Less(i, j int) bool { return h[i] < h[j] }
+func (h colHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *colHeap) Push(x any)        { *h = append(*h, x.(int)) }
+func (h *colHeap) Pop() any          { n := len(*h) - 1; v := (*h)[n]; *h = (*h)[:n]; return v }
+
+// luSymbolicFactor computes the fill pattern of LU on the permuted matrix.
+// rowPtr/colIdx describe the unpermuted pattern.
+func luSymbolicFactor(n int, rowPtr, colIdx, perm []int) *luSymbolic {
+	s := &luSymbolic{n: n, perm: perm, iperm: make([]int, n)}
+	for i, v := range perm {
+		s.iperm[v] = i
+	}
+	s.lRowPtr = make([]int, n+1)
+	s.uRowPtr = make([]int, n+1)
+	mark := make([]bool, n)
+	var pending colHeap
+	all := make([]int, 0, 16)
+
+	for i := 0; i < n; i++ {
+		all = all[:0]
+		pending = pending[:0]
+		orig := perm[i]
+		for _, c := range colIdx[rowPtr[orig]:rowPtr[orig+1]] {
+			pc := s.iperm[c]
+			if !mark[pc] {
+				mark[pc] = true
+				all = append(all, pc)
+				if pc < i {
+					pending = append(pending, pc)
+				}
+			}
+		}
+		if !mark[i] { // structurally missing diagonal: pivot slot must exist
+			mark[i] = true
+			all = append(all, i)
+		}
+		heap.Init(&pending)
+		for pending.Len() > 0 {
+			k := heap.Pop(&pending).(int)
+			// Merge U-row k (beyond its diagonal) into this row's pattern.
+			for _, j := range s.uCol[s.uRowPtr[k]+1 : s.uRowPtr[k+1]] {
+				if !mark[j] {
+					mark[j] = true
+					all = append(all, j)
+					if j < i {
+						heap.Push(&pending, j)
+					}
+				}
+			}
+		}
+		sort.Ints(all)
+		for _, c := range all {
+			mark[c] = false
+			if c < i {
+				s.lCol = append(s.lCol, c)
+			} else {
+				s.uCol = append(s.uCol, c)
+			}
+		}
+		s.lRowPtr[i+1] = len(s.lCol)
+		s.uRowPtr[i+1] = len(s.uCol)
+	}
+	return s
+}
+
+// newLUNumeric allocates value storage for a symbolic pattern.
+func newLUNumeric(s *luSymbolic) *luNumeric {
+	return &luNumeric{
+		lVal: make([]float64, len(s.lCol)),
+		uVal: make([]float64, len(s.uCol)),
+		work: make([]float64, s.n),
+	}
+}
+
+// factor refactorizes numerically: vals/rowPtr/colIdx is the unpermuted CSR
+// matrix matching the pattern the symbolic phase was built from. maxAbs is
+// the matrix norm used for the relative singularity test.
+func (num *luNumeric) factor(s *luSymbolic, rowPtr, colIdx []int, vals []float64, maxAbs float64) error {
+	if maxAbs == 0 {
+		return ErrSingular
+	}
+	tol := singularTol * maxAbs
+	x := num.work
+	for i := 0; i < s.n; i++ {
+		// Clear the accumulator on this row's pattern only.
+		for _, c := range s.lCol[s.lRowPtr[i]:s.lRowPtr[i+1]] {
+			x[c] = 0
+		}
+		for _, c := range s.uCol[s.uRowPtr[i]:s.uRowPtr[i+1]] {
+			x[c] = 0
+		}
+		orig := s.perm[i]
+		for o, c := range colIdx[rowPtr[orig]:rowPtr[orig+1]] {
+			x[s.iperm[c]] += vals[rowPtr[orig]+o]
+		}
+		// Eliminate with previously factored rows, ascending.
+		for o, k := range s.lCol[s.lRowPtr[i]:s.lRowPtr[i+1]] {
+			piv := num.uVal[s.uRowPtr[k]]
+			lik := x[k] / piv
+			num.lVal[s.lRowPtr[i]+o] = lik
+			if lik == 0 {
+				continue
+			}
+			for uo, j := range s.uCol[s.uRowPtr[k]+1 : s.uRowPtr[k+1]] {
+				x[j] -= lik * num.uVal[s.uRowPtr[k]+1+uo]
+			}
+		}
+		if math.Abs(x[i]) < tol {
+			return ErrSingular
+		}
+		for o, c := range s.uCol[s.uRowPtr[i]:s.uRowPtr[i+1]] {
+			num.uVal[s.uRowPtr[i]+o] = x[c]
+		}
+	}
+	return nil
+}
+
+// solve solves LUx = Pb in place: b is overwritten with the solution in the
+// original (unpermuted) index space.
+func (num *luNumeric) solve(s *luSymbolic, b []float64) {
+	y := num.work
+	for i := 0; i < s.n; i++ {
+		yi := b[s.perm[i]]
+		for o, k := range s.lCol[s.lRowPtr[i]:s.lRowPtr[i+1]] {
+			yi -= num.lVal[s.lRowPtr[i]+o] * y[k]
+		}
+		y[i] = yi
+	}
+	for i := s.n - 1; i >= 0; i-- {
+		sum := y[i]
+		row := s.uCol[s.uRowPtr[i]:s.uRowPtr[i+1]]
+		for o := len(row) - 1; o >= 1; o-- {
+			sum -= num.uVal[s.uRowPtr[i]+o] * y[row[o]]
+		}
+		y[i] = sum / num.uVal[s.uRowPtr[i]]
+	}
+	for i := 0; i < s.n; i++ {
+		b[s.perm[i]] = y[i]
+	}
+}

@@ -16,6 +16,46 @@
 //     island is de-energised),
 //   - optional generator reactive-power limit enforcement (PV→PQ switching),
 //   - warm starts from a previous solution for the 100 ms loop.
+//
+// # Sparse engine and the per-topology cache
+//
+// The solver has two linear-algebra paths:
+//
+//   - a sparse path (the default at scale): CSR Ybus and Jacobian, and a
+//     sparse LU with a fill-reducing minimum-degree ordering (lu.go). The
+//     Jacobian assembly plan and the LU symbolic factorization are computed
+//     once per topology and replayed with fresh values on every NR
+//     iteration.
+//   - a dense path (the reference implementation): row-major Jacobian and
+//     Gaussian elimination with partial pivoting (linalg.go). It is used for
+//     small systems, when Options.Method requests it, and as an automatic
+//     fallback if a statically-pivoted sparse factorization reports a
+//     singular pivot that partial pivoting might still survive.
+//
+// Options.Method selects the path; MethodAuto picks sparse once the NR
+// system reaches sparseMinUnknowns unknowns.
+//
+// A Solver (NewSolver) adds the warm-path topology cache the 100 ms loop
+// relies on. The first Solve validates the network and builds the fused-node
+// mapping, island assignment, branch admittances, CSR Ybus and the sparse
+// symbolic state; consecutive Solves reuse all of it and only refresh the
+// injections, voltage guesses and numeric values. The cache is keyed by a
+// signature over everything structural or admittance-affecting:
+//
+//   - bus set (names, nominal voltages) and BaseMVA,
+//   - line/transformer identity, electrical parameters, tap positions and
+//     in-service flags,
+//   - every switch (kind, endpoints, open/closed),
+//   - generator and external-grid placement and generator in-service state
+//     (they decide PV/slack bus kinds and island slack election).
+//
+// Any change there — a breaker trip, a line outage, a tap move, a generator
+// dropping out — invalidates the cache and triggers a full rebuild on the
+// next Solve. Load, static-generator and shunt values (including their
+// in-service flags and load scalings) are deliberately NOT in the key: they
+// only feed the per-solve power injections, which are recomputed every step,
+// so the load-profile churn of the 100 ms loop always stays on the warm
+// path. The package-level Solve is the cache-less one-shot form.
 package powerflow
 
 import (
@@ -23,6 +63,8 @@ import (
 	"fmt"
 	"math"
 	"math/cmplx"
+	"slices"
+	"sync"
 
 	"repro/internal/powergrid"
 )
@@ -33,6 +75,26 @@ const Frequency = 50.0
 // ErrNotConverged is returned when NR fails to reach tolerance.
 var ErrNotConverged = errors.New("powerflow: did not converge")
 
+// Method selects the linear-algebra path of the NR inner loop.
+type Method int
+
+// Linear solver methods.
+const (
+	// MethodAuto picks sparse at or above sparseMinUnknowns unknowns.
+	MethodAuto Method = iota
+	// MethodDense forces the dense reference path (partial-pivot Gaussian
+	// elimination on a row-major Jacobian).
+	MethodDense
+	// MethodSparse forces the sparse path (CSR Jacobian, minimum-degree
+	// ordered sparse LU with cached symbolic factorization).
+	MethodSparse
+)
+
+// sparseMinUnknowns is the NR system size at which MethodAuto switches from
+// the dense reference path to the sparse engine. Below it the cache-friendly
+// dense elimination wins; above it the O(nnz) factorization does.
+const sparseMinUnknowns = 96
+
 // Options tunes the solver.
 type Options struct {
 	MaxIterations  int     // default 30
@@ -41,6 +103,9 @@ type Options struct {
 	// WarmStart, when non-nil, seeds bus voltages from a previous result
 	// (matched by bus name). Buses absent from the warm start use flat start.
 	WarmStart *Result
+	// Method selects the linear solver; the zero value (MethodAuto) picks by
+	// system size.
+	Method Method
 }
 
 // BusResult holds per-bus solution values.
@@ -87,21 +152,15 @@ type Result struct {
 // TotalLoadMW sums bus withdrawals (for sanity checks in tests).
 func (r *Result) TotalLoadMW(n *powergrid.Network) float64 {
 	var sum float64
-	for _, l := range n.Loads {
+	for i := range n.Loads {
+		l := &n.Loads[i]
 		if l.InService {
 			if b, ok := r.Buses[l.Bus]; ok && b.Energized {
-				sum += l.PMW * scalingOf(l)
+				sum += l.PMW * l.EffectiveScaling()
 			}
 		}
 	}
 	return sum
-}
-
-func scalingOf(l powergrid.Load) float64 {
-	if l.Scaling == 0 {
-		return 1
-	}
-	return l.Scaling
 }
 
 // bus solve types
@@ -119,6 +178,7 @@ const (
 type node struct {
 	kind    busKind
 	vm, va  float64 // current estimate, pu / radians
+	vaBase  float64 // slack reference angle, radians
 	pSpec   float64 // specified net injection, pu
 	qSpec   float64
 	vSet    float64 // voltage setpoint for PV/slack
@@ -146,11 +206,33 @@ type branch struct {
 	inSvc    bool
 }
 
-// Solve runs an AC power flow on the network.
-func Solve(n *powergrid.Network, opts Options) (*Result, error) {
-	if err := n.Validate(); err != nil {
-		return nil, err
-	}
+// Solver is a reusable power-flow engine with a per-topology cache. The
+// zero value is ready to use; Solve is safe for serial reuse across steps
+// (an internal mutex also makes concurrent calls safe, serialised).
+type Solver struct {
+	mu           sync.Mutex
+	cache        *topoCache
+	hits, misses uint64
+}
+
+// NewSolver returns an empty-cache solver for a stepped solve loop.
+func NewSolver() *Solver { return &Solver{} }
+
+// CacheStats reports warm-path reuse: hits are Solves that reused the cached
+// topology (islands, Ybus, symbolic factorization), misses are full rebuilds
+// (first solve or a topology/in-service change).
+func (sv *Solver) CacheStats() (hits, misses uint64) {
+	sv.mu.Lock()
+	defer sv.mu.Unlock()
+	return sv.hits, sv.misses
+}
+
+// Solve runs an AC power flow, reusing the topology cache when the network's
+// structure is unchanged since the previous call.
+func (sv *Solver) Solve(n *powergrid.Network, opts Options) (*Result, error) {
+	sv.mu.Lock()
+	defer sv.mu.Unlock()
+
 	if opts.MaxIterations <= 0 {
 		opts.MaxIterations = 30
 	}
@@ -158,14 +240,31 @@ func Solve(n *powergrid.Network, opts Options) (*Result, error) {
 	if tol <= 0 {
 		tol = 1e-6 * n.BaseMVA
 	}
-	tolPU := tol / n.BaseMVA
-
-	p := newProblem(n, opts)
-	if err := p.assignIslands(); err != nil {
+	// Per-solve inputs that Validate guards but the topology signature
+	// deliberately excludes must be re-checked on every call, or a setpoint
+	// mutated to an invalid value would ride a cache hit past validation.
+	if err := n.ValidateSetpoints(); err != nil {
 		return nil, err
 	}
-	p.buildYbus()
+	tolPU := tol / n.BaseMVA
 
+	sig := topoSignature(n)
+	if sv.cache == nil || sv.cache.sig != sig {
+		if err := n.Validate(); err != nil {
+			return nil, err
+		}
+		c, err := buildTopology(n)
+		if err != nil {
+			return nil, err
+		}
+		c.sig = sig
+		sv.cache = c
+		sv.misses++
+	} else {
+		sv.hits++
+	}
+
+	p := sv.cache.instantiate(n, opts)
 	res, err := p.iterate(opts.MaxIterations, tolPU)
 	if err != nil {
 		return res, err
@@ -185,19 +284,172 @@ func Solve(n *powergrid.Network, opts Options) (*Result, error) {
 	return res, nil
 }
 
+// Solve runs a one-shot AC power flow on the network (no cache reuse; the
+// stepped loop should hold a Solver instead).
+func Solve(n *powergrid.Network, opts Options) (*Result, error) {
+	return (&Solver{}).Solve(n, opts)
+}
+
+// sparseState is the sparse linear-system state for one bus-kind partition:
+// the Jacobian assembly plan plus the ordered symbolic LU and its value
+// storage.
+type sparseState struct {
+	kinds   []busKind
+	plan    *jacPlan
+	sym     *luSymbolic
+	num     *luNumeric
+	jacVals []float64
+}
+
+// maxSparseStates bounds the per-topology symbolic cache. Two partitions
+// (the template kinds and one Q-limit-clamped variant) cover the steady
+// 100 ms loop; a little headroom absorbs multi-generator clamping without
+// letting pathological kind churn hoard memory.
+const maxSparseStates = 4
+
+// topoCache is everything derivable from the network's structure alone:
+// valid until a topology or in-service change flips the signature.
+type topoCache struct {
+	sig      uint64
+	busNode  []int  // bus index -> node index
+	nodeTmpl []node // kinds, islands, fused-bus lists; injections zeroed
+	branches []branch
+	y        *csrComplex
+	// Element -> fused-node indices, precomputed so the per-solve injection
+	// pass is O(elements) instead of re-resolving bus names every step.
+	// Element identity and bus attachment are in the signature, so these
+	// stay valid for the cache's lifetime.
+	loadNode  []int
+	shuntNode []int
+	sgenNode  []int
+	genNode   []int
+	extNode   []int
+
+	// Sparse linear-system states, MRU-first, one per bus-kind partition
+	// seen under this topology (Q-limit clamping flips PV buses to PQ
+	// mid-solve, changing the Jacobian structure); populated lazily by the
+	// sparse iterate.
+	sparse []*sparseState
+}
+
 type problem struct {
 	net      *powergrid.Network
 	nodes    []node
-	busNode  []int // bus index -> node index
+	busNode  []int
 	branches []branch
-	// Ybus dense complex, node-major.
-	y    []complex128
-	nn   int
-	opts Options
+	y        *csrComplex
+	nn       int
+	opts     Options
+	cache    *topoCache
 }
 
-func newProblem(n *powergrid.Network, opts Options) *problem {
-	p := &problem{net: n, opts: opts}
+// topoSignature hashes the structural and admittance-affecting state of the
+// network (FNV-1a). Load/sgen/shunt values and in-service flags are excluded
+// on purpose: they feed only the per-solve injections.
+func topoSignature(n *powergrid.Network) uint64 {
+	h := uint64(14695981039346656037)
+	mix := func(b byte) {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	w64 := func(v uint64) {
+		for s := 0; s < 64; s += 8 {
+			mix(byte(v >> s))
+		}
+	}
+	wf := func(f float64) { w64(math.Float64bits(f)) }
+	ws := func(s string) {
+		for i := 0; i < len(s); i++ {
+			mix(s[i])
+		}
+		mix(0xfe)
+	}
+	wb := func(b bool) {
+		if b {
+			mix(1)
+		} else {
+			mix(0)
+		}
+	}
+	wf(n.BaseMVA)
+	w64(uint64(len(n.Buses)))
+	w64(uint64(len(n.Lines)))
+	w64(uint64(len(n.Trafos)))
+	w64(uint64(len(n.Loads)))
+	w64(uint64(len(n.SGens)))
+	w64(uint64(len(n.Shunts)))
+	w64(uint64(len(n.Gens)))
+	w64(uint64(len(n.Externals)))
+	w64(uint64(len(n.Switches)))
+	for i := range n.Buses {
+		ws(n.Buses[i].Name)
+		wf(n.Buses[i].VnKV)
+	}
+	for i := range n.Lines {
+		l := &n.Lines[i]
+		ws(l.Name)
+		ws(l.FromBus)
+		ws(l.ToBus)
+		wf(l.LengthKM)
+		wf(l.ROhmPerKM)
+		wf(l.XOhmPerKM)
+		wf(l.CNFPerKM)
+		wf(l.MaxIKA)
+		wb(l.InService)
+	}
+	for i := range n.Trafos {
+		t := &n.Trafos[i]
+		ws(t.Name)
+		ws(t.HVBus)
+		ws(t.LVBus)
+		wf(t.SnMVA)
+		wf(t.VnHVKV)
+		wf(t.VnLVKV)
+		wf(t.VKPercent)
+		wf(t.VKRPercent)
+		w64(uint64(int64(t.TapPos)))
+		wf(t.TapStepPC)
+		wb(t.InService)
+	}
+	for i := range n.Switches {
+		s := &n.Switches[i]
+		ws(s.Name)
+		ws(s.Bus)
+		ws(s.Element)
+		w64(uint64(s.Kind))
+		wb(s.Closed)
+	}
+	for i := range n.Gens {
+		ws(n.Gens[i].Name)
+		ws(n.Gens[i].Bus)
+		wb(n.Gens[i].InService)
+	}
+	for i := range n.Externals {
+		ws(n.Externals[i].Name)
+		ws(n.Externals[i].Bus)
+	}
+	// Injection elements: identity and bus attachment only (a re-homed or
+	// renamed element must rebuild so Validate sees it), never their values
+	// or in-service flags — those are per-solve inputs and must not evict
+	// the warm path.
+	for i := range n.Loads {
+		ws(n.Loads[i].Name)
+		ws(n.Loads[i].Bus)
+	}
+	for i := range n.SGens {
+		ws(n.SGens[i].Name)
+		ws(n.SGens[i].Bus)
+	}
+	for i := range n.Shunts {
+		ws(n.Shunts[i].Name)
+		ws(n.Shunts[i].Bus)
+	}
+	return h
+}
+
+// buildTopology is the cache-miss path: fused nodes, bus kinds, branches,
+// island assignment and the CSR Ybus.
+func buildTopology(n *powergrid.Network) (*topoCache, error) {
 	nb := len(n.Buses)
 
 	// Union-find over buses to fuse closed bus-bus couplers.
@@ -225,92 +477,36 @@ func newProblem(n *powergrid.Network, opts Options) *problem {
 		}
 	}
 
-	// Allocate nodes for representatives.
+	c := &topoCache{busNode: make([]int, nb)}
 	repToNode := make(map[int]int)
-	p.busNode = make([]int, nb)
 	for i := 0; i < nb; i++ {
 		r := find(i)
 		ni, ok := repToNode[r]
 		if !ok {
-			ni = len(p.nodes)
+			ni = len(c.nodeTmpl)
 			repToNode[r] = ni
-			p.nodes = append(p.nodes, node{kind: busPQ, vm: 1, vSet: 1, qMin: math.Inf(-1), qMax: math.Inf(1)})
+			c.nodeTmpl = append(c.nodeTmpl, node{kind: busPQ})
 		}
-		p.busNode[i] = ni
-		p.nodes[ni].buses = append(p.nodes[ni].buses, i)
+		c.busNode[i] = ni
+		c.nodeTmpl[ni].buses = append(c.nodeTmpl[ni].buses, i)
 	}
 
-	// Injections and bus types.
-	base := n.BaseMVA
-	nodeOf := func(busName string) *node { return &p.nodes[p.busNode[n.BusIndex(busName)]] }
-	for _, l := range n.Loads {
-		if !l.InService {
-			continue
-		}
-		nd := nodeOf(l.Bus)
-		s := scalingOf(l)
-		nd.pSpec -= l.PMW * s / base
-		nd.qSpec -= l.QMVAr * s / base
-	}
-	for _, s := range n.Shunts {
-		if !s.InService {
-			continue
-		}
-		// Constant-admittance shunt folded into Ybus later via a synthetic
-		// branch-less entry; approximate as constant power at V≈1 for
-		// simplicity of the Jacobian (adequate for breaker-level studies).
-		nd := nodeOf(s.Bus)
-		nd.pSpec -= s.PMW / base
-		nd.qSpec -= s.QMVAr / base
-	}
-	for _, g := range n.SGens {
-		if !g.InService {
-			continue
-		}
-		nd := nodeOf(g.Bus)
-		nd.pSpec += g.PMW / base
-		nd.qSpec += g.QMVAr / base
-	}
+	// Bus kinds (voltage setpoints and injections come per-solve).
 	for _, g := range n.Gens {
 		if !g.InService {
 			continue
 		}
-		nd := nodeOf(g.Bus)
-		nd.pSpec += g.PMW / base
-		nd.kind = busPV
-		nd.vSet = g.VmPU
-		nd.vm = g.VmPU
-		if g.MinQMVAr != 0 || g.MaxQMVAr != 0 {
-			nd.hasQLim = true
-			nd.qMin = g.MinQMVAr / base
-			nd.qMax = g.MaxQMVAr / base
-		}
+		c.nodeTmpl[c.busNode[n.BusIndex(g.Bus)]].kind = busPV
 	}
 	for _, e := range n.Externals {
-		nd := nodeOf(e.Bus)
-		nd.kind = busSlack
-		nd.vSet = e.VmPU
-		nd.vm = e.VmPU
-		nd.va = e.VaDeg * math.Pi / 180
-	}
-
-	// Warm start.
-	if ws := opts.WarmStart; ws != nil {
-		for bi, b := range n.Buses {
-			if br, ok := ws.Buses[b.Name]; ok && br.Energized && br.VmPU > 0.1 {
-				nd := &p.nodes[p.busNode[bi]]
-				if nd.kind == busPQ {
-					nd.vm = br.VmPU
-					nd.va = br.VaDeg * math.Pi / 180
-				}
-			}
-		}
+		c.nodeTmpl[c.busNode[n.BusIndex(e.Bus)]].kind = busSlack
 	}
 
 	// Branches.
+	base := n.BaseMVA
 	for _, l := range n.Lines {
 		inSvc := n.LineConnected(l.Name)
-		fi, ti := p.busNode[n.BusIndex(l.FromBus)], p.busNode[n.BusIndex(l.ToBus)]
+		fi, ti := c.busNode[n.BusIndex(l.FromBus)], c.busNode[n.BusIndex(l.ToBus)]
 		vn := n.Buses[n.BusIndex(l.FromBus)].VnKV
 		zBase := vn * vn / base
 		z := complex(l.ROhmPerKM*l.LengthKM/zBase, l.XOhmPerKM*l.LengthKM/zBase)
@@ -321,7 +517,7 @@ func newProblem(n *powergrid.Network, opts Options) *problem {
 		// Shunt susceptance from capacitance: b = ωC (total), split per end.
 		bTot := 2 * math.Pi * Frequency * l.CNFPerKM * 1e-9 * l.LengthKM * zBase
 		ysh := complex(0, bTot/2)
-		p.branches = append(p.branches, branch{
+		c.branches = append(c.branches, branch{
 			kind: "line", name: l.Name, fromNode: fi, toNode: ti,
 			fromBus: l.FromBus, toBus: l.ToBus,
 			y: y, yshFrom: ysh, yshTo: ysh, tap: 1,
@@ -332,7 +528,7 @@ func newProblem(n *powergrid.Network, opts Options) *problem {
 	for _, tr := range n.Trafos {
 		inSvc := n.TrafoConnected(tr.Name)
 		hvIdx, lvIdx := n.BusIndex(tr.HVBus), n.BusIndex(tr.LVBus)
-		fi, ti := p.busNode[hvIdx], p.busNode[lvIdx]
+		fi, ti := c.busNode[hvIdx], c.busNode[lvIdx]
 		// Impedance referred to transformer rating, converted to system base.
 		zk := tr.VKPercent / 100 * base / tr.SnMVA
 		rk := tr.VKRPercent / 100 * base / tr.SnMVA
@@ -343,7 +539,7 @@ func newProblem(n *powergrid.Network, opts Options) *problem {
 		aHV := tr.VnHVKV * tapFactor / n.Buses[hvIdx].VnKV
 		aLV := tr.VnLVKV / n.Buses[lvIdx].VnKV
 		ratio := complex(aHV/aLV, 0)
-		p.branches = append(p.branches, branch{
+		c.branches = append(c.branches, branch{
 			kind: "trafo", name: tr.Name, fromNode: fi, toNode: ti,
 			fromBus: tr.HVBus, toBus: tr.LVBus,
 			y: y, tap: ratio,
@@ -352,27 +548,55 @@ func newProblem(n *powergrid.Network, opts Options) *problem {
 			inSvc: inSvc,
 		})
 	}
-	p.nn = len(p.nodes)
-	return p
+
+	// Element -> node index tables for the per-solve injection pass.
+	nodeIdx := func(bus string) int { return c.busNode[n.BusIndex(bus)] }
+	c.loadNode = make([]int, len(n.Loads))
+	for i := range n.Loads {
+		c.loadNode[i] = nodeIdx(n.Loads[i].Bus)
+	}
+	c.shuntNode = make([]int, len(n.Shunts))
+	for i := range n.Shunts {
+		c.shuntNode[i] = nodeIdx(n.Shunts[i].Bus)
+	}
+	c.sgenNode = make([]int, len(n.SGens))
+	for i := range n.SGens {
+		c.sgenNode[i] = nodeIdx(n.SGens[i].Bus)
+	}
+	c.genNode = make([]int, len(n.Gens))
+	for i := range n.Gens {
+		c.genNode[i] = nodeIdx(n.Gens[i].Bus)
+	}
+	c.extNode = make([]int, len(n.Externals))
+	for i := range n.Externals {
+		c.extNode[i] = nodeIdx(n.Externals[i].Bus)
+	}
+
+	if err := assignIslands(c.nodeTmpl, c.branches); err != nil {
+		return nil, err
+	}
+	c.y = buildYbus(len(c.nodeTmpl), c.branches)
+	return c, nil
 }
 
 // assignIslands labels connected components, elects per-island slacks, and
 // marks sourceless islands dead.
-func (p *problem) assignIslands() error {
-	adj := make([][]int, p.nn)
-	for _, br := range p.branches {
+func assignIslands(nodes []node, branches []branch) error {
+	nn := len(nodes)
+	adj := make([][]int, nn)
+	for _, br := range branches {
 		if !br.inSvc {
 			continue
 		}
 		adj[br.fromNode] = append(adj[br.fromNode], br.toNode)
 		adj[br.toNode] = append(adj[br.toNode], br.fromNode)
 	}
-	island := make([]int, p.nn)
+	island := make([]int, nn)
 	for i := range island {
 		island[i] = -1
 	}
 	next := 0
-	for s := 0; s < p.nn; s++ {
+	for s := 0; s < nn; s++ {
 		if island[s] != -1 {
 			continue
 		}
@@ -395,9 +619,9 @@ func (p *problem) assignIslands() error {
 	for i := range genNode {
 		genNode[i] = -1
 	}
-	for ni := range p.nodes {
-		p.nodes[ni].island = island[ni]
-		switch p.nodes[ni].kind {
+	for ni := range nodes {
+		nodes[ni].island = island[ni]
+		switch nodes[ni].kind {
 		case busSlack:
 			hasSlack[island[ni]] = true
 		case busPV:
@@ -412,36 +636,143 @@ func (p *problem) assignIslands() error {
 		}
 		if g := genNode[isl]; g != -1 {
 			// Promote the island's first generator to slack (micro-grid mode).
-			p.nodes[g].kind = busSlack
-			p.nodes[g].vm = p.nodes[g].vSet
-			p.nodes[g].va = 0
+			nodes[g].kind = busSlack
 			continue
 		}
 		// Sourceless island: de-energise.
-		for ni := range p.nodes {
-			if p.nodes[ni].island == isl {
-				p.nodes[ni].kind = busDead
-				p.nodes[ni].vm = 0
+		for ni := range nodes {
+			if nodes[ni].island == isl {
+				nodes[ni].kind = busDead
 			}
 		}
 	}
 	return nil
 }
 
-func (p *problem) buildYbus() {
-	p.y = make([]complex128, p.nn*p.nn)
-	for _, br := range p.branches {
+// buildYbus assembles the CSR admittance matrix from in-service branches.
+// Duplicate contributions are summed in branch order, matching the dense
+// accumulation the reference implementation used.
+func buildYbus(nn int, branches []branch) *csrComplex {
+	triplets := make([]coo, 0, 4*len(branches))
+	add := func(r, col int, v complex128) {
+		triplets = append(triplets, coo{row: r, col: col, val: v})
+	}
+	for _, br := range branches {
 		if !br.inSvc {
 			continue
 		}
 		f, t := br.fromNode, br.toNode
 		a := br.tap
 		a2 := a * a
-		p.y[f*p.nn+f] += (br.y + br.yshFrom) / a2
-		p.y[t*p.nn+t] += br.y + br.yshTo
-		p.y[f*p.nn+t] -= br.y / a
-		p.y[t*p.nn+f] -= br.y / a
+		add(f, f, (br.y+br.yshFrom)/a2)
+		add(t, t, br.y+br.yshTo)
+		add(f, t, -br.y/a)
+		add(t, f, -br.y/a)
 	}
+	return newCSRComplex(nn, triplets)
+}
+
+// instantiate builds the per-solve problem from the cached structure: fresh
+// node state, current injections and setpoints, warm-started voltages.
+func (c *topoCache) instantiate(n *powergrid.Network, opts Options) *problem {
+	p := &problem{
+		net:      n,
+		nodes:    make([]node, len(c.nodeTmpl)),
+		busNode:  c.busNode,
+		branches: c.branches,
+		y:        c.y,
+		nn:       len(c.nodeTmpl),
+		opts:     opts,
+		cache:    c,
+	}
+	copy(p.nodes, c.nodeTmpl)
+	for i := range p.nodes {
+		nd := &p.nodes[i]
+		nd.pSpec, nd.qSpec = 0, 0
+		nd.vSet = 1
+		nd.vaBase = 0
+		nd.qMin, nd.qMax = math.Inf(-1), math.Inf(1)
+		nd.hasQLim = false
+	}
+
+	base := n.BaseMVA
+	for i := range n.Loads {
+		l := &n.Loads[i]
+		if !l.InService {
+			continue
+		}
+		nd := &p.nodes[c.loadNode[i]]
+		s := l.EffectiveScaling()
+		nd.pSpec -= l.PMW * s / base
+		nd.qSpec -= l.QMVAr * s / base
+	}
+	for i := range n.Shunts {
+		s := &n.Shunts[i]
+		if !s.InService {
+			continue
+		}
+		// Constant-admittance shunt folded in as constant power at V≈1 for
+		// simplicity of the Jacobian (adequate for breaker-level studies).
+		nd := &p.nodes[c.shuntNode[i]]
+		nd.pSpec -= s.PMW / base
+		nd.qSpec -= s.QMVAr / base
+	}
+	for i := range n.SGens {
+		g := &n.SGens[i]
+		if !g.InService {
+			continue
+		}
+		nd := &p.nodes[c.sgenNode[i]]
+		nd.pSpec += g.PMW / base
+		nd.qSpec += g.QMVAr / base
+	}
+	for i := range n.Gens {
+		g := &n.Gens[i]
+		if !g.InService {
+			continue
+		}
+		nd := &p.nodes[c.genNode[i]]
+		nd.pSpec += g.PMW / base
+		nd.vSet = g.VmPU
+		if g.MinQMVAr != 0 || g.MaxQMVAr != 0 {
+			nd.hasQLim = true
+			nd.qMin = g.MinQMVAr / base
+			nd.qMax = g.MaxQMVAr / base
+		}
+	}
+	for i := range n.Externals {
+		e := &n.Externals[i]
+		nd := &p.nodes[c.extNode[i]]
+		nd.vSet = e.VmPU
+		nd.vaBase = e.VaDeg * math.Pi / 180
+	}
+
+	// Initial voltages by kind, then the warm start for PQ nodes.
+	for i := range p.nodes {
+		nd := &p.nodes[i]
+		switch nd.kind {
+		case busDead:
+			nd.vm, nd.va = 0, 0
+		case busSlack:
+			nd.vm, nd.va = nd.vSet, nd.vaBase
+		case busPV:
+			nd.vm, nd.va = nd.vSet, 0
+		default:
+			nd.vm, nd.va = 1, 0
+		}
+	}
+	if ws := opts.WarmStart; ws != nil {
+		for bi, b := range n.Buses {
+			if br, ok := ws.Buses[b.Name]; ok && br.Energized && br.VmPU > 0.1 {
+				nd := &p.nodes[p.busNode[bi]]
+				if nd.kind == busPQ {
+					nd.vm = br.VmPU
+					nd.va = br.VaDeg * math.Pi / 180
+				}
+			}
+		}
+	}
+	return p
 }
 
 // calcPQ computes net injections at a node under current voltages.
@@ -449,9 +780,9 @@ func (p *problem) calcPQ(i int) (float64, float64) {
 	vi := p.nodes[i].vm
 	ti := p.nodes[i].va
 	var pc, qc float64
-	row := p.y[i*p.nn : (i+1)*p.nn]
-	for k := 0; k < p.nn; k++ {
-		yik := row[k]
+	cols, vals := p.y.row(i)
+	for o, k := range cols {
+		yik := vals[o]
 		if yik == 0 {
 			continue
 		}
@@ -465,12 +796,171 @@ func (p *problem) calcPQ(i int) (float64, float64) {
 	return pc, qc
 }
 
+func (p *problem) methodFor(dim int) Method {
+	switch p.opts.Method {
+	case MethodDense, MethodSparse:
+		return p.opts.Method
+	default:
+		if dim >= sparseMinUnknowns {
+			return MethodSparse
+		}
+		return MethodDense
+	}
+}
+
+// kindsOf snapshots the current bus-kind partition (it changes under
+// Q-limit clamping, which invalidates the cached Jacobian symbolic state).
+func (p *problem) kindsOf() []busKind {
+	out := make([]busKind, len(p.nodes))
+	for i := range p.nodes {
+		out[i] = p.nodes[i].kind
+	}
+	return out
+}
+
+// sparseState returns (building or reusing) the Jacobian assembly plan and
+// LU symbolic factorization for the current bus-kind partition. States are
+// cached per partition (MRU-first), so alternating between the template
+// kinds and a Q-limit-clamped variant does not thrash a single slot.
+func (p *problem) sparseState(angIdx, magIdx []int, angPos, magPos map[int]int) *sparseState {
+	kinds := p.kindsOf()
+	if c := p.cache; c != nil {
+		for i, st := range c.sparse {
+			if slices.Equal(st.kinds, kinds) {
+				if i != 0 { // move to front
+					copy(c.sparse[1:i+1], c.sparse[:i])
+					c.sparse[0] = st
+				}
+				return st
+			}
+		}
+	}
+	plan := buildJacPlan(p.y, angIdx, magIdx, angPos, magPos)
+	perm := minDegreeOrder(plan.dim, plan.rowPtr, plan.colIdx)
+	sym := luSymbolicFactor(plan.dim, plan.rowPtr, plan.colIdx, perm)
+	st := &sparseState{
+		kinds:   kinds,
+		plan:    plan,
+		sym:     sym,
+		num:     newLUNumeric(sym),
+		jacVals: make([]float64, len(plan.colIdx)),
+	}
+	if c := p.cache; c != nil {
+		c.sparse = append([]*sparseState{st}, c.sparse...)
+		if len(c.sparse) > maxSparseStates {
+			c.sparse = c.sparse[:maxSparseStates]
+		}
+	}
+	return st
+}
+
+// assembleSparseJac fills the CSR Jacobian values for the current voltages.
+// Every pattern slot is assigned (not accumulated), so no zeroing is needed.
+// Returns the largest absolute value for the relative singularity test.
+func (p *problem) assembleSparseJac(plan *jacPlan, vals []float64, pc, qc []float64) float64 {
+	maxAbs := 0.0
+	set := func(idx int, v float64) {
+		if idx < 0 {
+			return
+		}
+		vals[idx] = v
+		if a := math.Abs(v); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	for ei := range plan.entries {
+		e := &plan.entries[ei]
+		i := e.i
+		vi := p.nodes[i].vm
+		var g, b float64
+		if e.yIdx >= 0 {
+			yik := p.y.vals[e.yIdx]
+			g, b = real(yik), imag(yik)
+		}
+		if e.k == i {
+			set(e.hIdx, -qc[i]-b*vi*vi) // H_ii
+			set(e.nIdx, pc[i]/vi+g*vi)  // N_ii
+			set(e.jIdx, pc[i]-g*vi*vi)  // J_ii
+			set(e.lIdx, qc[i]/vi-b*vi)  // L_ii
+			continue
+		}
+		k := e.k
+		vk := p.nodes[k].vm
+		dt := p.nodes[i].va - p.nodes[k].va
+		ct, st := math.Cos(dt), math.Sin(dt)
+		set(e.hIdx, vi*vk*(g*st-b*ct))  // H_ik
+		set(e.jIdx, -vi*vk*(g*ct+b*st)) // J_ik
+		set(e.nIdx, vi*(g*ct+b*st))     // N_ik
+		set(e.lIdx, vi*(g*st-b*ct))     // L_ik
+	}
+	return maxAbs
+}
+
+// assembleDenseJac fills the row-major dense Jacobian (the reference path,
+// also the fallback when a statically-pivoted sparse factorization fails).
+func (p *problem) assembleDenseJac(jac []float64, dim int, angIdx []int, angPos, magPos map[int]int, pc, qc []float64) {
+	for i := range jac {
+		jac[i] = 0
+	}
+	for _, i := range angIdx {
+		vi, ti := p.nodes[i].vm, p.nodes[i].va
+		cols, vals := p.y.row(i)
+		ri := angPos[i]
+		var riQ int
+		hasQ := p.nodes[i].kind == busPQ
+		if hasQ {
+			riQ = magPos[i]
+		}
+		seenDiag := false
+		doDiag := func(g, b float64) {
+			jac[ri*dim+ri] = -qc[i] - b*vi*vi // H_ii
+			if cm, ok := magPos[i]; ok {
+				jac[ri*dim+cm] = pc[i]/vi + g*vi // N_ii
+			}
+			if hasQ {
+				jac[riQ*dim+ri] = pc[i] - g*vi*vi        // J_ii
+				jac[riQ*dim+magPos[i]] = qc[i]/vi - b*vi // L_ii
+			}
+		}
+		for o, k := range cols {
+			yik := vals[o]
+			g, b := real(yik), imag(yik)
+			vk := p.nodes[k].vm
+			if i == k {
+				seenDiag = true
+				doDiag(g, b)
+				continue
+			}
+			if yik == 0 {
+				continue
+			}
+			dt := ti - p.nodes[k].va
+			ct, st := math.Cos(dt), math.Sin(dt)
+			if ck, ok := angPos[k]; ok {
+				jac[ri*dim+ck] = vi * vk * (g*st - b*ct) // H_ik
+				if hasQ {
+					jac[riQ*dim+ck] = -vi * vk * (g*ct + b*st) // J_ik
+				}
+			}
+			if cm, ok := magPos[k]; ok {
+				jac[ri*dim+cm] = vi * (g*ct + b*st) // N_ik
+				if hasQ {
+					jac[riQ*dim+cm] = vi * (g*st - b*ct) // L_ik
+				}
+			}
+		}
+		if !seenDiag {
+			doDiag(0, 0)
+		}
+	}
+}
+
 func (p *problem) iterate(maxIter int, tolPU float64) (*Result, error) {
 	// Index the unknowns: angles for PV+PQ, magnitudes for PQ.
 	angIdx := make([]int, 0, p.nn)
 	magIdx := make([]int, 0, p.nn)
-	for i, nd := range p.nodes {
-		switch nd.kind {
+	for i := range p.nodes {
+		switch p.nodes[i].kind {
 		case busPQ:
 			angIdx = append(angIdx, i)
 			magIdx = append(magIdx, i)
@@ -492,14 +982,27 @@ func (p *problem) iterate(maxIter int, tolPU float64) (*Result, error) {
 		for j, i := range magIdx {
 			magPos[i] = na + j
 		}
-		jac := make([]float64, dim*dim)
+		method := p.methodFor(dim)
+		var sps *sparseState
+		var jac []float64 // dense buffer, lazily allocated
+		if method == MethodSparse {
+			sps = p.sparseState(angIdx, magIdx, angPos, magPos)
+		}
 		rhs := make([]float64, dim)
+		pc := make([]float64, p.nn)
+		qc := make([]float64, p.nn)
+
+		solveDenseStep := func() ([]float64, error) {
+			if jac == nil {
+				jac = make([]float64, dim*dim)
+			}
+			p.assembleDenseJac(jac, dim, angIdx, angPos, magPos, pc, qc)
+			return solveDense(jac, rhs)
+		}
 
 		for iters = 1; iters <= maxIter; iters++ {
 			// Mismatches.
 			maxMis := 0.0
-			pc := make([]float64, p.nn)
-			qc := make([]float64, p.nn)
 			for _, i := range angIdx {
 				pc[i], qc[i] = p.calcPQ(i)
 			}
@@ -519,55 +1022,23 @@ func (p *problem) iterate(maxIter int, tolPU float64) (*Result, error) {
 				converged = true
 				break
 			}
-			// Jacobian.
-			for i := range jac {
-				jac[i] = 0
-			}
-			for _, i := range angIdx {
-				vi, ti := p.nodes[i].vm, p.nodes[i].va
-				row := p.y[i*p.nn : (i+1)*p.nn]
-				ri := angPos[i]
-				var riQ int
-				hasQ := p.nodes[i].kind == busPQ
-				if hasQ {
-					riQ = magPos[i]
+			var dx []float64
+			var err error
+			if method == MethodSparse {
+				maxAbs := p.assembleSparseJac(sps.plan, sps.jacVals, pc, qc)
+				if ferr := sps.num.factor(sps.sym, sps.plan.rowPtr, sps.plan.colIdx, sps.jacVals, maxAbs); ferr == nil {
+					sps.num.solve(sps.sym, rhs)
+					dx = rhs
+				} else if errors.Is(ferr, ErrSingular) {
+					// Static pivoting gave out; the partial-pivot dense
+					// reference may still get through.
+					dx, err = solveDenseStep()
+				} else {
+					err = ferr
 				}
-				for k := 0; k < p.nn; k++ {
-					yik := row[k]
-					if yik == 0 && i != k {
-						continue
-					}
-					g, b := real(yik), imag(yik)
-					vk := p.nodes[k].vm
-					if i == k {
-						// Diagonals.
-						jac[ri*dim+ri] = -qc[i] - b*vi*vi // H_ii
-						if cm, ok := magPos[i]; ok {
-							jac[ri*dim+cm] = pc[i]/vi + g*vi // N_ii
-						}
-						if hasQ {
-							jac[riQ*dim+ri] = pc[i] - g*vi*vi        // J_ii
-							jac[riQ*dim+magPos[i]] = qc[i]/vi - b*vi // L_ii
-						}
-						continue
-					}
-					dt := ti - p.nodes[k].va
-					ct, st := math.Cos(dt), math.Sin(dt)
-					if ck, ok := angPos[k]; ok {
-						jac[ri*dim+ck] = vi * vk * (g*st - b*ct) // H_ik
-						if hasQ {
-							jac[riQ*dim+ck] = -vi * vk * (g*ct + b*st) // J_ik
-						}
-					}
-					if cm, ok := magPos[k]; ok {
-						jac[ri*dim+cm] = vi * (g*ct + b*st) // N_ik
-						if hasQ {
-							jac[riQ*dim+cm] = vi * (g*st - b*ct) // L_ik
-						}
-					}
-				}
+			} else {
+				dx, err = solveDenseStep()
 			}
-			dx, err := solveDense(jac, rhs)
 			if err != nil {
 				return p.buildResult(false, iters), fmt.Errorf("iteration %d: %w", iters, err)
 			}
@@ -686,8 +1157,9 @@ func (p *problem) buildResult(converged bool, iters int) *Result {
 		}
 	}
 	// Slack / PV injections.
-	for _, e := range n.Externals {
-		ni := p.busNode[n.BusIndex(e.Bus)]
+	for i := range n.Externals {
+		e := &n.Externals[i]
+		ni := p.cache.extNode[i]
 		if p.nodes[ni].kind == busDead || !converged {
 			continue
 		}
@@ -700,11 +1172,12 @@ func (p *problem) buildResult(converged bool, iters int) *Result {
 			QMVAr: (qc - nd.qSpec) * base,
 		}
 	}
-	for _, g := range n.Gens {
+	for i := range n.Gens {
+		g := &n.Gens[i]
 		if !g.InService {
 			continue
 		}
-		ni := p.busNode[n.BusIndex(g.Bus)]
+		ni := p.cache.genNode[i]
 		if p.nodes[ni].kind == busDead || !converged {
 			continue
 		}

@@ -1,0 +1,194 @@
+package powerflow
+
+import "sort"
+
+// Sparse matrix support for the power-flow engine.
+//
+// The admittance matrix of a breaker-level network is extremely sparse: a bus
+// couples only to its incident branches, so Ybus has O(nodes + branches)
+// non-zeros while the dense representation is O(nodes²). The Newton-Raphson
+// Jacobian inherits that structure (each 2x2 H/N/J/L block sits on a Ybus
+// non-zero), which is what makes the sparse LU path in lu.go profitable at
+// scale-model sizes.
+
+// csrComplex is a compressed-sparse-row complex matrix (the Ybus shape).
+type csrComplex struct {
+	n      int
+	rowPtr []int // len n+1
+	colIdx []int
+	vals   []complex128
+}
+
+// coo is one triplet during assembly.
+type coo struct {
+	row, col int
+	val      complex128
+}
+
+// newCSRComplex assembles a CSR matrix from triplets, summing duplicates in
+// insertion order so the result is bit-identical to dense accumulation over
+// the same triplet sequence.
+func newCSRComplex(n int, triplets []coo) *csrComplex {
+	sort.SliceStable(triplets, func(i, j int) bool {
+		if triplets[i].row != triplets[j].row {
+			return triplets[i].row < triplets[j].row
+		}
+		return triplets[i].col < triplets[j].col
+	})
+	m := &csrComplex{n: n, rowPtr: make([]int, n+1)}
+	for i := 0; i < len(triplets); {
+		j := i + 1
+		for j < len(triplets) && triplets[j].row == triplets[i].row && triplets[j].col == triplets[i].col {
+			j++
+		}
+		sum := complex(0, 0)
+		for k := i; k < j; k++ {
+			sum += triplets[k].val
+		}
+		m.colIdx = append(m.colIdx, triplets[i].col)
+		m.vals = append(m.vals, sum)
+		m.rowPtr[triplets[i].row+1]++
+		i = j
+	}
+	for r := 0; r < n; r++ {
+		m.rowPtr[r+1] += m.rowPtr[r]
+	}
+	return m
+}
+
+// row returns the column indices and values of row i.
+func (m *csrComplex) row(i int) ([]int, []complex128) {
+	lo, hi := m.rowPtr[i], m.rowPtr[i+1]
+	return m.colIdx[lo:hi], m.vals[lo:hi]
+}
+
+// jacEntry is the precomputed assembly slot set for one Ybus non-zero (i,k):
+// where its H/N/J/L contributions land inside the CSR Jacobian value array.
+// A slot of -1 means the corresponding unknown does not exist (e.g. no
+// magnitude column for a PV bus).
+type jacEntry struct {
+	i, k int // node indices
+	yIdx int // index into the Ybus value array
+	hIdx int // dP/dθ_k slot in jac.vals
+	nIdx int // dP/dV_k slot
+	jIdx int // dQ/dθ_k slot
+	lIdx int // dQ/dV_k slot
+}
+
+// jacPlan is the symbolic Jacobian: a CSR pattern over the NR unknowns plus a
+// flattened assembly plan mapping every Ybus non-zero to its value slots.
+// Built once per topology (and per bus-kind partition) and reused across NR
+// iterations and warm-started steps.
+type jacPlan struct {
+	dim     int
+	na      int // number of angle unknowns (magnitude rows start at na)
+	rowPtr  []int
+	colIdx  []int
+	entries []jacEntry
+}
+
+// buildJacPlan derives the Jacobian pattern from the Ybus structure and the
+// angle/magnitude unknown index sets.
+func buildJacPlan(y *csrComplex, angIdx, magIdx []int, angPos, magPos map[int]int) *jacPlan {
+	na, nm := len(angIdx), len(magIdx)
+	p := &jacPlan{dim: na + nm, na: na}
+
+	// Pattern: row r gets one column per unknown coupled through Ybus row i.
+	// Build per-row sorted column lists first.
+	rows := make([][]int, p.dim)
+	addRow := func(r int, cols []int) {
+		sort.Ints(cols)
+		rows[r] = cols
+	}
+	colsFor := func(i int, withDiag bool) []int {
+		cols, _ := y.row(i)
+		out := make([]int, 0, 2*len(cols)+2)
+		seenDiag := false
+		for _, k := range cols {
+			if k == i {
+				seenDiag = true
+			}
+			if c, ok := angPos[k]; ok {
+				out = append(out, c)
+			}
+			if c, ok := magPos[k]; ok {
+				out = append(out, c)
+			}
+		}
+		if withDiag && !seenDiag {
+			if c, ok := angPos[i]; ok {
+				out = append(out, c)
+			}
+			if c, ok := magPos[i]; ok {
+				out = append(out, c)
+			}
+		}
+		return out
+	}
+	for _, i := range angIdx {
+		addRow(angPos[i], colsFor(i, true))
+	}
+	for _, i := range magIdx {
+		addRow(magPos[i], colsFor(i, true))
+	}
+
+	p.rowPtr = make([]int, p.dim+1)
+	for r := 0; r < p.dim; r++ {
+		p.rowPtr[r+1] = p.rowPtr[r] + len(rows[r])
+	}
+	p.colIdx = make([]int, 0, p.rowPtr[p.dim])
+	for r := 0; r < p.dim; r++ {
+		p.colIdx = append(p.colIdx, rows[r]...)
+	}
+
+	// Value-slot lookup: for row r, position of column c in the CSR row.
+	slot := func(r, c int) int {
+		lo, hi := p.rowPtr[r], p.rowPtr[r+1]
+		seg := p.colIdx[lo:hi]
+		j := sort.SearchInts(seg, c)
+		if j < len(seg) && seg[j] == c {
+			return lo + j
+		}
+		return -1
+	}
+
+	// Assembly plan: one entry per Ybus non-zero on an unknown row, plus a
+	// synthetic diagonal entry when Ybus structurally lacks it.
+	for _, i := range angIdx {
+		ri := angPos[i]
+		riQ, hasQ := magPos[i]
+		cols, _ := y.row(i)
+		lo := y.rowPtr[i]
+		seenDiag := false
+		for o, k := range cols {
+			if k == i {
+				seenDiag = true
+			}
+			e := jacEntry{i: i, k: k, yIdx: lo + o, hIdx: -1, nIdx: -1, jIdx: -1, lIdx: -1}
+			if c, ok := angPos[k]; ok {
+				e.hIdx = slot(ri, c)
+				if hasQ {
+					e.jIdx = slot(riQ, c)
+				}
+			}
+			if c, ok := magPos[k]; ok {
+				e.nIdx = slot(ri, c)
+				if hasQ {
+					e.lIdx = slot(riQ, c)
+				}
+			}
+			p.entries = append(p.entries, e)
+		}
+		if !seenDiag {
+			e := jacEntry{i: i, k: i, yIdx: -1, hIdx: -1, nIdx: -1, jIdx: -1, lIdx: -1}
+			e.hIdx = slot(ri, ri)
+			if hasQ {
+				e.nIdx = slot(ri, riQ)
+				e.jIdx = slot(riQ, ri)
+				e.lIdx = slot(riQ, riQ)
+			}
+			p.entries = append(p.entries, e)
+		}
+	}
+	return p
+}

@@ -82,12 +82,34 @@ type StaticGenerator struct {
 
 // Load is a PQ consumption at a bus.
 type Load struct {
-	Name      string
-	Bus       string
-	PMW       float64
-	QMVAr     float64
-	Scaling   float64 // multiplier applied by load profiles; 1.0 = nominal
-	InService bool
+	Name    string
+	Bus     string
+	PMW     float64
+	QMVAr   float64
+	Scaling float64 // multiplier applied by load profiles; 1.0 = nominal
+	// ScalingSet records that Scaling was explicitly assigned. It is what
+	// lets an explicit scaling of 0 (Pandapower semantics: scaling=0 ⇒ no
+	// load) be told apart from a zero-value Load literal that never set the
+	// field, which keeps the legacy default of 1.0. SetScaling maintains it.
+	ScalingSet bool
+	InService  bool
+}
+
+// SetScaling assigns the load-profile multiplier, marking it explicit so a
+// zero survives as "no load" instead of falling back to the 1.0 default.
+func (l *Load) SetScaling(s float64) {
+	l.Scaling = s
+	l.ScalingSet = true
+}
+
+// EffectiveScaling returns the multiplier the solver applies: Scaling when it
+// was explicitly set or is non-zero, else the 1.0 default for untouched
+// zero-value literals.
+func (l *Load) EffectiveScaling() float64 {
+	if l.ScalingSet || l.Scaling != 0 {
+		return l.Scaling
+	}
+	return 1
 }
 
 // Shunt is a fixed shunt admittance (capacitor bank / reactor).
@@ -215,10 +237,32 @@ func (n *Network) FindLine(name string) *Line {
 	return nil
 }
 
-// Validate checks referential integrity and parameter sanity.
-func (n *Network) Validate() error {
+// ValidateSetpoints checks the per-solve electrical inputs that can legally
+// change between solves of an unchanged topology: the system base and the
+// generator / external-grid voltage targets. It is the part of Validate a
+// topology-caching solver must re-run on every solve (these values sit
+// outside its structural cache key).
+func (n *Network) ValidateSetpoints() error {
 	if n.BaseMVA <= 0 {
 		return fmt.Errorf("%w: base MVA %v", ErrBadParameter, n.BaseMVA)
+	}
+	for i := range n.Gens {
+		if g := &n.Gens[i]; g.VmPU <= 0 {
+			return fmt.Errorf("%w: gen %q vm %v", ErrBadParameter, g.Name, g.VmPU)
+		}
+	}
+	for i := range n.Externals {
+		if e := &n.Externals[i]; e.VmPU <= 0 {
+			return fmt.Errorf("%w: ext_grid %q vm %v", ErrBadParameter, e.Name, e.VmPU)
+		}
+	}
+	return nil
+}
+
+// Validate checks referential integrity and parameter sanity.
+func (n *Network) Validate() error {
+	if err := n.ValidateSetpoints(); err != nil {
+		return err
 	}
 	seen := make(map[string]string, len(n.Buses))
 	busOK := make(map[string]bool, len(n.Buses))
@@ -268,9 +312,6 @@ func (n *Network) Validate() error {
 		if err := check("gen", g.Name, g.Bus); err != nil {
 			return err
 		}
-		if g.VmPU <= 0 {
-			return fmt.Errorf("%w: gen %q vm %v", ErrBadParameter, g.Name, g.VmPU)
-		}
 	}
 	for _, g := range n.SGens {
 		if err := check("sgen", g.Name, g.Bus); err != nil {
@@ -290,9 +331,6 @@ func (n *Network) Validate() error {
 	for _, e := range n.Externals {
 		if err := check("ext_grid", e.Name, e.Bus); err != nil {
 			return err
-		}
-		if e.VmPU <= 0 {
-			return fmt.Errorf("%w: ext_grid %q vm %v", ErrBadParameter, e.Name, e.VmPU)
 		}
 	}
 	for _, sw := range n.Switches {

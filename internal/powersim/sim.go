@@ -59,25 +59,29 @@ type Options struct {
 
 // Simulator steps a network and mirrors state onto a kv bus.
 type Simulator struct {
-	mu      sync.Mutex
-	net     *powergrid.Network
-	bus     *kvbus.Bus
-	opts    Options
-	events  []Event
-	applied int
-	last    *powerflow.Result
-	simTime time.Duration
-	steps   uint64
-	solveNS int64 // cumulative solve time, for the scalability experiment
+	mu       sync.Mutex
+	net      *powergrid.Network
+	bus      *kvbus.Bus
+	opts     Options
+	events   []Event
+	applied  int
+	solver   *powerflow.Solver
+	last     *powerflow.Result
+	simTime  time.Duration
+	steps    uint64 // successfully solved steps
+	failures uint64 // steps whose solve errored (e.g. divergence)
+	solveNS  int64  // cumulative successful-solve time, for the scalability experiment
 }
 
 // New clones the network and returns a ready simulator. The bus may be shared
-// with virtual IEDs, the PLC layer and the SCADA HMI.
+// with virtual IEDs, the PLC layer and the SCADA HMI. The simulator owns a
+// powerflow.Solver, so consecutive steps with unchanged breaker/switch
+// topology stay on the solver's cached warm path.
 func New(net *powergrid.Network, bus *kvbus.Bus, opts Options) *Simulator {
 	if opts.Interval <= 0 {
 		opts.Interval = 100 * time.Millisecond
 	}
-	return &Simulator{net: net.Clone(), bus: bus, opts: opts}
+	return &Simulator{net: net.Clone(), bus: bus, opts: opts, solver: powerflow.NewSolver()}
 }
 
 // Network returns the simulator's (live) network model. Callers must not
@@ -113,7 +117,10 @@ func (s *Simulator) LastResult() *powerflow.Result {
 	return s.last
 }
 
-// Stats reports the number of completed steps and mean solve time.
+// Stats reports the number of successfully solved steps and their mean solve
+// time. Failed solves (divergence under a scenario) are excluded so the mean
+// measures the healthy 100 ms loop, not iterations-to-divergence; they are
+// counted by Failures.
 func (s *Simulator) Stats() (steps uint64, meanSolve time.Duration) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -121,6 +128,22 @@ func (s *Simulator) Stats() (steps uint64, meanSolve time.Duration) {
 		return 0, 0
 	}
 	return s.steps, time.Duration(s.solveNS / int64(s.steps))
+}
+
+// Failures reports the number of steps whose power-flow solve errored.
+func (s *Simulator) Failures() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.failures
+}
+
+// SolverCacheStats reports the power-flow topology cache's hit/miss counts:
+// hits are steps that reused the cached island assignment, Ybus and symbolic
+// factorization; misses are rebuilds after a topology change.
+func (s *Simulator) SolverCacheStats() (hits, misses uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.solver.CacheStats()
 }
 
 // Step advances simulation time by one interval and solves.
@@ -152,12 +175,13 @@ func (s *Simulator) stepLocked(now time.Duration) (*powerflow.Result, error) {
 		opts.WarmStart = s.last
 	}
 	start := time.Now()
-	res, err := powerflow.Solve(s.net, opts)
-	s.solveNS += time.Since(start).Nanoseconds()
-	s.steps++
+	res, err := s.solver.Solve(s.net, opts)
 	if err != nil {
+		s.failures++
 		return res, fmt.Errorf("powersim: step at %v: %w", now, err)
 	}
+	s.solveNS += time.Since(start).Nanoseconds()
+	s.steps++
 	s.last = res
 	s.publishLocked(res)
 	return res, nil
@@ -181,7 +205,9 @@ func (s *Simulator) applyEvent(ev Event) error {
 		if l == nil {
 			return fmt.Errorf("%w: load %q", ErrUnknownElement, ev.Element)
 		}
-		l.Scaling = ev.Value
+		// SetScaling keeps an explicit 0 meaning "no load" (Pandapower
+		// semantics) instead of decaying to the 1.0 unset default.
+		l.SetScaling(ev.Value)
 	case SetLoadP:
 		l := s.net.FindLoad(ev.Element)
 		if l == nil {
@@ -249,15 +275,12 @@ func (s *Simulator) publishLocked(res *powerflow.Result) {
 	for _, sw := range s.net.Switches {
 		s.bus.SetBool(kvbus.BreakerStatusKey(name, sw.Name), sw.Closed)
 	}
-	for _, l := range s.net.Loads {
-		scale := l.Scaling
-		if scale == 0 {
-			scale = 1
-		}
+	for i := range s.net.Loads {
+		l := &s.net.Loads[i]
 		eff := 0.0
 		if l.InService {
 			if br, ok := res.Buses[l.Bus]; ok && br.Energized {
-				eff = l.PMW * scale
+				eff = l.PMW * l.EffectiveScaling()
 			}
 		}
 		s.bus.SetFloat(kvbus.LoadPKey(name, l.Name), eff)

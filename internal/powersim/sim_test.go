@@ -178,6 +178,89 @@ func TestSimTimeAndStats(t *testing.T) {
 	}
 }
 
+func TestStatsExcludeFailedSolves(t *testing.T) {
+	bus := kvbus.New()
+	sim := New(testNet(), bus, Options{Interval: 100 * time.Millisecond})
+	for i := 0; i < 3; i++ {
+		if _, err := sim.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stepsBefore, meanBefore := sim.Stats()
+	if stepsBefore != 3 {
+		t.Fatalf("steps = %d, want 3", stepsBefore)
+	}
+	// Force a non-convergence: an impossible load on the weak line. The NR
+	// loop burns all its iterations before giving up, which must not be
+	// averaged into the healthy-step solve time.
+	sim.Schedule(Event{At: 300 * time.Millisecond, Kind: SetLoadP, Element: "LD1", Value: 1e7})
+	if _, err := sim.Step(); err == nil {
+		t.Fatal("expected solve failure")
+	}
+	steps, mean := sim.Stats()
+	if steps != stepsBefore {
+		t.Errorf("successful steps = %d after failure, want still %d", steps, stepsBefore)
+	}
+	if mean != meanBefore {
+		t.Errorf("mean solve changed from %v to %v on a failed step", meanBefore, mean)
+	}
+	if f := sim.Failures(); f != 1 {
+		t.Errorf("failures = %d, want 1", f)
+	}
+	// Recovery: restore the load, stepping resumes counting.
+	sim.Schedule(Event{At: 400 * time.Millisecond, Kind: SetLoadP, Element: "LD1", Value: 20})
+	if _, err := sim.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if steps, _ := sim.Stats(); steps != stepsBefore+1 {
+		t.Errorf("steps = %d after recovery, want %d", steps, stepsBefore+1)
+	}
+}
+
+func TestLoadScaleZeroEventRemovesLoad(t *testing.T) {
+	bus := kvbus.New()
+	sim := New(testNet(), bus, Options{Interval: 100 * time.Millisecond})
+	sim.Schedule(Event{At: 0, Kind: SetLoadScale, Element: "LD1", Value: 0})
+	res, err := sim.Step()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pandapower semantics: scaling=0 means no load, not "restore nominal".
+	if p := bus.GetFloat(kvbus.LoadPKey("sub1", "LD1"), -1); p != 0 {
+		t.Errorf("published load P = %v, want 0 for scaling=0", p)
+	}
+	if got := res.TotalLoadMW(sim.Network()); got != 0 {
+		t.Errorf("TotalLoadMW = %v, want 0", got)
+	}
+	if vm := res.Buses["B"].VmPU; vm < 0.999 {
+		t.Errorf("unloaded feeder vm = %v, want ~1.0", vm)
+	}
+}
+
+func TestWarmStepsStayOnSolverCache(t *testing.T) {
+	bus := kvbus.New()
+	sim := New(testNet(), bus, Options{Interval: 100 * time.Millisecond})
+	sim.Schedule(
+		Event{At: 100 * time.Millisecond, Kind: SetLoadScale, Element: "LD1", Value: 0.8},
+		Event{At: 200 * time.Millisecond, Kind: SetLoadScale, Element: "LD1", Value: 1.2},
+		Event{At: 400 * time.Millisecond, Kind: SetSwitch, Element: "CB1", Value: 0},
+	)
+	for i := 0; i < 6; i++ {
+		if _, err := sim.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hits, misses := sim.SolverCacheStats()
+	// Load-profile churn stays warm; only the first solve and the breaker
+	// trip rebuild the topology.
+	if misses != 2 {
+		t.Errorf("cache misses = %d, want 2 (initial build + breaker trip)", misses)
+	}
+	if hits != 4 {
+		t.Errorf("cache hits = %d, want 4", hits)
+	}
+}
+
 func TestStepAtMonotonic(t *testing.T) {
 	sim := New(testNet(), kvbus.New(), Options{})
 	if _, err := sim.StepAt(time.Second); err != nil {

@@ -1,0 +1,171 @@
+// Differential tests for the sparse power-flow engine: the sparse path (CSR
+// Jacobian + cached sparse LU) must reproduce the dense reference path on
+// every model the repo ships — cold starts, warm-started load churn and
+// topology changes alike. Tolerances per the engine's contract: vm within
+// 1e-8 pu, branch flows within 1e-6 MVA.
+package sgml_test
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/epic"
+	"repro/internal/powerflow"
+	"repro/internal/powergrid"
+	"repro/internal/sclmerge"
+)
+
+func scaleGrid(tb testing.TB, subs, feeders int) *powergrid.Network {
+	tb.Helper()
+	sm, err := epic.NewScaleModel(subs, feeders)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	cons, err := sclmerge.MergeSCD(sm.SCDs, sm.SED)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	grid, err := core.GeneratePowerModel(fmt.Sprintf("scale-%dx%d", subs, feeders), cons, sm.PowerConfig)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return grid
+}
+
+func xlGrid(tb testing.TB) *powergrid.Network {
+	tb.Helper()
+	sm, err := epic.NewScaleModelXL()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	cons, err := sclmerge.MergeSCD(sm.SCDs, sm.SED)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	grid, err := core.GeneratePowerModel("scale-xl", cons, sm.PowerConfig)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return grid
+}
+
+func epicGrid(tb testing.TB) *powergrid.Network {
+	tb.Helper()
+	m, err := epic.NewModel()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	cons, err := sclmerge.SingleSubstation("EPIC", m.SCD)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	grid, err := core.GeneratePowerModel("epic", cons, m.PowerConfig)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return grid
+}
+
+func requireAgreement(t *testing.T, step string, dense, sparse *powerflow.Result) {
+	t.Helper()
+	const vmTol, flowTol = 1e-8, 1e-6
+	if dense.Converged != sparse.Converged || dense.DeadBuses != sparse.DeadBuses || dense.Islands != sparse.Islands {
+		t.Fatalf("%s: topology disagreement: dense conv=%v dead=%d isl=%d, sparse conv=%v dead=%d isl=%d",
+			step, dense.Converged, dense.DeadBuses, dense.Islands, sparse.Converged, sparse.DeadBuses, sparse.Islands)
+	}
+	for name, d := range dense.Buses {
+		s := sparse.Buses[name]
+		if d.Energized != s.Energized {
+			t.Fatalf("%s: bus %s energized dense=%v sparse=%v", step, name, d.Energized, s.Energized)
+		}
+		if math.Abs(d.VmPU-s.VmPU) > vmTol {
+			t.Errorf("%s: bus %s vm dense=%.12f sparse=%.12f", step, name, d.VmPU, s.VmPU)
+		}
+	}
+	branches := func(kind string, dm, sm map[string]powerflow.BranchResult) {
+		for name, d := range dm {
+			s := sm[name]
+			if math.Abs(d.PFromMW-s.PFromMW) > flowTol || math.Abs(d.QFromMVAr-s.QFromMVAr) > flowTol ||
+				math.Abs(d.PToMW-s.PToMW) > flowTol || math.Abs(d.QToMVAr-s.QToMVAr) > flowTol {
+				t.Errorf("%s: %s %s flows disagree: dense (%.9f %.9f / %.9f %.9f) sparse (%.9f %.9f / %.9f %.9f)",
+					step, kind, name,
+					d.PFromMW, d.QFromMVAr, d.PToMW, d.QToMVAr,
+					s.PFromMW, s.QFromMVAr, s.PToMW, s.QToMVAr)
+			}
+		}
+	}
+	branches("line", dense.Lines, sparse.Lines)
+	branches("trafo", dense.Trafos, sparse.Trafos)
+}
+
+// diffSequence runs a warm-started solve sequence (load churn plus a breaker
+// cycle) through a dense-forced solver and a sparse-forced cached solver in
+// lockstep, comparing every step.
+func diffSequence(t *testing.T, grid *powergrid.Network) {
+	denseSv := powerflow.NewSolver()
+	sparseSv := powerflow.NewSolver()
+	var denseLast, sparseLast *powerflow.Result
+
+	solveStep := func(step string) {
+		t.Helper()
+		dres, derr := denseSv.Solve(grid, powerflow.Options{Method: powerflow.MethodDense, WarmStart: denseLast})
+		sres, serr := sparseSv.Solve(grid, powerflow.Options{Method: powerflow.MethodSparse, WarmStart: sparseLast})
+		if derr != nil || serr != nil {
+			t.Fatalf("%s: dense err %v, sparse err %v", step, derr, serr)
+		}
+		requireAgreement(t, step, dres, sres)
+		denseLast, sparseLast = dres, sres
+	}
+
+	solveStep("cold")
+	for i := 0; i < 3; i++ {
+		for j := range grid.Loads {
+			grid.Loads[j].SetScaling(0.8 + 0.1*float64((i+j)%5))
+		}
+		solveStep(fmt.Sprintf("warm-load-%d", i))
+	}
+	if len(grid.Switches) > 0 {
+		sw := &grid.Switches[0]
+		sw.Closed = false
+		solveStep("breaker-open")
+		solveStep("breaker-open-warm")
+		sw.Closed = true
+		solveStep("breaker-reclose")
+	}
+	hits, _ := sparseSv.CacheStats()
+	if hits == 0 {
+		t.Error("sparse solver never hit its topology cache during the warm sequence")
+	}
+}
+
+func TestSparseDenseDifferential3x4(t *testing.T)  { diffSequence(t, scaleGrid(t, 3, 4)) }
+func TestSparseDenseDifferential5x20(t *testing.T) { diffSequence(t, scaleGrid(t, 5, 20)) }
+func TestSparseDenseDifferentialEPIC(t *testing.T) { diffSequence(t, epicGrid(t)) }
+
+func TestSparseDenseDifferentialXL(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: the 10x50 dense reference solve is slow")
+	}
+	diffSequence(t, xlGrid(t))
+}
+
+func TestScaleXLModelSolves(t *testing.T) {
+	grid := xlGrid(t)
+	if got, want := len(grid.Buses), epic.ScaleXLSubs*(epic.ScaleXLFeeders+1); got != want {
+		t.Fatalf("XL grid has %d buses, want %d", got, want)
+	}
+	res, err := powerflow.Solve(grid, powerflow.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged || res.DeadBuses != 0 {
+		t.Fatalf("XL grid unhealthy: converged=%v dead=%d", res.Converged, res.DeadBuses)
+	}
+	for name, b := range res.Buses {
+		if b.VmPU < 0.9 || b.VmPU > 1.1 {
+			t.Errorf("bus %s vm = %v pu, want within ±10%%", name, b.VmPU)
+		}
+	}
+}

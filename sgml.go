@@ -43,6 +43,18 @@
 // contract.) WithWorkers sets the pool size (default runtime.GOMAXPROCS):
 //
 //	r, _ := sgml.Compile(ms, sgml.WithWorkers(4))
+//
+// # Sparse warm-path power flow
+//
+// The coupled physical simulation (internal/powersim driving
+// internal/powerflow every interval) runs on a sparse Newton-Raphson engine
+// with a per-topology cache: as long as no breaker, switch or in-service
+// state changed since the previous step, the solver reuses the island
+// assignment, CSR Ybus and the symbolic LU factorization and only refreshes
+// injections and numeric values. Topology changes (trips, outages, tap
+// moves) invalidate the cache for exactly one rebuild step.
+// CyberRange.PowerSolverStats reports the cache hit/miss counts and solve
+// failures; see the internal/powerflow package doc for the engine details.
 package sgml
 
 import (
@@ -131,13 +143,27 @@ func ScaleModelSet(nSubs, feeders int) (*ModelSet, int, error) {
 	if err != nil {
 		return nil, 0, err
 	}
-	ms := &ModelSet{
-		Name:        fmt.Sprintf("scale-%dx%d", nSubs, feeders),
+	return packScaleModel(fmt.Sprintf("scale-%dx%d", nSubs, feeders), sm), sm.TotalIEDs, nil
+}
+
+// ScaleModelSetXL generates the 10×50 XL scale model (510 buses, 510 IEDs)
+// the sparse-solver ablation runs at; see epic.NewScaleModelXL for the
+// electrical-parameter adjustments that keep the long radial chain solvable.
+func ScaleModelSetXL() (*ModelSet, int, error) {
+	sm, err := epic.NewScaleModelXL()
+	if err != nil {
+		return nil, 0, err
+	}
+	return packScaleModel(fmt.Sprintf("scale-xl-%dx%d", epic.ScaleXLSubs, epic.ScaleXLFeeders), sm), sm.TotalIEDs, nil
+}
+
+func packScaleModel(name string, sm *epic.ScaleModel) *ModelSet {
+	return &ModelSet{
+		Name:        name,
 		SCDs:        sm.SCDs,
 		SED:         sm.SED,
 		IEDConfig:   sm.IEDConfigs,
 		PowerConfig: sm.PowerConfig,
 		ShardHints:  sm.ShardHints,
 	}
-	return ms, sm.TotalIEDs, nil
 }

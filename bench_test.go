@@ -18,7 +18,9 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"sort"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -38,6 +40,7 @@ import (
 	"repro/internal/scl"
 	"repro/internal/sclmerge"
 	"repro/internal/sgmlconf"
+	"repro/internal/sv"
 )
 
 // ---------------------------------------------------------------------------
@@ -805,6 +808,7 @@ func BenchmarkScale_FullRangeStep(b *testing.B) {
 		b.Fatal(err)
 	}
 	now := time.Now()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		now = now.Add(r.Interval())
@@ -812,6 +816,71 @@ func BenchmarkScale_FullRangeStep(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+func BenchmarkScale_SVStreamThroughput(b *testing.B) {
+	// Scenario-diversity workload: a sustained high-rate SV stream (bursts of
+	// 80 samples per iteration, the 9-2 LE samples/cycle figure) pushed
+	// across the 5x20 fabric end-to-end — multicast flooding through the
+	// substation switches, past the attached IDS tap on every link, into a
+	// subscribing IED host. Exercises the zero-allocation data plane at the
+	// paper's scale target.
+	ms, _, err := sgml.ScaleModelSet(5, 20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r, err := sgml.Compile(ms)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer r.Stop()
+	sensor := ids.New(ids.Options{})
+	sensor.Attach(r.Net)
+	if err := r.Start(context.Background(), false); err != nil {
+		b.Fatal(err)
+	}
+	names := make([]string, 0, len(r.Built.Hosts))
+	for name := range r.Built.Hosts {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	if len(names) < 2 {
+		b.Fatal("not enough hosts")
+	}
+	muHost, iedHost := r.Built.Hosts[names[0]], r.Built.Hosts[names[len(names)-1]]
+	const appID = 0x4abc
+	sub := sv.Subscribe(iedHost, appID)
+	pub := sv.NewPublisher(muHost, sv.PublisherConfig{SvID: "MU-bench", AppID: appID, ConfRev: 1},
+		func() []float64 { return []float64{1.02, -0.5, 0.98, 1.7, -1.7, 0.0} })
+	const burst = 80
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < burst; j++ {
+			pub.PublishNow()
+		}
+	}
+	b.StopTimer()
+	elapsed := b.Elapsed()
+	// Allow in-flight frames to drain, then report end-to-end figures.
+	deadline := time.Now().Add(2 * time.Second)
+	var received uint64
+	for {
+		received, _ = sub.Stats()
+		if received >= uint64(b.N*burst) || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if elapsed > 0 {
+		b.ReportMetric(float64(b.N*burst)/elapsed.Seconds(), "pkts/s")
+	}
+	b.ReportMetric(100*float64(received)/float64(b.N*burst), "%delivered")
+	if sensor.Frames() == 0 {
+		b.Fatal("IDS saw no traffic")
+	}
+	stats := r.DataPlaneStats()
+	b.ReportMetric(100*stats.PoolHitRate(), "%poolhit")
 }
 
 // ---------------------------------------------------------------------------
@@ -839,6 +908,7 @@ func BenchmarkAblation_ParallelStepEngine(b *testing.B) {
 			b.Fatal(err)
 		}
 		now := time.Now()
+		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			now = now.Add(r.Interval())
@@ -872,6 +942,7 @@ func BenchmarkAblation_PowerFlowWarmStart(b *testing.B) {
 		b.Fatal(err)
 	}
 	b.Run("warm", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := powerflow.Solve(r.Grid, powerflow.Options{WarmStart: first}); err != nil {
 				b.Fatal(err)
@@ -879,6 +950,7 @@ func BenchmarkAblation_PowerFlowWarmStart(b *testing.B) {
 		}
 	})
 	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := powerflow.Solve(r.Grid, powerflow.Options{}); err != nil {
 				b.Fatal(err)
@@ -941,6 +1013,143 @@ func BenchmarkAblation_SparseSolver(b *testing.B) {
 			b.Run("sparse-warm", func(b *testing.B) { runSeq(b, powerflow.NewSolver(), powerflow.MethodSparse) })
 		})
 	}
+}
+
+func BenchmarkAblation_ZeroAllocDataPlane(b *testing.B) {
+	// The tentpole ablation: one warm GOOSE publish->switch->deliver->decode
+	// round, end to end. Each iteration publishes a state and spin-waits for
+	// the subscriber-side decode, so ns/op is delivery latency and allocs/op
+	// (-benchmem) attributes both ends of the path.
+	//
+	//   legacy-copy — the seed data plane, kept as the reference path:
+	//                 pooling off, values cloned per publish, a fresh marshal
+	//                 buffer per frame, and a fresh TLV tree per decode.
+	//   zero-alloc  — the shipped path: pooled payloads, append-mode BER,
+	//                 reused publisher buffers, arena decode.
+	//
+	// Delivered bytes, capture output and IDS verdicts are pinned identical
+	// across the two paths by TestPooledPublishDeliversIdenticalBytes,
+	// TestFramePoolingDifferential and the IDS differential test.
+	type fabric struct {
+		net      *netem.Network
+		pub, sub *netem.Host
+	}
+	mkFabric := func(b *testing.B, pooling bool) fabric {
+		b.Helper()
+		n := netem.NewNetwork()
+		n.SetFramePooling(pooling)
+		if _, err := netem.NewSwitch(n, "sw", 4); err != nil {
+			b.Fatal(err)
+		}
+		pubHost, err := netem.NewHost(n, "pub", netem.MAC{2, 0, 0, 0, 0, 1}, netem.IPv4{10, 0, 0, 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		subHost, err := netem.NewHost(n, "sub", netem.MAC{2, 0, 0, 0, 0, 2}, netem.IPv4{10, 0, 0, 2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := n.Connect("pub", 0, "sw", 0, 0); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := n.Connect("sub", 0, "sw", 1, 0); err != nil {
+			b.Fatal(err)
+		}
+		return fabric{net: n, pub: pubHost, sub: subHost}
+	}
+	const appID = 0x0001
+	// A realistic interlocking dataset: breaker positions and trip flags,
+	// exactly what the range's IEDs put in their GOOSE control blocks.
+	vals := []mms.Value{mms.NewBool(true), mms.NewBool(false), mms.NewBool(true), mms.NewBool(false)}
+	await := func(b *testing.B, received *atomic.Uint64, target uint64) {
+		b.Helper()
+		for spins := 0; received.Load() < target; spins++ {
+			if spins > 100_000_000 {
+				b.Fatal("delivery stalled")
+			}
+			runtime.Gosched() // single-CPU friendly: let the device workers run
+		}
+	}
+
+	b.Run("legacy-copy", func(b *testing.B) {
+		f := mkFabric(b, false)
+		var received atomic.Uint64
+		lastSt := map[string]uint32{}
+		f.sub.JoinMulticast(netem.GooseMAC(appID))
+		f.sub.HandleEtherType(netem.EtherTypeGOOSE, func(fr netem.Frame) {
+			// The seed decode path: fresh TLV tree and Message per packet.
+			gotID, msg, err := goose.Unmarshal(fr.Payload)
+			if err != nil || gotID != appID {
+				return
+			}
+			lastSt[msg.GocbRef] = msg.StNum
+			received.Add(1)
+		})
+		if err := f.net.Start(); err != nil {
+			b.Fatal(err)
+		}
+		defer f.net.Stop()
+		var stNum uint32
+		publish := func() {
+			// The seed publish path: clone the dataset, marshal into a fresh
+			// buffer, send a plain frame.
+			stNum++
+			msg := goose.Message{
+				GocbRef: "GIED1LD0/LLN0$GO$gcb1", DatSet: "ds", GoID: "gcb1",
+				Timestamp: time.Unix(1_700_000_000, 0), StNum: stNum,
+				TTLMillis: 2000, ConfRev: 1,
+				Values: append([]mms.Value(nil), vals...),
+			}
+			f.pub.SendFrame(netem.Frame{
+				Dst: netem.GooseMAC(appID), Src: f.pub.MAC(),
+				EtherType: netem.EtherTypeGOOSE, Payload: goose.Marshal(appID, msg),
+			})
+		}
+		publish()
+		await(b, &received, 1)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			publish()
+			await(b, &received, uint64(i)+2)
+		}
+		b.StopTimer()
+		if elapsed := b.Elapsed(); elapsed > 0 {
+			b.ReportMetric(float64(b.N)/elapsed.Seconds(), "pkts/s")
+		}
+	})
+
+	b.Run("zero-alloc", func(b *testing.B) {
+		f := mkFabric(b, true)
+		sub := goose.Subscribe(f.sub, appID)
+		var received atomic.Uint64
+		go func() {
+			for range sub.Updates() {
+				received.Add(1)
+			}
+		}()
+		if err := f.net.Start(); err != nil {
+			b.Fatal(err)
+		}
+		defer f.net.Stop()
+		pub := goose.NewPublisher(f.pub, goose.PublisherConfig{
+			GocbRef: "GIED1LD0/LLN0$GO$gcb1", DatSet: "ds", GoID: "gcb1",
+			AppID: appID, ConfRev: 1, FixedInterval: time.Hour,
+		})
+		defer pub.Stop()
+		pub.Publish(vals...) // warm buffers, pool and arenas
+		await(b, &received, 1)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			pub.Publish(vals...)
+			await(b, &received, uint64(i)+2)
+		}
+		b.StopTimer()
+		if elapsed := b.Elapsed(); elapsed > 0 {
+			b.ReportMetric(float64(b.N)/elapsed.Seconds(), "pkts/s")
+		}
+	})
 }
 
 func BenchmarkAblation_KVBusCoupling(b *testing.B) {
@@ -1010,6 +1219,7 @@ func BenchmarkAblation_MergedVsPerSubstationCompile(b *testing.B) {
 		b.Fatal(err)
 	}
 	b.Run("consolidated", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			ms := &core.ModelSet{Name: "m", SCDs: sm.SCDs, SED: sm.SED, IEDConfig: sm.IEDConfigs, PowerConfig: sm.PowerConfig}
 			r, err := core.Compile(ms)
@@ -1020,6 +1230,7 @@ func BenchmarkAblation_MergedVsPerSubstationCompile(b *testing.B) {
 		}
 	})
 	b.Run("per-substation", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			for name, doc := range sm.SCDs {
 				if name != "S1" {

@@ -1,0 +1,153 @@
+package ber
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/testutil"
+)
+
+// sampleStream builds a nested constructed encoding exercising both length
+// forms.
+func sampleStream(valueSize int) []byte {
+	var e Encoder
+	e.AppendConstructed(ApplicationConstructed(1), func(inner *Encoder) {
+		inner.AppendString(ContextTag(0), "gocbRef/with/path")
+		inner.AppendUint(ContextTag(1), 123456)
+		inner.AppendConstructed(ContextConstructed(2), func(deep *Encoder) {
+			deep.AppendBool(ContextTag(0), true)
+			deep.AppendTLV(ContextTag(1), bytes.Repeat([]byte{0xAB}, valueSize))
+			deep.AppendInt(ContextTag(2), -42)
+		})
+		inner.AppendFloat64(ContextTag(3), 1.0625)
+	})
+	return e.Bytes()
+}
+
+func TestDecoderMatchesDecode(t *testing.T) {
+	var d Decoder
+	for _, size := range []int{1, 10, 120, 200, 70000} {
+		b := sampleStream(size)
+		want, wantN, wantErr := Decode(b)
+		got, gotN, gotErr := d.Decode(b)
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Fatalf("size %d: err %v vs %v", size, wantErr, gotErr)
+		}
+		if wantN != gotN {
+			t.Fatalf("size %d: n %d vs %d", size, wantN, gotN)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("size %d: arena decode differs from Decode", size)
+		}
+	}
+}
+
+func TestDecoderReusesArenaAcrossCalls(t *testing.T) {
+	var d Decoder
+	big := sampleStream(50)
+	if _, _, err := d.Decode(big); err != nil {
+		t.Fatal(err)
+	}
+	grown := cap(d.arena)
+	if grown == 0 {
+		t.Fatal("arena did not grow")
+	}
+	// A second decode of a same-shaped message must not grow the arena.
+	if _, _, err := d.Decode(sampleStream(60)); err != nil {
+		t.Fatal(err)
+	}
+	if cap(d.arena) != grown {
+		t.Errorf("arena regrew: %d -> %d", grown, cap(d.arena))
+	}
+}
+
+func TestDecoderRejectsWhatDecodeRejects(t *testing.T) {
+	var d Decoder
+	cases := [][]byte{
+		nil,
+		{0x02},
+		{0x02, 0x05, 0x01},                   // truncated value
+		{0x1F, 0x01, 0x00},                   // long tag
+		{0x30, 0x03, 0x02, 0x05, 0x01},       // truncated child
+		{0x02, 0x85, 1, 1, 1, 1, 1},          // oversized length form
+		append([]byte{0x30, 0x02}, 0xFF, 10), // garbage child header
+	}
+	for i, b := range cases {
+		_, _, wantErr := Decode(b)
+		_, _, gotErr := d.Decode(b)
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Errorf("case %d: Decode err=%v, Decoder err=%v", i, wantErr, gotErr)
+		}
+	}
+}
+
+func TestDecoderArbitraryBytesNeverPanic(t *testing.T) {
+	var d Decoder
+	rng := uint64(12345)
+	for i := 0; i < 5000; i++ {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		n := int(rng % 64)
+		b := make([]byte, n)
+		for j := range b {
+			b[j] = byte(rng >> (uint(j%8) * 8))
+		}
+		d.Decode(b) //nolint:errcheck — must not panic
+	}
+}
+
+func TestAppendTLVFuncLongFormBackPatch(t *testing.T) {
+	// The in-place constructed encoding must produce the same bytes as an
+	// AppendTLV of the separately-built value, across the length-form
+	// boundaries (0x7F/0x80, 0xFF/0x100, 0xFFFF/0x10000).
+	for _, size := range []int{0, 1, 0x7F, 0x80, 0xFF, 0x100, 0xFFFF, 0x10000} {
+		value := bytes.Repeat([]byte{0x5A}, size)
+		var want, got Encoder
+		want.AppendTLV(0xA1, value)
+		got.AppendTLVFunc(0xA1, func(e *Encoder) { e.AppendRaw(value) })
+		if !bytes.Equal(want.Bytes(), got.Bytes()) {
+			t.Errorf("size %d: in-place encoding differs", size)
+		}
+	}
+}
+
+func TestEncoderUseBufAppends(t *testing.T) {
+	prefix := []byte{0xDE, 0xAD}
+	var e Encoder
+	e.UseBuf(append([]byte(nil), prefix...))
+	e.AppendBool(ContextTag(0), true)
+	out := e.Bytes()
+	if !bytes.Equal(out[:2], prefix) {
+		t.Errorf("prefix clobbered: % x", out)
+	}
+	if out[2] != ContextTag(0) {
+		t.Errorf("tag = %#x", out[2])
+	}
+}
+
+func TestEncoderWarmPathDoesNotAllocate(t *testing.T) {
+	if testutil.RaceEnabled {
+		t.Skip("allocation budgets are meaningless under -race")
+	}
+	var e Encoder
+	bits := []byte{0xF0}
+	encode := func() {
+		e.Reset()
+		e.AppendConstructed(ApplicationConstructed(1), func(inner *Encoder) {
+			inner.AppendString(ContextTag(0), "ref")
+			inner.AppendUint(ContextTag(1), 99)
+			inner.AppendInt(ContextTag(2), -7)
+			inner.AppendBool(ContextTag(3), true)
+			inner.AppendFloat64(ContextTag(4), 0.5)
+			inner.AppendFloat32(ContextTag(5), 0.25)
+			inner.AppendBitString(ContextTag(6), bits, 4)
+			inner.AppendUTCTime(ContextTag(7), 1_700_000_000, 0)
+		})
+	}
+	encode() // warm the buffer
+	if n := testing.AllocsPerRun(200, encode); n > 0 {
+		t.Errorf("warm encode allocates %.1f times per run, want 0", n)
+	}
+}

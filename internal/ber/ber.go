@@ -58,7 +58,10 @@ func (t TLV) TagNumber() int { return int(t.Tag & 0x1F) }
 // Class returns the tag class of the element.
 func (t TLV) Class() Class { return Class(t.Tag & 0xC0) }
 
-// Encoder builds a BER byte stream. The zero value is ready to use.
+// Encoder builds a BER byte stream. The zero value is ready to use. All
+// Append* methods are allocation-free apart from buffer growth, so an
+// encoder whose buffer is reused (Reset, or UseBuf with a pooled slice)
+// encodes on a warm path without allocating.
 type Encoder struct {
 	buf []byte
 }
@@ -72,6 +75,10 @@ func (e *Encoder) Len() int { return len(e.buf) }
 // Reset discards the buffer contents, retaining capacity.
 func (e *Encoder) Reset() { e.buf = e.buf[:0] }
 
+// UseBuf makes the encoder append to dst, enabling MarshalAppend-style
+// callers to encode into a caller-owned (typically pooled) buffer.
+func (e *Encoder) UseBuf(dst []byte) { e.buf = dst }
+
 // AppendTLV appends one element with the given identifier octet and value.
 func (e *Encoder) AppendTLV(tag byte, value []byte) {
 	e.buf = append(e.buf, tag)
@@ -80,23 +87,52 @@ func (e *Encoder) AppendTLV(tag byte, value []byte) {
 }
 
 // AppendConstructed appends a constructed element whose value is produced by
-// build. The length is back-patched after build runs, so nested encoders are
-// unnecessary.
+// build. The element is encoded in place in the encoder's own buffer — build
+// receives e itself — and the length octets are back-patched afterwards, so
+// nesting allocates nothing.
 func (e *Encoder) AppendConstructed(tag byte, build func(*Encoder)) {
-	var inner Encoder
-	build(&inner)
-	e.AppendTLV(tag|Constructed, inner.Bytes())
+	e.AppendTLVFunc(tag|Constructed, build)
+}
+
+// AppendRaw appends pre-encoded bytes verbatim (value octets inside an
+// AppendTLVFunc build callback).
+func (e *Encoder) AppendRaw(b []byte) { e.buf = append(e.buf, b...) }
+
+// AppendTLVFunc appends one element with the given identifier octet (used
+// verbatim — set the Constructed bit yourself or use AppendConstructed)
+// whose value octets are produced in place by build, with the length octets
+// back-patched afterwards.
+func (e *Encoder) AppendTLVFunc(tag byte, build func(*Encoder)) {
+	e.buf = append(e.buf, tag, 0) // short-form length placeholder
+	start := len(e.buf)
+	build(e)
+	n := len(e.buf) - start
+	if n < 0x80 {
+		e.buf[start-1] = byte(n)
+		return
+	}
+	// Long form: widen the length field and shift the value right.
+	var lb [5]byte
+	enc := appendLength(lb[:0], n)
+	extra := len(enc) - 1
+	for i := 0; i < extra; i++ {
+		e.buf = append(e.buf, 0)
+	}
+	copy(e.buf[start+extra:], e.buf[start:start+n])
+	copy(e.buf[start-1:], enc)
 }
 
 // AppendInt appends a two's-complement integer with minimal octets.
 func (e *Encoder) AppendInt(tag byte, v int64) {
-	e.AppendTLV(tag, AppendIntBytes(nil, v))
+	var tmp [8]byte
+	e.AppendTLV(tag, AppendIntBytes(tmp[:0], v))
 }
 
 // AppendUint appends an unsigned integer with minimal octets (a leading zero
 // octet is added when the high bit would otherwise flag a negative value).
 func (e *Encoder) AppendUint(tag byte, v uint64) {
-	e.AppendTLV(tag, AppendUintBytes(nil, v))
+	var tmp [9]byte
+	e.AppendTLV(tag, AppendUintBytes(tmp[:0], v))
 }
 
 // AppendBool appends a boolean (0x00 / 0xFF per BER convention).
@@ -105,12 +141,14 @@ func (e *Encoder) AppendBool(tag byte, v bool) {
 	if v {
 		b = 0xFF
 	}
-	e.AppendTLV(tag, []byte{b})
+	e.buf = append(e.buf, tag, 1, b)
 }
 
 // AppendString appends a UTF-8 / visible string value.
 func (e *Encoder) AppendString(tag byte, s string) {
-	e.AppendTLV(tag, []byte(s))
+	e.buf = append(e.buf, tag)
+	e.buf = appendLength(e.buf, len(s))
+	e.buf = append(e.buf, s...)
 }
 
 // AppendFloat64 appends an IEEE-754 float in the 9-octet format used by MMS
@@ -137,10 +175,10 @@ func (e *Encoder) AppendBitString(tag byte, bits []byte, nbits int) {
 	if unused < 0 || unused > 7 {
 		unused = 0
 	}
-	v := make([]byte, 0, len(bits)+1)
-	v = append(v, byte(unused))
-	v = append(v, bits...)
-	e.AppendTLV(tag, v)
+	e.buf = append(e.buf, tag)
+	e.buf = appendLength(e.buf, len(bits)+1)
+	e.buf = append(e.buf, byte(unused))
+	e.buf = append(e.buf, bits...)
 }
 
 // AppendUTCTime appends an 8-octet IEC 61850 UtcTime: 4-octet seconds since
@@ -207,9 +245,9 @@ func appendLength(dst []byte, n int) []byte {
 	}
 }
 
-// Decode parses one TLV from b and returns it with the number of bytes read.
-// Constructed elements are decoded recursively.
-func Decode(b []byte) (TLV, int, error) {
+// parseHeader decodes the identifier and length octets of the element at the
+// start of b, returning a shallow TLV (Children unset) and its total size.
+func parseHeader(b []byte) (TLV, int, error) {
 	if len(b) < 2 {
 		return TLV{}, 0, ErrTruncated
 	}
@@ -225,15 +263,110 @@ func Decode(b []byte) (TLV, int, error) {
 	if total > len(b) {
 		return TLV{}, 0, ErrTruncated
 	}
-	t := TLV{Tag: tag, Value: b[1+lenBytes : total]}
+	return TLV{Tag: tag, Value: b[1+lenBytes : total]}, total, nil
+}
+
+// Decode parses one TLV from b and returns it with the number of bytes read.
+// Constructed elements are decoded recursively.
+func Decode(b []byte) (TLV, int, error) {
+	t, total, err := parseHeader(b)
+	if err != nil {
+		return TLV{}, 0, err
+	}
 	if t.IsConstructed() {
 		children, err := DecodeAll(t.Value)
 		if err != nil {
-			return TLV{}, 0, fmt.Errorf("ber: decoding children of tag 0x%02x: %w", tag, err)
+			return TLV{}, 0, fmt.Errorf("ber: decoding children of tag 0x%02x: %w", t.Tag, err)
 		}
 		t.Children = children
 	}
 	return t, total, nil
+}
+
+// Decoder decodes TLV trees into a reusable arena: one Decode call fills a
+// scratch []TLV with every nested element instead of allocating a fresh
+// Children slice per constructed node. Once the arena has grown to the
+// largest message seen, subsequent decodes allocate nothing.
+//
+// Ownership: the returned TLV's Value fields alias the input buffer and its
+// Children alias the decoder's arena; both are valid only until the next
+// Decode call. Callers that retain decoded data must copy it out first. A
+// Decoder is not safe for concurrent use.
+type Decoder struct {
+	arena []TLV
+}
+
+// Decode parses one TLV from b, like the package-level Decode, reusing the
+// decoder's arena for all nested elements.
+func (d *Decoder) Decode(b []byte) (TLV, int, error) {
+	elems, _, err := countTree(b)
+	if err != nil {
+		return TLV{}, 0, err
+	}
+	// Pre-sizing the arena to the full tree guarantees the appends in fill
+	// never reallocate, so the Children sub-slices handed out stay valid.
+	if cap(d.arena) < elems {
+		d.arena = make([]TLV, 0, elems)
+	} else {
+		d.arena = d.arena[:0]
+	}
+	t, total, err := parseHeader(b)
+	if err != nil {
+		return TLV{}, 0, err
+	}
+	if t.IsConstructed() {
+		if err := d.fill(&t); err != nil {
+			return TLV{}, 0, fmt.Errorf("ber: decoding children of tag 0x%02x: %w", t.Tag, err)
+		}
+	}
+	return t, total, nil
+}
+
+// fill decodes the direct children of constructed t into a contiguous arena
+// range, then recurses to fill each constructed child in place.
+func (d *Decoder) fill(t *TLV) error {
+	start := len(d.arena)
+	v := t.Value
+	for len(v) > 0 {
+		ct, n, err := parseHeader(v)
+		if err != nil {
+			return err
+		}
+		d.arena = append(d.arena, ct)
+		v = v[n:]
+	}
+	end := len(d.arena)
+	t.Children = d.arena[start:end:end]
+	for i := start; i < end; i++ {
+		if d.arena[i].IsConstructed() {
+			if err := d.fill(&d.arena[i]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// countTree returns the number of TLV elements (including nested ones) in the
+// single element at the start of b, validating the whole structure.
+func countTree(b []byte) (elems, size int, err error) {
+	t, total, err := parseHeader(b)
+	if err != nil {
+		return 0, 0, err
+	}
+	elems = 1
+	if t.IsConstructed() {
+		v := t.Value
+		for len(v) > 0 {
+			ce, cs, err := countTree(v)
+			if err != nil {
+				return 0, 0, err
+			}
+			elems += ce
+			v = v[cs:]
+		}
+	}
+	return elems, total, nil
 }
 
 // DecodeAll parses a concatenation of TLVs until b is exhausted.

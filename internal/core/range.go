@@ -276,6 +276,11 @@ func Compile(ms *ModelSet, opts ...CompileOption) (*CyberRange, error) {
 		if err != nil {
 			return nil, err
 		}
+		hmi.SetDiagnostics(func() string {
+			s := built.Net.Stats()
+			return fmt.Sprintf("data plane: %d frames transmitted, %d dropped, pool hit rate %.0f%%\n",
+				s.Transmitted, s.Dropped, 100*s.PoolHitRate())
+		})
 		r.HMI = hmi
 	}
 
@@ -495,6 +500,25 @@ func (r *CyberRange) StepAllSequential(now time.Time) error {
 func (r *CyberRange) PowerSolverStats() (cacheHits, cacheMisses, solveFailures uint64) {
 	cacheHits, cacheMisses = r.Sim.SolverCacheStats()
 	return cacheHits, cacheMisses, r.Sim.Failures()
+}
+
+// DataPlaneStats reports the emulated fabric's data-plane counters: frames
+// transmitted and dropped per hop, and the payload pool's hit rate (the
+// zero-allocation protocol data plane). The HMI status panel renders the
+// same counters as its diagnostics footer.
+func (r *CyberRange) DataPlaneStats() netem.DataPlaneStats { return r.Net.Stats() }
+
+// GooseSubscriberDrops reports, per subscribing IED, how many GOOSE updates
+// its subscription lost to a full delivery channel. IEDs without GOOSE
+// subscriptions (or without losses) are omitted.
+func (r *CyberRange) GooseSubscriberDrops() map[string]uint64 {
+	out := map[string]uint64{}
+	for name, dev := range r.IEDs {
+		if n := dev.GooseDropped(); n > 0 {
+			out[name] = n
+		}
+	}
+	return out
 }
 
 // Shards exposes the step engine's device partition (diagnostics, tests).

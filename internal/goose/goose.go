@@ -62,8 +62,18 @@ const (
 // Marshal encodes the message as APPID header + goosePDU, the payload of an
 // 0x88B8 Ethernet frame.
 func Marshal(appID uint16, m Message) []byte {
-	var pdu ber.Encoder
-	pdu.AppendConstructed(tagGoosePDU, func(e *ber.Encoder) {
+	return MarshalAppend(nil, appID, m)
+}
+
+// MarshalAppend appends the encoded message to dst and returns the extended
+// buffer — the warm-path form of Marshal: with a reused dst it allocates
+// nothing. The output bytes are identical to Marshal's.
+func MarshalAppend(dst []byte, appID uint16, m Message) []byte {
+	start := len(dst)
+	// IEC 61850-8-1 session header: APPID, length, 2 reserved words.
+	var e ber.Encoder
+	e.UseBuf(append(dst, 0, 0, 0, 0, 0, 0, 0, 0))
+	e.AppendConstructed(tagGoosePDU, func(e *ber.Encoder) {
 		e.AppendString(tagGocbRef, m.GocbRef)
 		e.AppendUint(tagTTL, uint64(m.TTLMillis))
 		e.AppendString(tagDatSet, m.DatSet)
@@ -81,42 +91,77 @@ func Marshal(appID uint16, m Message) []byte {
 			}
 		})
 	})
-	// IEC 61850-8-1 session header: APPID, length, 2 reserved words.
-	out := make([]byte, 8, 8+pdu.Len())
-	binary.BigEndian.PutUint16(out[0:], appID)
-	binary.BigEndian.PutUint16(out[2:], uint16(8+pdu.Len()))
-	return append(out, pdu.Bytes()...)
+	out := e.Bytes()
+	binary.BigEndian.PutUint16(out[start:], appID)
+	binary.BigEndian.PutUint16(out[start+2:], uint16(len(out)-start))
+	return out
+}
+
+// Decoder decodes GOOSE payloads reusing an internal TLV arena across calls
+// (see ber.Decoder), so a long-lived subscriber or sensor decodes without
+// re-allocating the TLV tree per packet. The control-block identity strings
+// (gocbRef, datSet, goID) are interned — their cardinality is bounded by the
+// model, so a steady-state stream re-uses one string per control block
+// instead of allocating per packet. Not safe for concurrent use.
+type Decoder struct {
+	ber      ber.Decoder
+	interned map[string]string
+}
+
+// NewDecoder returns a decoder with identity-string interning enabled — the
+// right choice for long-lived consumers (subscribers, sensors). A zero-value
+// Decoder still reuses its TLV arena but copies identity strings per call,
+// which is cheaper for one-shot decodes.
+func NewDecoder() *Decoder {
+	return &Decoder{interned: make(map[string]string)}
+}
+
+// maxInterned bounds the identity-string cache; past it (which no sane model
+// reaches) new strings are allocated per packet instead of cached.
+const maxInterned = 4096
+
+// intern returns a stable string for b, allocating only the first time a
+// given control-block identity is seen (when interning is enabled).
+func (d *Decoder) intern(b []byte) string {
+	if d.interned == nil {
+		return string(b)
+	}
+	if s, ok := d.interned[string(b)]; ok { // string() in a map index: no alloc
+		return s
+	}
+	s := string(b)
+	if len(d.interned) < maxInterned {
+		d.interned[s] = s
+	}
+	return s
 }
 
 // Unmarshal decodes an 0x88B8 payload. It returns the APPID and message.
 func Unmarshal(payload []byte) (uint16, Message, error) {
+	var d Decoder
+	return d.Unmarshal(payload)
+}
+
+// Unmarshal decodes an 0x88B8 payload like the package-level Unmarshal,
+// reusing the decoder's arena. The returned Message owns all its data (no
+// field aliases the payload), so the wire buffer may be reused immediately.
+func (d *Decoder) Unmarshal(payload []byte) (uint16, Message, error) {
 	var m Message
-	if len(payload) < 8 {
-		return 0, m, fmt.Errorf("%w: short header", ErrBadPDU)
-	}
-	appID := binary.BigEndian.Uint16(payload[0:])
-	length := int(binary.BigEndian.Uint16(payload[2:]))
-	if length < 8 || length > len(payload) {
-		return 0, m, fmt.Errorf("%w: bad length %d", ErrBadPDU, length)
-	}
-	t, _, err := ber.Decode(payload[8:length])
+	appID, t, err := d.decodePDU(payload)
 	if err != nil {
-		return 0, m, fmt.Errorf("%w: %v", ErrBadPDU, err)
-	}
-	if t.Tag != tagGoosePDU {
-		return 0, m, fmt.Errorf("%w: tag 0x%02x", ErrBadPDU, t.Tag)
+		return 0, m, err
 	}
 	for _, c := range t.Children {
 		switch c.Tag {
 		case tagGocbRef:
-			m.GocbRef = c.String()
+			m.GocbRef = d.intern(c.Value)
 		case tagTTL:
 			v, _ := c.Uint()
 			m.TTLMillis = uint32(v)
 		case tagDatSet:
-			m.DatSet = c.String()
+			m.DatSet = d.intern(c.Value)
 		case tagGoID:
-			m.GoID = c.String()
+			m.GoID = d.intern(c.Value)
 		case tagT:
 			sec, nanos, err := c.UTCTime()
 			if err == nil {
@@ -132,6 +177,9 @@ func Unmarshal(payload []byte) (uint16, Message, error) {
 			v, _ := c.Uint()
 			m.ConfRev = uint32(v)
 		case tagAllData:
+			if m.Values == nil && len(c.Children) > 0 {
+				m.Values = make([]mms.Value, 0, len(c.Children))
+			}
 			for _, d := range c.Children {
 				v, err := mms.DecodeData(d)
 				if err != nil {
@@ -145,6 +193,61 @@ func Unmarshal(payload []byte) (uint16, Message, error) {
 		return 0, m, fmt.Errorf("%w: missing gocbRef", ErrBadPDU)
 	}
 	return appID, m, nil
+}
+
+// Header is a shallow summary of a GOOSE PDU for inspection paths (the IDS):
+// only the fields anomaly detection needs, decoded without building values.
+// GocbRef aliases the payload and must not be retained.
+type Header struct {
+	GocbRef []byte
+	StNum   uint32
+	SqNum   uint32
+}
+
+// DecodeHeader extracts the APPID and Header from an 0x88B8 payload without
+// decoding the dataset values — the allocation-free inspection fast path.
+func (d *Decoder) DecodeHeader(payload []byte) (uint16, Header, error) {
+	var h Header
+	appID, t, err := d.decodePDU(payload)
+	if err != nil {
+		return 0, h, err
+	}
+	for _, c := range t.Children {
+		switch c.Tag {
+		case tagGocbRef:
+			h.GocbRef = c.Value
+		case tagStNum:
+			v, _ := c.Uint()
+			h.StNum = uint32(v)
+		case tagSqNum:
+			v, _ := c.Uint()
+			h.SqNum = uint32(v)
+		}
+	}
+	if len(h.GocbRef) == 0 {
+		return 0, h, fmt.Errorf("%w: missing gocbRef", ErrBadPDU)
+	}
+	return appID, h, nil
+}
+
+// decodePDU validates the session header and decodes the goosePDU element.
+func (d *Decoder) decodePDU(payload []byte) (uint16, ber.TLV, error) {
+	if len(payload) < 8 {
+		return 0, ber.TLV{}, fmt.Errorf("%w: short header", ErrBadPDU)
+	}
+	appID := binary.BigEndian.Uint16(payload[0:])
+	length := int(binary.BigEndian.Uint16(payload[2:]))
+	if length < 8 || length > len(payload) {
+		return 0, ber.TLV{}, fmt.Errorf("%w: bad length %d", ErrBadPDU, length)
+	}
+	t, _, err := d.ber.Decode(payload[8:length])
+	if err != nil {
+		return 0, ber.TLV{}, fmt.Errorf("%w: %v", ErrBadPDU, err)
+	}
+	if t.Tag != tagGoosePDU {
+		return 0, ber.TLV{}, fmt.Errorf("%w: tag 0x%02x", ErrBadPDU, t.Tag)
+	}
+	return appID, t, nil
 }
 
 // RetransmissionSchedule returns the delay before the n-th retransmission
@@ -204,14 +307,15 @@ func NewPublisher(h *netem.Host, cfg PublisherConfig) *Publisher {
 }
 
 // Publish announces a new dataset state: stNum increments, sqNum resets, and
-// the retransmission burst restarts.
+// the retransmission burst restarts. The values are copied into a reused
+// per-publisher buffer, so a steady-state publish allocates nothing.
 func (p *Publisher) Publish(values ...mms.Value) {
 	p.mu.Lock()
 	if p.stopped {
 		p.mu.Unlock()
 		return
 	}
-	p.values = append([]mms.Value(nil), values...)
+	p.values = append(p.values[:0], values...)
 	p.stNum++
 	p.sqNum = 0
 	p.retrans = 0
@@ -257,10 +361,11 @@ func (p *Publisher) sendLocked() {
 		ConfRev:   p.cfg.ConfRev,
 		Values:    p.values,
 	}
-	payload := Marshal(p.cfg.AppID, msg)
-	p.host.SendFrame(netem.Frame{
-		Dst: p.mac, Src: p.host.MAC(), EtherType: netem.EtherTypeGOOSE, Payload: payload,
-	})
+	// Marshal into a fabric-pooled buffer and hand ownership to the fabric;
+	// the terminal deliverer releases it (zero-allocation warm path).
+	pb := p.host.AllocPayload()
+	pb.B = MarshalAppend(pb.B, p.cfg.AppID, msg)
+	p.host.SendPooled(p.mac, netem.EtherTypeGOOSE, pb)
 	p.sent++
 	p.sqNum++
 }
@@ -273,20 +378,26 @@ func (p *Publisher) nextDelayLocked() time.Duration {
 }
 
 func (p *Publisher) scheduleLocked() {
-	if p.timer != nil {
-		p.timer.Stop()
-	}
 	delay := p.nextDelayLocked()
 	p.retrans++
-	p.timer = time.AfterFunc(delay, func() {
-		p.mu.Lock()
-		defer p.mu.Unlock()
-		if p.stopped || p.stNum == 0 {
-			return
-		}
-		p.sendLocked()
-		p.scheduleLocked()
-	})
+	if p.timer == nil {
+		p.timer = time.AfterFunc(delay, p.retransmit)
+		return
+	}
+	// Reuse the timer across (re)publishes instead of allocating one per
+	// state change.
+	p.timer.Stop()
+	p.timer.Reset(delay)
+}
+
+func (p *Publisher) retransmit() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.stopped || p.stNum == 0 {
+		return
+	}
+	p.sendLocked()
+	p.scheduleLocked()
 }
 
 // Update is a decoded message delivered to a subscriber, annotated with
@@ -302,6 +413,7 @@ type Subscriber struct {
 	mu       sync.Mutex
 	lastSt   map[string]uint32 // gocbRef -> last stNum
 	received uint64
+	dropped  uint64
 	ch       chan Update
 }
 
@@ -312,8 +424,12 @@ func Subscribe(h *netem.Host, appID uint16) *Subscriber {
 	s := &Subscriber{lastSt: make(map[string]uint32), ch: make(chan Update, 256)}
 	mac := netem.GooseMAC(appID)
 	h.JoinMulticast(mac)
+	// The handler runs on the host's single worker goroutine, so the arena
+	// decoder needs no locking. The decoded Message copies everything it
+	// keeps, honouring the fabric's pooled-payload ownership rules.
+	dec := NewDecoder()
 	h.HandleEtherType(netem.EtherTypeGOOSE, func(f netem.Frame) {
-		gotID, msg, err := Unmarshal(f.Payload)
+		gotID, msg, err := dec.Unmarshal(f.Payload)
 		if err != nil || gotID != appID {
 			return
 		}
@@ -333,6 +449,9 @@ func (s *Subscriber) deliver(appID uint16, msg Message) {
 	select {
 	case s.ch <- Update{Message: msg, AppID: appID, NewState: isNew}:
 	default: // slow subscriber: GOOSE is fire-and-forget
+		s.mu.Lock()
+		s.dropped++
+		s.mu.Unlock()
 	}
 }
 
@@ -344,4 +463,13 @@ func (s *Subscriber) Received() uint64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.received
+}
+
+// Dropped reports updates lost because the subscriber's channel was full —
+// the per-subscriber accounting sv.Subscriber.Stats has always had and the
+// GOOSE side silently lacked.
+func (s *Subscriber) Dropped() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dropped
 }

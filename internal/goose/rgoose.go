@@ -24,6 +24,7 @@ type RPublisher struct {
 	stNum   uint32
 	sqNum   uint32
 	values  []mms.Value
+	scratch []byte // reused marshal buffer; SendTo copies, so reuse is safe
 	timer   *time.Timer
 	stopped bool
 	sent    uint64
@@ -48,7 +49,7 @@ func (p *RPublisher) Publish(values ...mms.Value) {
 	if p.stopped {
 		return
 	}
-	p.values = append([]mms.Value(nil), values...)
+	p.values = append(p.values[:0], values...)
 	p.stNum++
 	p.sqNum = 0
 	p.sendLocked()
@@ -85,9 +86,9 @@ func (p *RPublisher) sendLocked() {
 		ConfRev:   p.cfg.ConfRev,
 		Values:    p.values,
 	}
-	payload := Marshal(p.cfg.AppID, msg)
+	p.scratch = MarshalAppend(p.scratch[:0], p.cfg.AppID, msg)
 	for _, peer := range p.peers {
-		if err := p.sock.SendTo(peer, RGoosePort, payload); err == nil {
+		if err := p.sock.SendTo(peer, RGoosePort, p.scratch); err == nil {
 			p.sent++
 		}
 	}
@@ -95,18 +96,22 @@ func (p *RPublisher) sendLocked() {
 }
 
 func (p *RPublisher) scheduleLocked() {
-	if p.timer != nil {
-		p.timer.Stop()
+	if p.timer == nil {
+		p.timer = time.AfterFunc(p.cfg.Heartbeat, p.retransmit)
+		return
 	}
-	p.timer = time.AfterFunc(p.cfg.Heartbeat, func() {
-		p.mu.Lock()
-		defer p.mu.Unlock()
-		if p.stopped || p.stNum == 0 {
-			return
-		}
-		p.sendLocked()
-		p.scheduleLocked()
-	})
+	p.timer.Stop()
+	p.timer.Reset(p.cfg.Heartbeat)
+}
+
+func (p *RPublisher) retransmit() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.stopped || p.stNum == 0 {
+		return
+	}
+	p.sendLocked()
+	p.scheduleLocked()
 }
 
 // RSubscriber receives R-GOOSE datagrams on the R-GOOSE UDP port.
@@ -129,8 +134,9 @@ func SubscribeR(h *netem.Host, appID uint16) (*RSubscriber, error) {
 	}
 	go func() {
 		defer close(rs.done)
+		dec := NewDecoder() // arena + interning reused on this goroutine
 		for m := range sock.Recv() {
-			gotID, msg, err := Unmarshal(m.Data)
+			gotID, msg, err := dec.Unmarshal(m.Data)
 			if err != nil || gotID != appID {
 				continue
 			}
@@ -145,6 +151,9 @@ func (rs *RSubscriber) Updates() <-chan Update { return rs.sub.Updates() }
 
 // Received reports total datagrams decoded.
 func (rs *RSubscriber) Received() uint64 { return rs.sub.Received() }
+
+// Dropped reports updates lost to a full delivery channel.
+func (rs *RSubscriber) Dropped() uint64 { return rs.sub.Dropped() }
 
 // Close releases the socket and waits for the decoder to finish.
 func (rs *RSubscriber) Close() {

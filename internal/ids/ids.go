@@ -78,7 +78,8 @@ type Sensor struct {
 	ipToMAC    map[netem.IPv4]netem.MAC
 	writers    map[netem.IPv4]bool
 	writeWatch bool
-	gooseSt    map[string]gooseState // gocbRef -> highest stNum seen
+	gooseSt    map[string]*gooseState // gocbRef -> highest stNum seen
+	gooseDec   goose.Decoder          // arena reused across inspected frames (under mu)
 	synSeen    map[netem.IPv4]map[uint16]bool
 	scanThresh int
 	scanFired  map[netem.IPv4]bool
@@ -90,7 +91,7 @@ func New(opts Options) *Sensor {
 	s := &Sensor{
 		ipToMAC:    make(map[netem.IPv4]netem.MAC),
 		writers:    make(map[netem.IPv4]bool),
-		gooseSt:    make(map[string]gooseState),
+		gooseSt:    make(map[string]*gooseState),
 		synSeen:    make(map[netem.IPv4]map[uint16]bool),
 		scanFired:  make(map[netem.IPv4]bool),
 		scanThresh: opts.PortScanThreshold,
@@ -287,19 +288,25 @@ func skipTLV(b []byte) ([]byte, bool) {
 	return b[offset+ln:], true
 }
 
+// inspectGOOSE uses the header-only arena decode: per frame it neither
+// re-allocates a TLV tree nor decodes the dataset values, and the gocbRef
+// string is only materialised once per control block (map inserts).
 func (s *Sensor) inspectGOOSE(f netem.Frame) {
-	_, msg, err := goose.Unmarshal(f.Payload)
+	_, hdr, err := s.gooseDec.DecodeHeader(f.Payload)
 	if err != nil {
 		return
 	}
-	st, seen := s.gooseSt[msg.GocbRef]
+	st := s.gooseSt[string(hdr.GocbRef)] // string() in a map index: no alloc
 	now := time.Now()
-	if seen && msg.StNum < st.max && now.Sub(st.at) > gooseReplayGrace {
+	if st != nil && hdr.StNum < st.max && now.Sub(st.at) > gooseReplayGrace {
 		s.raise(AlertGooseAnomaly, f.Src.String(),
 			fmt.Sprintf("gocbRef %s stNum regressed %d -> %d (replay or spoofed publisher)",
-				msg.GocbRef, st.max, msg.StNum))
+				hdr.GocbRef, st.max, hdr.StNum))
 	}
-	if !seen || msg.StNum > st.max {
-		s.gooseSt[msg.GocbRef] = gooseState{max: msg.StNum, at: now}
+	switch {
+	case st == nil:
+		s.gooseSt[string(hdr.GocbRef)] = &gooseState{max: hdr.StNum, at: now}
+	case hdr.StNum > st.max:
+		st.max, st.at = hdr.StNum, now
 	}
 }

@@ -295,6 +295,15 @@ func (d *IED) Stop() {
 // Server exposes the MMS server (the range's SCADA/PLC dials it).
 func (d *IED) Server() *mms.Server { return d.srv }
 
+// GooseDropped reports updates the IED's GOOSE subscription lost to a full
+// delivery channel (0 when the IED subscribes to nothing).
+func (d *IED) GooseDropped() uint64 {
+	if d.gsub == nil {
+		return 0
+	}
+	return d.gsub.Dropped()
+}
+
 // Events returns a copy of the event log.
 func (d *IED) Events() []Event {
 	d.mu.Lock()

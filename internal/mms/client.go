@@ -67,7 +67,7 @@ func Dial(h *netem.Host, ip netem.IPv4, port uint16, opts DialOptions) (*Client,
 		readerDone: make(chan struct{}),
 	}
 	// Initiate handshake happens before the reader goroutine owns the conn.
-	if err := writeFrame(conn, encodeInitiateRequest(opts.Vendor)); err != nil {
+	if err := writeFrame(conn, encodeInitiateRequest(nil, opts.Vendor)); err != nil {
 		conn.Close()
 		return nil, err
 	}
@@ -202,7 +202,7 @@ func (c *Client) allocID() uint32 {
 // Read fetches the value of an object.
 func (c *Client) Read(ref ObjectReference) (Value, error) {
 	id := c.allocID()
-	p, err := c.roundTrip(id, encodeReadRequest(id, ref))
+	p, err := c.roundTrip(id, encodeReadRequest(nil, id, ref))
 	if err != nil {
 		return Value{}, fmt.Errorf("mms: read %s: %w", ref, err)
 	}
@@ -221,7 +221,7 @@ func (c *Client) Read(ref ObjectReference) (Value, error) {
 // command is a Write to the XCBR Pos.Oper object).
 func (c *Client) Write(ref ObjectReference, v Value) error {
 	id := c.allocID()
-	if _, err := c.roundTrip(id, encodeWriteRequest(id, ref, v)); err != nil {
+	if _, err := c.roundTrip(id, encodeWriteRequest(nil, id, ref, v)); err != nil {
 		return fmt.Errorf("mms: write %s: %w", ref, err)
 	}
 	return nil
@@ -230,7 +230,7 @@ func (c *Client) Write(ref ObjectReference, v Value) error {
 // GetNameList lists object references, optionally filtered by prefix.
 func (c *Client) GetNameList(prefix string) ([]string, error) {
 	id := c.allocID()
-	p, err := c.roundTrip(id, encodeGetNameListRequest(id, prefix))
+	p, err := c.roundTrip(id, encodeGetNameListRequest(nil, id, prefix))
 	if err != nil {
 		return nil, fmt.Errorf("mms: getNameList: %w", err)
 	}
@@ -251,7 +251,7 @@ func (c *Client) Close() error {
 	}
 	c.closed = true
 	c.mu.Unlock()
-	_ = writeFrame(c.conn, encodeConclude())
+	_ = writeFrame(c.conn, encodeConclude(nil))
 	err := c.conn.Close()
 	select {
 	case <-c.readerDone:

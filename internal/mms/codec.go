@@ -63,19 +63,26 @@ type pdu struct {
 // writeFrame writes a TPKT-style frame: version 3, reserved 0, 16-bit length
 // (including the 4-byte header).
 func writeFrame(w io.Writer, payload []byte) error {
+	_, err := writeFrameReuse(w, nil, payload)
+	return err
+}
+
+// writeFrameReuse is writeFrame with a caller-owned assembly buffer: the
+// frame is built in scratch (grown as needed) and the buffer is returned for
+// reuse, so a connection's steady-state response path allocates nothing. The
+// TCP stack copies written bytes into segments, so reuse is safe.
+func writeFrameReuse(w io.Writer, scratch, payload []byte) ([]byte, error) {
 	if len(payload)+4 > 0xFFFF {
-		return ErrTooLarge
+		return scratch, ErrTooLarge
 	}
 	// One buffer, one Write: keeps header and PDU in a single TCP segment,
 	// which both halves segment count and lets passive monitors (the IDS)
 	// parse frames without stream reassembly.
-	buf := make([]byte, 4+len(payload))
-	buf[0], buf[1] = 0x03, 0x00
-	buf[2] = byte((len(payload) + 4) >> 8)
-	buf[3] = byte(len(payload) + 4)
-	copy(buf[4:], payload)
+	buf := append(scratch[:0], 0x03, 0x00,
+		byte((len(payload)+4)>>8), byte(len(payload)+4))
+	buf = append(buf, payload...)
 	_, err := w.Write(buf)
-	return err
+	return buf, err
 }
 
 // readFrame reads one TPKT-style frame.
@@ -198,9 +205,15 @@ func decodeObjectName(t ber.TLV) (ObjectReference, error) {
 }
 
 // --- request/response builders -------------------------------------------
+//
+// Every builder is a MarshalAppend-style fast path: it appends the encoded
+// PDU to dst and returns the extended buffer, so callers that reuse a
+// scratch buffer (the server's per-connection response path) encode without
+// allocating. Pass nil for a one-shot encode.
 
-func encodeInitiateRequest(vendor string) []byte {
+func encodeInitiateRequest(dst []byte, vendor string) []byte {
 	var e ber.Encoder
+	e.UseBuf(dst)
 	e.AppendConstructed(tagInitiateRequest, func(inner *ber.Encoder) {
 		inner.AppendInt(ber.ContextTag(0), maxMessage)
 		inner.AppendString(ber.ContextTag(1), vendor)
@@ -208,8 +221,9 @@ func encodeInitiateRequest(vendor string) []byte {
 	return e.Bytes()
 }
 
-func encodeInitiateResponse(vendor, model string) []byte {
+func encodeInitiateResponse(dst []byte, vendor, model string) []byte {
 	var e ber.Encoder
+	e.UseBuf(dst)
 	e.AppendConstructed(tagInitiateResponse, func(inner *ber.Encoder) {
 		inner.AppendInt(ber.ContextTag(0), maxMessage)
 		inner.AppendString(ber.ContextTag(1), vendor)
@@ -218,8 +232,9 @@ func encodeInitiateResponse(vendor, model string) []byte {
 	return e.Bytes()
 }
 
-func encodeReadRequest(invokeID uint32, ref ObjectReference) []byte {
+func encodeReadRequest(dst []byte, invokeID uint32, ref ObjectReference) []byte {
 	var e ber.Encoder
+	e.UseBuf(dst)
 	e.AppendConstructed(tagConfirmedRequest, func(inner *ber.Encoder) {
 		inner.AppendUint(0x02, uint64(invokeID)) // universal INTEGER invokeID
 		inner.AppendConstructed(ber.ContextConstructed(svcRead), func(svc *ber.Encoder) {
@@ -229,8 +244,9 @@ func encodeReadRequest(invokeID uint32, ref ObjectReference) []byte {
 	return e.Bytes()
 }
 
-func encodeReadResponse(invokeID uint32, v Value) []byte {
+func encodeReadResponse(dst []byte, invokeID uint32, v Value) []byte {
 	var e ber.Encoder
+	e.UseBuf(dst)
 	e.AppendConstructed(tagConfirmedResponse, func(inner *ber.Encoder) {
 		inner.AppendUint(0x02, uint64(invokeID))
 		inner.AppendConstructed(ber.ContextConstructed(svcRead), func(svc *ber.Encoder) {
@@ -240,8 +256,9 @@ func encodeReadResponse(invokeID uint32, v Value) []byte {
 	return e.Bytes()
 }
 
-func encodeWriteRequest(invokeID uint32, ref ObjectReference, v Value) []byte {
+func encodeWriteRequest(dst []byte, invokeID uint32, ref ObjectReference, v Value) []byte {
 	var e ber.Encoder
+	e.UseBuf(dst)
 	e.AppendConstructed(tagConfirmedRequest, func(inner *ber.Encoder) {
 		inner.AppendUint(0x02, uint64(invokeID))
 		inner.AppendConstructed(ber.ContextConstructed(svcWrite), func(svc *ber.Encoder) {
@@ -252,8 +269,9 @@ func encodeWriteRequest(invokeID uint32, ref ObjectReference, v Value) []byte {
 	return e.Bytes()
 }
 
-func encodeWriteResponse(invokeID uint32) []byte {
+func encodeWriteResponse(dst []byte, invokeID uint32) []byte {
 	var e ber.Encoder
+	e.UseBuf(dst)
 	e.AppendConstructed(tagConfirmedResponse, func(inner *ber.Encoder) {
 		inner.AppendUint(0x02, uint64(invokeID))
 		inner.AppendConstructed(ber.ContextConstructed(svcWrite), func(svc *ber.Encoder) {
@@ -263,8 +281,9 @@ func encodeWriteResponse(invokeID uint32) []byte {
 	return e.Bytes()
 }
 
-func encodeGetNameListRequest(invokeID uint32, domain string) []byte {
+func encodeGetNameListRequest(dst []byte, invokeID uint32, domain string) []byte {
 	var e ber.Encoder
+	e.UseBuf(dst)
 	e.AppendConstructed(tagConfirmedRequest, func(inner *ber.Encoder) {
 		inner.AppendUint(0x02, uint64(invokeID))
 		inner.AppendConstructed(ber.ContextConstructed(svcGetNameList), func(svc *ber.Encoder) {
@@ -274,8 +293,9 @@ func encodeGetNameListRequest(invokeID uint32, domain string) []byte {
 	return e.Bytes()
 }
 
-func encodeGetNameListResponse(invokeID uint32, names []string) []byte {
+func encodeGetNameListResponse(dst []byte, invokeID uint32, names []string) []byte {
 	var e ber.Encoder
+	e.UseBuf(dst)
 	e.AppendConstructed(tagConfirmedResponse, func(inner *ber.Encoder) {
 		inner.AppendUint(0x02, uint64(invokeID))
 		inner.AppendConstructed(ber.ContextConstructed(svcGetNameList), func(svc *ber.Encoder) {
@@ -287,8 +307,9 @@ func encodeGetNameListResponse(invokeID uint32, names []string) []byte {
 	return e.Bytes()
 }
 
-func encodeErrorResponse(invokeID uint32, code int64) []byte {
+func encodeErrorResponse(dst []byte, invokeID uint32, code int64) []byte {
 	var e ber.Encoder
+	e.UseBuf(dst)
 	e.AppendConstructed(tagConfirmedError, func(inner *ber.Encoder) {
 		inner.AppendUint(0x02, uint64(invokeID))
 		inner.AppendInt(ber.ContextTag(0), code)
@@ -298,8 +319,9 @@ func encodeErrorResponse(invokeID uint32, code int64) []byte {
 
 // encodeInfoReport builds an unconfirmed information report carrying a named
 // variable and its value (IEC 61850 report semantics, simplified).
-func encodeInfoReport(ref ObjectReference, v Value) []byte {
+func encodeInfoReport(dst []byte, ref ObjectReference, v Value) []byte {
 	var e ber.Encoder
+	e.UseBuf(dst)
 	e.AppendConstructed(tagUnconfirmed, func(inner *ber.Encoder) {
 		inner.AppendConstructed(ber.ContextConstructed(svcInfoReport), func(svc *ber.Encoder) {
 			encodeObjectName(svc, ref)
@@ -309,15 +331,30 @@ func encodeInfoReport(ref ObjectReference, v Value) []byte {
 	return e.Bytes()
 }
 
-func encodeConclude() []byte {
+func encodeConclude(dst []byte) []byte {
 	var e ber.Encoder
+	e.UseBuf(dst)
 	e.AppendTLV(tagConclude, nil)
 	return e.Bytes()
 }
 
-// decodePDU parses the outer PDU envelope.
+// decodePDU parses the outer PDU envelope. The returned pdu's body retains
+// the decoded TLV tree, so it uses the allocating package-level decode;
+// consumers that process PDUs strictly one at a time (the server's
+// per-connection loop) use decodePDUArena instead.
 func decodePDU(payload []byte) (pdu, error) {
 	t, n, err := ber.Decode(payload)
+	return finishPDU(payload, t, n, err)
+}
+
+// decodePDUArena decodes with a reusable TLV arena. The returned pdu aliases
+// the decoder's arena and is only valid until d's next Decode call.
+func decodePDUArena(d *ber.Decoder, payload []byte) (pdu, error) {
+	t, n, err := d.Decode(payload)
+	return finishPDU(payload, t, n, err)
+}
+
+func finishPDU(payload []byte, t ber.TLV, n int, err error) (pdu, error) {
 	if err != nil {
 		return pdu{}, fmt.Errorf("%w: %v", ErrBadPDU, err)
 	}

@@ -41,7 +41,7 @@ func testPair(t *testing.T) (*netem.Host, *netem.Host) {
 
 func TestValueRoundTripProperty(t *testing.T) {
 	check := func(v Value) bool {
-		payload := encodeReadResponse(7, v)
+		payload := encodeReadResponse(nil, 7, v)
 		p, err := decodePDU(payload)
 		if err != nil {
 			return false
@@ -72,7 +72,7 @@ func TestValueRoundTripProperty(t *testing.T) {
 
 func TestUTCTimeValue(t *testing.T) {
 	now := time.Unix(1_700_000_000, 123_456_000).UTC()
-	payload := encodeReadResponse(1, NewUTCTime(now))
+	payload := encodeReadResponse(nil, 1, NewUTCTime(now))
 	p, err := decodePDU(payload)
 	if err != nil {
 		t.Fatal(err)

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"sync"
 
+	"repro/internal/ber"
 	"repro/internal/netem"
 )
 
@@ -195,7 +196,7 @@ func (s *Server) Close() {
 // Report pushes an information report for ref to every associated client
 // that completed the initiate handshake.
 func (s *Server) Report(ref ObjectReference, v Value) {
-	payload := encodeInfoReport(ref, v)
+	payload := encodeInfoReport(nil, ref, v)
 	s.mu.RLock()
 	var targets []*netem.TCPConn
 	for c, ok := range s.reporters {
@@ -217,18 +218,43 @@ func (s *Server) serveConn(conn *netem.TCPConn) {
 		delete(s.reporters, conn)
 		s.mu.Unlock()
 	}()
+	// Per-connection scratch: the TLV arena and one frame buffer are reused
+	// across requests, so the steady-state request/response loop (a PLC's
+	// per-scan reads) is allocation-light. The response PDU is encoded in
+	// place after a reserved 4-byte TPKT header (the MarshalAppend pattern),
+	// so each reply is built and written without an intermediate copy. Safe
+	// because each pdu is fully consumed before the next decode.
+	var (
+		dec      ber.Decoder
+		frameBuf []byte
+	)
+	// hdr resets the frame buffer to a TPKT header placeholder for the next
+	// in-place encode; reply back-patches the length and writes the frame.
+	hdr := func() []byte {
+		return append(frameBuf[:0], 0x03, 0x00, 0, 0)
+	}
+	reply := func(frame []byte) error {
+		frameBuf = frame
+		if len(frame) > 0xFFFF {
+			return ErrTooLarge
+		}
+		frame[2] = byte(len(frame) >> 8)
+		frame[3] = byte(len(frame))
+		_, err := conn.Write(frame)
+		return err
+	}
 	for {
 		payload, err := readFrame(conn)
 		if err != nil {
 			return
 		}
-		p, err := decodePDU(payload)
+		p, err := decodePDUArena(&dec, payload)
 		if err != nil {
 			return // malformed association: drop it
 		}
 		switch p.kind {
 		case tagInitiateRequest:
-			if err := writeFrame(conn, encodeInitiateResponse(s.Vendor, s.Model)); err != nil {
+			if err := reply(encodeInitiateResponse(hdr(), s.Vendor, s.Model)); err != nil {
 				return
 			}
 			s.mu.Lock()
@@ -237,8 +263,7 @@ func (s *Server) serveConn(conn *netem.TCPConn) {
 		case tagConclude:
 			return
 		case tagConfirmedRequest:
-			resp := s.handleRequest(p)
-			if err := writeFrame(conn, resp); err != nil {
+			if err := reply(s.handleRequest(hdr(), p)); err != nil {
 				return
 			}
 		default:
@@ -247,37 +272,38 @@ func (s *Server) serveConn(conn *netem.TCPConn) {
 	}
 }
 
-func (s *Server) handleRequest(p pdu) []byte {
+// handleRequest appends the response PDU to dst and returns it.
+func (s *Server) handleRequest(dst []byte, p pdu) []byte {
 	svcTLV := p.body.Children[1]
 	switch p.service {
 	case svcRead:
 		if len(svcTLV.Children) < 1 {
-			return encodeErrorResponse(p.invokeID, errCodeObjectNotFound)
+			return encodeErrorResponse(dst, p.invokeID, errCodeObjectNotFound)
 		}
 		ref, err := decodeObjectName(svcTLV.Children[0])
 		if err != nil {
-			return encodeErrorResponse(p.invokeID, errCodeObjectNotFound)
+			return encodeErrorResponse(dst, p.invokeID, errCodeObjectNotFound)
 		}
 		s.mu.Lock()
 		v, ok := s.vars[ref]
 		s.reads++
 		s.mu.Unlock()
 		if !ok {
-			return encodeErrorResponse(p.invokeID, errCodeObjectNotFound)
+			return encodeErrorResponse(dst, p.invokeID, errCodeObjectNotFound)
 		}
-		return encodeReadResponse(p.invokeID, v)
+		return encodeReadResponse(dst, p.invokeID, v)
 
 	case svcWrite:
 		if len(svcTLV.Children) < 2 {
-			return encodeErrorResponse(p.invokeID, errCodeTypeInconsistent)
+			return encodeErrorResponse(dst, p.invokeID, errCodeTypeInconsistent)
 		}
 		ref, err := decodeObjectName(svcTLV.Children[0])
 		if err != nil {
-			return encodeErrorResponse(p.invokeID, errCodeObjectNotFound)
+			return encodeErrorResponse(dst, p.invokeID, errCodeObjectNotFound)
 		}
 		v, err := decodeValue(svcTLV.Children[1])
 		if err != nil {
-			return encodeErrorResponse(p.invokeID, errCodeTypeInconsistent)
+			return encodeErrorResponse(dst, p.invokeID, errCodeTypeInconsistent)
 		}
 		s.mu.Lock()
 		_, exists := s.vars[ref]
@@ -285,21 +311,21 @@ func (s *Server) handleRequest(p pdu) []byte {
 		handler := s.handlers[ref]
 		s.mu.Unlock()
 		if !exists {
-			return encodeErrorResponse(p.invokeID, errCodeObjectNotFound)
+			return encodeErrorResponse(dst, p.invokeID, errCodeObjectNotFound)
 		}
 		if ro {
-			return encodeErrorResponse(p.invokeID, errCodeAccessDenied)
+			return encodeErrorResponse(dst, p.invokeID, errCodeAccessDenied)
 		}
 		if handler != nil {
 			if err := handler(ref, v); err != nil {
-				return encodeErrorResponse(p.invokeID, errCodeAccessDenied)
+				return encodeErrorResponse(dst, p.invokeID, errCodeAccessDenied)
 			}
 		}
 		s.mu.Lock()
 		s.vars[ref] = v
 		s.writes++
 		s.mu.Unlock()
-		return encodeWriteResponse(p.invokeID)
+		return encodeWriteResponse(dst, p.invokeID)
 
 	case svcGetNameList:
 		prefix := ""
@@ -312,10 +338,10 @@ func (s *Server) handleRequest(p pdu) []byte {
 				names = append(names, string(ref))
 			}
 		}
-		return encodeGetNameListResponse(p.invokeID, names)
+		return encodeGetNameListResponse(dst, p.invokeID, names)
 
 	default:
-		return encodeErrorResponse(p.invokeID, errCodeObjectNotFound)
+		return encodeErrorResponse(dst, p.invokeID, errCodeObjectNotFound)
 	}
 }
 

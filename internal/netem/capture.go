@@ -33,16 +33,18 @@ func NewCapture(maxFrames int) *Capture {
 	return &Capture{max: maxFrames}
 }
 
-// Attach registers the capture as a tap on the network.
+// Attach registers the capture as a tap on the network. The capture retains
+// frames, so it clones each one (taps only borrow frames; see TapFunc).
 func (c *Capture) Attach(n *Network) {
 	n.Tap(func(link *Link, dir string, f Frame) {
+		cf := CapturedFrame{Time: time.Now(), Link: link.String(), Dir: dir, Frame: f.Clone()}
 		c.mu.Lock()
 		c.total++
 		if len(c.frames) >= c.max {
 			copy(c.frames, c.frames[1:])
 			c.frames = c.frames[:len(c.frames)-1]
 		}
-		c.frames = append(c.frames, CapturedFrame{Time: time.Now(), Link: link.String(), Dir: dir, Frame: f})
+		c.frames = append(c.frames, cf)
 		c.mu.Unlock()
 	})
 }

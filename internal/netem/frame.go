@@ -27,12 +27,43 @@ type Frame struct {
 	Src       MAC
 	EtherType uint16
 	Payload   []byte
+
+	// pb is non-nil when Payload is backed by the fabric's payload pool; the
+	// terminal deliverer releases it (see PayloadBuf for the ownership rules).
+	pb *PayloadBuf
 }
 
 // Clone deep-copies the frame so taps and tamper hooks can mutate safely.
+// The clone is always an ordinary heap frame, detached from the pool.
 func (f Frame) Clone() Frame {
 	c := f
 	c.Payload = append([]byte(nil), f.Payload...)
+	c.pb = nil
+	return c
+}
+
+// Pooled reports whether the frame's payload is owned by the fabric pool.
+func (f Frame) Pooled() bool { return f.pb != nil }
+
+// release returns a pooled payload to its pool; a no-op for plain frames.
+// Must be called exactly once, by the frame's terminal owner.
+func (f Frame) release() {
+	if f.pb != nil {
+		f.pb.pool.put(f.pb)
+	}
+}
+
+// cloneOwned duplicates a pooled frame into another pooled buffer (used by
+// switch flooding: one copy per extra egress port). Plain frames are shared
+// unchanged, preserving the reference path's copy-free flooding.
+func (f Frame) cloneOwned() Frame {
+	if f.pb == nil {
+		return f
+	}
+	c := f
+	c.pb = f.pb.pool.get()
+	c.pb.B = append(c.pb.B, f.Payload...)
+	c.Payload = c.pb.B
 	return c
 }
 

@@ -145,7 +145,8 @@ func (h *Host) IP() IPv4 {
 }
 
 // SetPromiscuous installs a sniffer receiving every frame arriving at the
-// NIC, before normal processing. Pass nil to disable.
+// NIC, before normal processing. Pass nil to disable. Like taps, the sniffer
+// borrows the frame for the duration of the call: Clone anything retained.
 func (h *Host) SetPromiscuous(fn func(Frame)) {
 	h.mu.Lock()
 	h.promiscuous = fn
@@ -176,9 +177,32 @@ func (h *Host) JoinMulticast(mac MAC) {
 	h.mu.Unlock()
 }
 
-// SendFrame injects a raw Ethernet frame (attacker primitive; also used by
-// the GOOSE/SV publishers).
+// SendFrame injects a raw Ethernet frame (attacker primitive; also a plain,
+// non-pooled send for protocol stacks).
 func (h *Host) SendFrame(f Frame) {
+	h.net.Transmit(h.name, 0, f)
+}
+
+// AllocPayload returns a payload buffer for a frame that will be handed to
+// SendPooled. On the pooled path the buffer (and its wrapper) comes from the
+// fabric's payload pool; when frame pooling is disabled on the network the
+// buffer is a plain heap allocation and SendPooled degrades to SendFrame
+// (the reference copy-per-publish path). See PayloadBuf for ownership rules.
+func (h *Host) AllocPayload() *PayloadBuf {
+	if h.net.poolingOff.Load() {
+		return &PayloadBuf{B: make([]byte, 0, minPayloadCap)}
+	}
+	return h.net.pool.get()
+}
+
+// SendPooled transmits a frame whose payload is pb.B, transferring ownership
+// of pb to the fabric: the terminal deliverer (or drop point) releases it.
+// The caller must not touch pb after this call.
+func (h *Host) SendPooled(dst MAC, etherType uint16, pb *PayloadBuf) {
+	f := Frame{Dst: dst, Src: h.MAC(), EtherType: etherType, Payload: pb.B}
+	if pb.pool != nil {
+		f.pb = pb
+	}
 	h.net.Transmit(h.name, 0, f)
 }
 
@@ -201,8 +225,16 @@ func (h *Host) UnsolicitedARPs() []ARPPacket {
 	return append([]ARPPacket(nil), h.arpSpoofLog...)
 }
 
-// HandleFrame implements Device; runs on the host's worker goroutine.
+// HandleFrame implements Device; runs on the host's worker goroutine. The
+// host is a frame's terminal deliverer: a pooled payload is released back to
+// the fabric pool when handling returns, so EtherType hooks and the sniffer
+// must not retain the payload beyond their call (clone to keep).
 func (h *Host) HandleFrame(_ int, f Frame) {
+	h.deliverFrame(f)
+	f.release()
+}
+
+func (h *Host) deliverFrame(f Frame) {
 	h.mu.Lock()
 	sniffer := h.promiscuous
 	myMAC := h.mac
@@ -211,7 +243,7 @@ func (h *Host) HandleFrame(_ int, f Frame) {
 	h.mu.Unlock()
 
 	if sniffer != nil {
-		sniffer(f.Clone())
+		sniffer(f) // borrowed for the call, like taps; Clone to retain
 	}
 	forMe := f.Dst == myMAC || isGroup
 	if !forMe && f.Dst.IsMulticast() {
@@ -225,6 +257,12 @@ func (h *Host) HandleFrame(_ int, f Frame) {
 		}
 	case EtherTypeIPv4:
 		if f.Dst == myMAC || f.Dst.IsBroadcast() {
+			// The IP stack hands payload views to sockets that may retain
+			// them past this call (UDP receive channels), so a pooled
+			// payload is detached first.
+			if f.Pooled() {
+				f = f.Clone()
+			}
 			h.handleIP(f)
 		}
 	default:

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -18,6 +19,10 @@ type Device interface {
 }
 
 // TapFunc observes frames traversing a link. dir is "a->b" or "b->a".
+// The frame is borrowed for the duration of the call: a tap that retains the
+// frame (or its payload) beyond its return must Clone it. This keeps the
+// warm path copy-free for inspection-style taps (the IDS); the packet
+// capture clones internally because it retains.
 type TapFunc func(link *Link, dir string, f Frame)
 
 // TamperFunc may rewrite or drop a frame in flight on a link. Returning
@@ -34,6 +39,10 @@ type endpoint struct {
 type Link struct {
 	A, B    endpoint
 	Latency time.Duration
+
+	// Precomputed tap direction labels ("a->b" / "b->a"), so the warm
+	// transmit path performs no string building.
+	dirAB, dirBA string
 
 	mu       sync.Mutex
 	lossRate float64 // 0..1, applied per frame with a deterministic generator
@@ -109,7 +118,11 @@ type Network struct {
 	done    chan struct{}
 	wg      sync.WaitGroup
 	rng     uint64 // deterministic loss generator
-	dropped uint64 // frames lost to loss-rate, tamper or full inboxes
+
+	transmitted atomic.Uint64 // frames accepted onto a cabled link (per hop)
+	dropped     atomic.Uint64 // frames lost to loss-rate, tamper or full inboxes
+	poolingOff  atomic.Bool   // reference path: plain allocations, no releases
+	pool        payloadPool
 }
 
 // NewNetwork returns an empty fabric.
@@ -119,6 +132,26 @@ func NewNetwork() *Network {
 		linkAt:  make(map[endpoint]*Link),
 		done:    make(chan struct{}),
 		rng:     0x9E3779B97F4A7C15,
+	}
+}
+
+// SetFramePooling toggles the pooled (zero-allocation) frame payload path.
+// It is on by default; disabling it restores the reference copy-per-publish
+// semantics — Host.AllocPayload returns fresh heap buffers and frames are
+// never released to a pool — mirroring the StepAllSequential / dense-solver
+// precedent of keeping the legacy path selectable. Delivered bytes, capture
+// output and IDS verdicts are identical on both paths (see the differential
+// tests in netem and ids).
+func (n *Network) SetFramePooling(on bool) { n.poolingOff.Store(!on) }
+
+// Stats returns the fabric's data-plane counters.
+func (n *Network) Stats() DataPlaneStats {
+	return DataPlaneStats{
+		Transmitted: n.transmitted.Load(),
+		Dropped:     n.dropped.Load(),
+		PoolGets:    n.pool.gets.Load(),
+		PoolHits:    n.pool.hits.Load(),
+		PoolReturns: n.pool.returns.Load(),
 	}
 }
 
@@ -154,7 +187,10 @@ func (n *Network) Connect(devA string, portA int, devB string, portB int, latenc
 	if _, used := n.linkAt[b]; used {
 		return nil, fmt.Errorf("%w: %s[%d]", ErrPortInUse, devB, portB)
 	}
-	l := &Link{A: a, B: b, Latency: latency, up: true}
+	l := &Link{
+		A: a, B: b, Latency: latency, up: true,
+		dirAB: devA + "->" + devB, dirBA: devB + "->" + devA,
+	}
 	n.links = append(n.links, l)
 	n.linkAt[a] = l
 	n.linkAt[b] = l
@@ -214,14 +250,13 @@ func (n *Network) Stop() {
 
 // Dropped reports frames lost to loss rate, tamper drops, down links and
 // inbox overflow.
-func (n *Network) Dropped() uint64 {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.dropped
-}
+func (n *Network) Dropped() uint64 { return n.dropped.Load() }
 
 // Transmit sends a frame out of (dev, port). Unlinked ports silently drop, as
 // on real hardware with no cable. Called by devices; safe from any goroutine.
+//
+// Transmit borrows a pooled frame: every exit that does not hand the frame to
+// the next device releases the payload back to the pool.
 func (n *Network) Transmit(dev string, port int, f Frame) {
 	from := endpoint{dev, port}
 	n.mu.Lock()
@@ -229,6 +264,7 @@ func (n *Network) Transmit(dev string, port int, f Frame) {
 	taps := n.taps
 	n.mu.Unlock()
 	if link == nil {
+		f.release()
 		return
 	}
 
@@ -238,58 +274,65 @@ func (n *Network) Transmit(dev string, port int, f Frame) {
 	loss := link.lossRate
 	link.mu.Unlock()
 	if !up {
-		n.countDrop()
+		n.countDrop(f)
 		return
 	}
 	if loss > 0 && n.randFloat() < loss {
-		n.countDrop()
+		n.countDrop(f)
 		return
 	}
 	if tamper != nil {
 		nf, ok := tamper(f.Clone())
 		if !ok {
-			n.countDrop()
+			n.countDrop(f)
 			return
 		}
+		f.release() // the tampered clone continues as a plain frame
 		f = nf
 	}
+	n.transmitted.Add(1)
 
 	var to endpoint
 	dir := ""
 	if from == link.A {
-		to, dir = link.B, link.A.dev+"->"+link.B.dev
+		to, dir = link.B, link.dirAB
 	} else {
-		to, dir = link.A, link.B.dev+"->"+link.A.dev
+		to, dir = link.A, link.dirBA
 	}
+	// Taps borrow the frame for the call (see TapFunc); no defensive copy.
 	for _, tap := range taps {
-		tap(link, dir, f.Clone())
+		tap(link, dir, f)
 	}
 
-	deliver := func() {
-		n.mu.Lock()
-		entry := n.devices[to.dev]
-		n.mu.Unlock()
-		if entry == nil {
-			return
-		}
-		select {
-		case entry.inbox <- inbound{port: to.port, frame: f}:
-		case <-n.done:
-		default:
-			n.countDrop() // inbox overflow: congestion drop
-		}
-	}
 	if link.Latency > 0 {
-		time.AfterFunc(link.Latency, deliver)
-	} else {
-		deliver()
+		time.AfterFunc(link.Latency, func() { n.deliverTo(to, f) })
+		return
+	}
+	n.deliverTo(to, f)
+}
+
+// deliverTo enqueues the frame on the destination device's inbox, releasing
+// it on every path that loses it.
+func (n *Network) deliverTo(to endpoint, f Frame) {
+	n.mu.Lock()
+	entry := n.devices[to.dev]
+	n.mu.Unlock()
+	if entry == nil {
+		f.release()
+		return
+	}
+	select {
+	case entry.inbox <- inbound{port: to.port, frame: f}:
+	case <-n.done:
+		f.release()
+	default:
+		n.countDrop(f) // inbox overflow: congestion drop
 	}
 }
 
-func (n *Network) countDrop() {
-	n.mu.Lock()
-	n.dropped++
-	n.mu.Unlock()
+func (n *Network) countDrop(f Frame) {
+	f.release()
+	n.dropped.Add(1)
 }
 
 // randFloat is a cheap deterministic xorshift in [0,1).

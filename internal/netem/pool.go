@@ -1,0 +1,80 @@
+package netem
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// minPayloadCap is the smallest capacity a pooled payload buffer is created
+// with; GOOSE and SV PDUs at the range's dataset sizes fit comfortably.
+const minPayloadCap = 2048
+
+// PayloadBuf is a pooled, reusable frame payload buffer.
+//
+// Ownership rules of the zero-allocation data plane:
+//
+//   - A sender obtains a buffer with Host.AllocPayload, marshals into B
+//     (reassigning B if it grows) and hands it to Host.SendPooled. From that
+//     point the fabric owns the buffer; the sender must not touch it again.
+//   - Transmit borrows the buffer for the hop: taps and tamper hooks observe
+//     the frame before it is enqueued, switches forward it without copying
+//     (flooding clones once per extra port), and the terminal deliverer —
+//     the host whose HandleFrame consumes the frame, or the drop point —
+//     releases it back to the pool.
+//   - Consumers reached through a delivered frame (EtherType hooks, the
+//     promiscuous sniffer contract below) must copy anything they retain.
+//
+// The wrapper itself is recycled through the pool, so a warm send allocates
+// nothing.
+type PayloadBuf struct {
+	B    []byte
+	pool *payloadPool // nil when frame pooling is disabled (reference path)
+}
+
+// payloadPool is a per-network sync.Pool of payload buffers with hit/return
+// accounting (the pool hit rate is part of the data-plane counters).
+type payloadPool struct {
+	pool    sync.Pool
+	gets    atomic.Uint64
+	hits    atomic.Uint64
+	returns atomic.Uint64
+}
+
+func (p *payloadPool) get() *PayloadBuf {
+	p.gets.Add(1)
+	if v := p.pool.Get(); v != nil {
+		p.hits.Add(1)
+		pb := v.(*PayloadBuf)
+		pb.B = pb.B[:0]
+		return pb
+	}
+	return &PayloadBuf{B: make([]byte, 0, minPayloadCap), pool: p}
+}
+
+func (p *payloadPool) put(pb *PayloadBuf) {
+	p.returns.Add(1)
+	p.pool.Put(pb)
+}
+
+// DataPlaneStats are the fabric's data-plane counters.
+type DataPlaneStats struct {
+	// Transmitted counts frames accepted onto a cabled link (per hop).
+	Transmitted uint64
+	// Dropped counts frames lost to loss rate, tamper drops, down links and
+	// inbox overflow.
+	Dropped uint64
+	// PoolGets/PoolHits/PoolReturns describe the payload pool: a get that is
+	// not a hit allocated a fresh buffer. Hit rate = PoolHits / PoolGets.
+	PoolGets    uint64
+	PoolHits    uint64
+	PoolReturns uint64
+}
+
+// PoolHitRate returns the fraction of payload allocations served from the
+// pool, or 0 before any pooled traffic.
+func (s DataPlaneStats) PoolHitRate() float64 {
+	if s.PoolGets == 0 {
+		return 0
+	}
+	return float64(s.PoolHits) / float64(s.PoolGets)
+}

@@ -43,14 +43,34 @@ func (s *Switch) HandleFrame(inPort int, f Frame) {
 
 	if known && !f.Dst.IsMulticast() && !f.Dst.IsBroadcast() {
 		if outPort != inPort {
+			// Unicast forwards pass the frame along without copying.
 			s.net.Transmit(s.name, outPort, f)
+		} else {
+			f.release() // would egress the ingress port: frame dies here
 		}
 		return
 	}
-	// Flood.
-	for p := 0; p < s.ports; p++ {
+	// Flood. A pooled frame goes out the last egress port as-is and is cloned
+	// once per extra port (plain frames share one payload, as before).
+	last := -1
+	for p := s.ports - 1; p >= 0; p-- {
 		if p != inPort {
+			last = p
+			break
+		}
+	}
+	if last < 0 {
+		f.release()
+		return
+	}
+	for p := 0; p < s.ports; p++ {
+		if p == inPort {
+			continue
+		}
+		if p == last {
 			s.net.Transmit(s.name, p, f)
+		} else {
+			s.net.Transmit(s.name, p, f.cloneOwned())
 		}
 	}
 }

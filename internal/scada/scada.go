@@ -117,8 +117,18 @@ type HMI struct {
 	order   []string // point XIDs in import order
 	events  []Event
 	polls   uint64
+	diag    func() string // optional diagnostics footer for StatusPanel
 	cancel  context.CancelFunc
 	done    chan struct{}
+}
+
+// SetDiagnostics installs a provider whose one-line (or multi-line) text is
+// appended to StatusPanel — the range wires its data-plane counters here so
+// operators see fabric health next to the process values.
+func (h *HMI) SetDiagnostics(fn func() string) {
+	h.mu.Lock()
+	h.diag = fn
+	h.mu.Unlock()
 }
 
 // New builds an HMI on a host from the import JSON model.
@@ -552,5 +562,11 @@ func (h *HMI) StatusPanel() string {
 	}
 	alarms := h.ActiveAlarms()
 	fmt.Fprintf(&sb, "active alarms: %d\n", len(alarms))
+	h.mu.Lock()
+	diag := h.diag
+	h.mu.Unlock()
+	if diag != nil {
+		sb.WriteString(diag())
+	}
 	return sb.String()
 }

@@ -253,6 +253,22 @@ func TestStatusPanel(t *testing.T) {
 	}
 }
 
+func TestStatusPanelDiagnosticsFooter(t *testing.T) {
+	r := newRig(t)
+	h := newHMI(t, r)
+	h.PollOnce()
+	if strings.Contains(h.StatusPanel(), "data plane:") {
+		t.Fatal("diagnostics shown before a provider is installed")
+	}
+	h.SetDiagnostics(func() string {
+		return "data plane: 42 frames transmitted, 0 dropped, pool hit rate 97%\n"
+	})
+	panel := h.StatusPanel()
+	if !strings.Contains(panel, "data plane: 42 frames transmitted, 0 dropped, pool hit rate 97%") {
+		t.Errorf("panel missing diagnostics footer:\n%s", panel)
+	}
+}
+
 func TestModbusLocatorParsing(t *testing.T) {
 	tests := []struct {
 		loc   string

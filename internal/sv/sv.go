@@ -56,8 +56,17 @@ const (
 
 // Marshal encodes APPID header + savPdu with one ASDU.
 func Marshal(appID uint16, s Sample) []byte {
-	var pdu ber.Encoder
-	pdu.AppendConstructed(tagSavPDU, func(e *ber.Encoder) {
+	return MarshalAppend(nil, appID, s)
+}
+
+// MarshalAppend appends the encoded sample to dst and returns the extended
+// buffer — the warm-path form of Marshal: with a reused dst it allocates
+// nothing. The output bytes are identical to Marshal's.
+func MarshalAppend(dst []byte, appID uint16, s Sample) []byte {
+	start := len(dst)
+	var e ber.Encoder
+	e.UseBuf(append(dst, 0, 0, 0, 0, 0, 0, 0, 0))
+	e.AppendConstructed(tagSavPDU, func(e *ber.Encoder) {
 		e.AppendUint(tagNoASDU, 1)
 		e.AppendConstructed(tagSeqASDU, func(seq *ber.Encoder) {
 			seq.AppendConstructed(tagASDU, func(a *ber.Encoder) {
@@ -69,23 +78,39 @@ func Marshal(appID uint16, s Sample) []byte {
 				a.AppendUTCTime(tagRefrTm, s.RefrTm.Unix(), int64(s.RefrTm.Nanosecond()))
 				a.AppendTLV(tagSmpSynch, []byte{0x01})
 				// Samples: packed IEEE-754 doubles (the production protocol
-				// uses scaled INT32; doubles keep the simulator exact).
-				buf := make([]byte, 8*len(s.Values))
-				for i, v := range s.Values {
-					binary.BigEndian.PutUint64(buf[i*8:], math.Float64bits(v))
-				}
-				a.AppendTLV(tagSamples, buf)
+				// uses scaled INT32; doubles keep the simulator exact),
+				// appended in place inside the constructed element.
+				a.AppendTLVFunc(tagSamples, func(e *ber.Encoder) {
+					var w [8]byte
+					for _, v := range s.Values {
+						binary.BigEndian.PutUint64(w[:], math.Float64bits(v))
+						e.AppendRaw(w[:])
+					}
+				})
 			})
 		})
 	})
-	out := make([]byte, 8, 8+pdu.Len())
-	binary.BigEndian.PutUint16(out[0:], appID)
-	binary.BigEndian.PutUint16(out[2:], uint16(8+pdu.Len()))
-	return append(out, pdu.Bytes()...)
+	out := e.Bytes()
+	binary.BigEndian.PutUint16(out[start:], appID)
+	binary.BigEndian.PutUint16(out[start+2:], uint16(len(out)-start))
+	return out
+}
+
+// Decoder decodes SV payloads reusing an internal TLV arena across calls
+// (see ber.Decoder). Not safe for concurrent use.
+type Decoder struct {
+	ber ber.Decoder
 }
 
 // Unmarshal decodes an SV payload, returning APPID and the first ASDU.
 func Unmarshal(payload []byte) (uint16, Sample, error) {
+	var d Decoder
+	return d.Unmarshal(payload)
+}
+
+// Unmarshal decodes like the package-level Unmarshal, reusing the decoder's
+// arena. The returned Sample owns all its data (nothing aliases the payload).
+func (d *Decoder) Unmarshal(payload []byte) (uint16, Sample, error) {
 	var s Sample
 	if len(payload) < 8 {
 		return 0, s, fmt.Errorf("%w: short header", ErrBadPDU)
@@ -95,7 +120,7 @@ func Unmarshal(payload []byte) (uint16, Sample, error) {
 	if length < 8 || length > len(payload) {
 		return 0, s, fmt.Errorf("%w: bad length %d", ErrBadPDU, length)
 	}
-	t, _, err := ber.Decode(payload[8:length])
+	t, _, err := d.ber.Decode(payload[8:length])
 	if err != nil || t.Tag != tagSavPDU {
 		return 0, s, fmt.Errorf("%w: savPdu", ErrBadPDU)
 	}
@@ -123,6 +148,9 @@ func Unmarshal(payload []byte) (uint16, Sample, error) {
 		case tagSamples:
 			if len(c.Value)%8 != 0 {
 				return 0, s, fmt.Errorf("%w: sample block size %d", ErrBadPDU, len(c.Value))
+			}
+			if s.Values == nil && len(c.Value) > 0 {
+				s.Values = make([]float64, 0, len(c.Value)/8)
 			}
 			for i := 0; i+8 <= len(c.Value); i += 8 {
 				bits := binary.BigEndian.Uint64(c.Value[i:])
@@ -206,11 +234,11 @@ func (p *Publisher) publishOnce() {
 	p.smpCnt++
 	p.sent++
 	p.mu.Unlock()
-	payload := Marshal(p.cfg.AppID, s)
-	p.host.SendFrame(netem.Frame{
-		Dst: netem.SVMAC(p.cfg.AppID), Src: p.host.MAC(),
-		EtherType: netem.EtherTypeSV, Payload: payload,
-	})
+	// Marshal into a fabric-pooled buffer; the terminal deliverer releases
+	// it (zero-allocation warm path for kHz-rate streams).
+	pb := p.host.AllocPayload()
+	pb.B = MarshalAppend(pb.B, p.cfg.AppID, s)
+	p.host.SendPooled(netem.SVMAC(p.cfg.AppID), netem.EtherTypeSV, pb)
 }
 
 // PublishNow transmits one sample immediately (step-driven mode).
@@ -250,8 +278,11 @@ type Subscriber struct {
 func Subscribe(h *netem.Host, appID uint16) *Subscriber {
 	s := &Subscriber{ch: make(chan Sample, 1024)}
 	h.JoinMulticast(netem.SVMAC(appID))
+	// Runs on the host's single worker goroutine; the arena decoder is
+	// reused across frames and the Sample copies everything it keeps.
+	var dec Decoder
 	h.HandleEtherType(netem.EtherTypeSV, func(f netem.Frame) {
-		gotID, sample, err := Unmarshal(f.Payload)
+		gotID, sample, err := dec.Unmarshal(f.Payload)
 		if err != nil || gotID != appID {
 			return
 		}
@@ -295,11 +326,12 @@ type RPublisher struct {
 	peers []netem.IPv4
 	src   SourceFunc
 
-	mu     sync.Mutex
-	smpCnt uint16
-	sent   uint64
-	cancel context.CancelFunc
-	done   chan struct{}
+	mu      sync.Mutex
+	smpCnt  uint16
+	sent    uint64
+	scratch []byte // reused marshal buffer; SendTo copies, so reuse is safe
+	cancel  context.CancelFunc
+	done    chan struct{}
 }
 
 // NewRPublisher binds an ephemeral UDP socket for an R-SV stream.
@@ -349,15 +381,15 @@ func (p *RPublisher) PublishNow() {
 		RefrTm:  time.Now(),
 	}
 	p.smpCnt++
-	p.mu.Unlock()
-	payload := Marshal(p.cfg.AppID, s)
+	// The scratch buffer is reused under the lock; SendTo copies the payload
+	// into the datagram, so nothing retains it past the call.
+	p.scratch = MarshalAppend(p.scratch[:0], p.cfg.AppID, s)
 	for _, peer := range p.peers {
-		if err := p.sock.SendTo(peer, RSVPort, payload); err == nil {
-			p.mu.Lock()
+		if err := p.sock.SendTo(peer, RSVPort, p.scratch); err == nil {
 			p.sent++
-			p.mu.Unlock()
 		}
 	}
+	p.mu.Unlock()
 }
 
 // Stop halts the stream and closes the socket.

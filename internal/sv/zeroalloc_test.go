@@ -1,0 +1,173 @@
+package sv
+
+import (
+	"bytes"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/netem"
+	"repro/internal/testutil"
+)
+
+func sampleASDU(values int) Sample {
+	s := Sample{
+		SvID: "MU01", SmpCnt: 4093, ConfRev: 2,
+		RefrTm: time.Unix(1_700_000_000, 500_000_000).UTC(),
+	}
+	for i := 0; i < values; i++ {
+		s.Values = append(s.Values, 0.25*float64(i)-3)
+	}
+	return s
+}
+
+func TestMarshalAppendMatchesMarshalSV(t *testing.T) {
+	// 20+ values push the PDU past the short length form.
+	for _, values := range []int{0, 1, 6, 20, 40} {
+		s := sampleASDU(values)
+		want := Marshal(0x4000, s)
+		got := MarshalAppend(nil, 0x4000, s)
+		if !bytes.Equal(want, got) {
+			t.Fatalf("values=%d: MarshalAppend differs from Marshal", values)
+		}
+		withPrefix := MarshalAppend([]byte{0x01, 0x02}, 0x4000, s)
+		if !bytes.Equal(withPrefix[:2], []byte{0x01, 0x02}) || !bytes.Equal(withPrefix[2:], want) {
+			t.Fatalf("values=%d: prefixed MarshalAppend corrupts output", values)
+		}
+	}
+}
+
+func TestDecoderMatchesUnmarshalSV(t *testing.T) {
+	var dec Decoder
+	for _, values := range []int{0, 1, 6, 20, 40} {
+		s := sampleASDU(values)
+		payload := Marshal(0x4000, s)
+		wantID, wantS, wantErr := Unmarshal(payload)
+		gotID, gotS, gotErr := dec.Unmarshal(payload)
+		if (wantErr == nil) != (gotErr == nil) || wantID != gotID {
+			t.Fatalf("values=%d: header mismatch", values)
+		}
+		if !reflect.DeepEqual(wantS, gotS) {
+			t.Fatalf("values=%d: arena decode differs from Unmarshal", values)
+		}
+	}
+}
+
+func TestWarmSVMarshalUnmarshalAllocBudget(t *testing.T) {
+	if testutil.RaceEnabled {
+		t.Skip("allocation budgets are meaningless under -race")
+	}
+	s := sampleASDU(6)
+	var dec Decoder
+	var buf []byte
+	op := func() {
+		buf = MarshalAppend(buf[:0], 0x4000, s)
+		if _, _, err := dec.Unmarshal(buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	op() // warm buffer and arena
+	// Budget: marshal is allocation-free; the decoded Sample owns its SvID
+	// string and Values slice (~3 allocs). Slack of 2 catches a regression
+	// back to tree-per-packet decoding without flaking on GC noise.
+	if n := testing.AllocsPerRun(200, op); n > 5 {
+		t.Errorf("warm SV marshal+unmarshal allocates %.1f/op, budget 5", n)
+	}
+}
+
+func TestPooledSVStreamDeliversIdenticalBytes(t *testing.T) {
+	// Differential: pooled PublishNow delivers the same wire bytes as the
+	// reference path for the same sample sequence.
+	run := func(pooling bool) [][]byte {
+		n := netem.NewNetwork()
+		n.SetFramePooling(pooling)
+		if _, err := netem.NewSwitch(n, "sw", 4); err != nil {
+			t.Fatal(err)
+		}
+		muHost, err := netem.NewHost(n, "mu", netem.MAC{2, 0, 0, 0, 0, 1}, netem.IPv4{10, 0, 0, 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		iedHost, err := netem.NewHost(n, "ied", netem.MAC{2, 0, 0, 0, 0, 2}, netem.IPv4{10, 0, 0, 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := n.Connect("mu", 0, "sw", 0, 0); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := n.Connect("ied", 0, "sw", 1, 0); err != nil {
+			t.Fatal(err)
+		}
+		var mu sync.Mutex
+		var got [][]byte
+		iedHost.JoinMulticast(netem.SVMAC(0x4000))
+		iedHost.HandleEtherType(netem.EtherTypeSV, func(f netem.Frame) {
+			mu.Lock()
+			got = append(got, append([]byte(nil), f.Payload...))
+			mu.Unlock()
+		})
+		if err := n.Start(); err != nil {
+			t.Fatal(err)
+		}
+		defer n.Stop()
+		step := 0
+		pub := NewPublisher(muHost, PublisherConfig{SvID: "MU01", AppID: 0x4000, ConfRev: 1},
+			func() []float64 {
+				step++
+				return []float64{float64(step), -float64(step), 0.5}
+			})
+		for i := 0; i < 20; i++ {
+			pub.PublishNow()
+		}
+		deadline := time.Now().Add(2 * time.Second)
+		for {
+			mu.Lock()
+			cnt := len(got)
+			mu.Unlock()
+			if cnt >= 20 {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatal("missing deliveries")
+			}
+			time.Sleep(time.Millisecond)
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		return got
+	}
+	ref := run(false)
+	pooled := run(true)
+	if len(ref) != len(pooled) {
+		t.Fatalf("delivered %d vs %d", len(ref), len(pooled))
+	}
+	for i := range ref {
+		// RefrTm differs between runs (wall clock); mask the UtcTime value
+		// before comparing. Its 8 octets sit at a fixed offset only if the
+		// surrounding fields are fixed-width, which they are for this
+		// dataset — locate it by tag instead to stay robust.
+		a, b := maskRefrTm(t, ref[i]), maskRefrTm(t, pooled[i])
+		if !bytes.Equal(a, b) {
+			t.Fatalf("frame %d differs between reference and pooled stream paths", i)
+		}
+	}
+}
+
+// maskRefrTm zeroes the RefrTm timestamp value inside an encoded SV payload.
+func maskRefrTm(t *testing.T, payload []byte) []byte {
+	t.Helper()
+	out := append([]byte(nil), payload...)
+	// Find tag 0x84 (RefrTm) with length 8 inside the ASDU; the encoding is
+	// deterministic, so a linear scan is safe for test data.
+	for i := 8; i+10 <= len(out); i++ {
+		if out[i] == tagRefrTm && out[i+1] == 8 {
+			for j := i + 2; j < i+10; j++ {
+				out[j] = 0
+			}
+			return out
+		}
+	}
+	t.Fatal("RefrTm not found in payload")
+	return nil
+}

@@ -1,0 +1,10 @@
+//go:build !race
+
+// Package testutil holds small helpers shared by the test suites.
+package testutil
+
+// RaceEnabled reports whether the race detector is compiled in. The
+// allocation-budget regression tests skip under -race: the detector's
+// instrumentation allocates on paths that are allocation-free in normal
+// builds, which would make the budgets meaningless.
+const RaceEnabled = false

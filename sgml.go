@@ -55,6 +55,40 @@
 // moves) invalidate the cache for exactly one rebuild step.
 // CyberRange.PowerSolverStats reports the cache hit/miss counts and solve
 // failures; see the internal/powerflow package doc for the engine details.
+//
+// # Zero-allocation data plane
+//
+// The packet plane — every GOOSE/R-GOOSE/SV/MMS message marshalled, carried
+// across the emulated fabric and decoded again — runs (near-)allocation-free
+// on its warm path. The BER codec encodes in place with back-patched lengths
+// (ber.Encoder) and decodes into a reusable TLV arena (ber.Decoder); the
+// GOOSE and SV publishers marshal into fabric-pooled payload buffers and the
+// subscribers decode with per-subscriber arenas; netem recycles frame
+// payloads through a sync.Pool.
+//
+// The buffer-ownership rules (see netem.PayloadBuf):
+//
+//   - A publisher obtains a buffer with Host.AllocPayload, marshals into it
+//     and transfers ownership to the fabric with Host.SendPooled; it must
+//     not touch the buffer afterwards.
+//   - The fabric borrows the payload per hop: switches forward unicast
+//     frames without copying and clone once per extra egress port when
+//     flooding; the terminal deliverer (the consuming host, or any drop
+//     point) releases the buffer back to the pool.
+//   - Anything observing a frame in flight — taps, the promiscuous sniffer,
+//     EtherType hooks — borrows it only for the duration of the call and
+//     must Clone (or copy out) whatever it retains. Tamper hooks always
+//     receive a detached Clone. Decoded goose.Message / sv.Sample values own
+//     all their data, so protocol consumers are retention-safe by default.
+//
+// The legacy copy-per-publish semantics remain selectable as the reference
+// path via netem's Network.SetFramePooling(false) — mirroring the
+// StepAllSequential and dense-solver precedents — and differential tests pin
+// delivered payloads, capture output and IDS verdicts byte-identical across
+// the two paths. CyberRange.DataPlaneStats (and the HMI status panel's
+// diagnostics footer) reports frames transmitted/dropped and the payload
+// pool hit rate; BenchmarkAblation_ZeroAllocDataPlane measures the old path
+// against the new one.
 package sgml
 
 import (

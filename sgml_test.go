@@ -29,6 +29,17 @@ func TestEPICModelSetCompiles(t *testing.T) {
 	if !strings.Contains(panel, "MainVoltage") {
 		t.Errorf("panel:\n%s", panel)
 	}
+	// The compiled range wires the fabric's data-plane counters into the
+	// HMI's diagnostics footer.
+	if !strings.Contains(panel, "data plane:") || !strings.Contains(panel, "pool hit rate") {
+		t.Errorf("panel missing data-plane counters:\n%s", panel)
+	}
+	if s := r.DataPlaneStats(); s.Transmitted == 0 {
+		t.Errorf("no frames transmitted after a full range step: %+v", s)
+	}
+	if drops := r.GooseSubscriberDrops(); len(drops) != 0 {
+		t.Errorf("healthy range lost GOOSE updates: %v", drops)
+	}
 }
 
 func TestEPICFilesRoundTrip(t *testing.T) {

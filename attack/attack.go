@@ -1,0 +1,53 @@
+// Package attack is the public facade of the §IV-B attack toolkit: false
+// command injection, ARP-spoofing man-in-the-middle with payload tampering,
+// and reconnaissance helpers (port scans, ARP sweeps).
+//
+// Scenario runs drive these through the typed event DSL (sgml.PortScan,
+// sgml.FalseCommand, sgml.StartMITM); this facade exists for interactive
+// red-team scripting on top of a compiled range, re-exporting the internal
+// implementation (repro/internal/attack) so experiment code never needs an
+// internal import.
+package attack
+
+import (
+	"time"
+
+	iattack "repro/internal/attack"
+
+	"repro/netem"
+)
+
+type (
+	// FCI is the false-command-injection attacker: a standard-compliant MMS
+	// client on a compromised node.
+	FCI = iattack.FCI
+	// MITM is the ARP-spoofing man-in-the-middle position between two
+	// victims, with byte-level payload tampering (Fig 6).
+	MITM = iattack.MITM
+	// ScanResult is one probed port of a TCP connect scan.
+	ScanResult = iattack.ScanResult
+)
+
+// NewFCI creates the false-command attacker on a compromised host.
+func NewFCI(host *netem.Host) *FCI { return iattack.NewFCI(host) }
+
+// NewMITM prepares a MITM between victims A and B from the attacker host.
+func NewMITM(host *netem.Host, victimA, victimB netem.IPv4) *MITM {
+	return iattack.NewMITM(host, victimA, victimB)
+}
+
+// ScaleMMSFloats returns a length-preserving payload tamper that multiplies
+// every MMS double-precision float in the stream by factor.
+func ScaleMMSFloats(factor float64) func([]byte) ([]byte, bool) {
+	return iattack.ScaleMMSFloats(factor)
+}
+
+// ScanPorts performs a TCP connect scan against ip.
+func ScanPorts(h *netem.Host, ip netem.IPv4, ports []uint16) []ScanResult {
+	return iattack.ScanPorts(h, ip, ports)
+}
+
+// ARPSweep discovers live hosts in the given last-octet range of a /24.
+func ARPSweep(h *netem.Host, base netem.IPv4, from, to byte, perHost time.Duration) []netem.IPv4 {
+	return iattack.ARPSweep(h, base, from, to, perHost)
+}

@@ -1,10 +1,17 @@
-// Command rangectl instantiates and runs a cyber range from an SG-ML model
-// directory for a fixed duration, printing the SCADA status panel
-// periodically — the operational half of the paper's workflow (Fig 2 right).
+// Command rangectl operates cyber ranges from SG-ML model directories — the
+// operational half of the paper's workflow (Fig 2 right), built entirely on
+// the public API.
 //
-// Usage:
+// Run a range in real time, printing the SCADA status panel:
 //
-//	rangectl -model models/epic -duration 3s [-panel 1s]
+//	rangectl run -model models/epic -duration 3s [-panel 1s]
+//
+// Execute a declarative scenario headlessly and print the structured report:
+//
+//	rangectl scenario run <model-dir> <scenario-file> [-seed N] [-sequential]
+//
+// The legacy flag form (rangectl -model ... -duration ...) is kept as an
+// alias of "run".
 package main
 
 import (
@@ -14,32 +21,111 @@ import (
 	"os"
 	"time"
 
-	"repro/internal/core"
+	sgml "repro"
 )
 
 func main() {
-	model := flag.String("model", "", "SG-ML model directory (required)")
-	name := flag.String("name", "range", "range name")
-	duration := flag.Duration("duration", 3*time.Second, "how long to run")
-	panel := flag.Duration("panel", time.Second, "status panel print interval (0 = only final)")
-	flag.Parse()
-
-	if *model == "" {
-		flag.Usage()
-		os.Exit(2)
+	args := os.Args[1:]
+	var err error
+	switch {
+	case len(args) > 0 && args[0] == "scenario":
+		err = scenarioMain(args[1:])
+	case len(args) > 0 && args[0] == "run":
+		err = runMain(args[1:])
+	default:
+		err = runMain(args)
 	}
-	if err := run(*model, *name, *duration, *panel); err != nil {
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "rangectl:", err)
 		os.Exit(1)
 	}
 }
 
-func run(dir, name string, duration, panel time.Duration) error {
-	ms, err := core.LoadModelDir(name, dir)
+// scenarioMain implements "rangectl scenario run <model-dir> <scenario-file>".
+func scenarioMain(args []string) error {
+	if len(args) < 1 || args[0] != "run" {
+		return fmt.Errorf("usage: rangectl scenario run <model-dir> <scenario-file> [-seed N] [-sequential]")
+	}
+	fs := flag.NewFlagSet("scenario run", flag.ExitOnError)
+	seed := fs.Int64("seed", 0, "replay seed (0 uses the scenario file's seed)")
+	sequential := fs.Bool("sequential", false, "drive the single-threaded reference step engine")
+	name := fs.String("name", "range", "range name")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: rangectl scenario run <model-dir> <scenario-file> [flags]")
+		fs.PrintDefaults()
+	}
+	// flag.Parse stops at the first non-flag token; peel positionals off one
+	// at a time and re-parse so flags work before, between or after them.
+	var positionals []string
+	rest := args[1:]
+	for {
+		if err := fs.Parse(rest); err != nil {
+			return err
+		}
+		rest = fs.Args()
+		if len(rest) == 0 {
+			break
+		}
+		positionals = append(positionals, rest[0])
+		rest = rest[1:]
+	}
+	if len(positionals) != 2 {
+		if len(positionals) > 2 {
+			fmt.Fprintf(os.Stderr, "rangectl: unexpected argument %q\n", positionals[2])
+		}
+		fs.Usage()
+		os.Exit(2)
+	}
+	modelDir, scenarioFile := positionals[0], positionals[1]
+	ms, err := sgml.LoadModelDir(*name, modelDir)
 	if err != nil {
 		return err
 	}
-	r, err := core.Compile(ms)
+	sc, err := sgml.LoadScenarioFile(scenarioFile)
+	if err != nil {
+		return err
+	}
+	var opts []sgml.RunOption
+	if *seed != 0 {
+		opts = append(opts, sgml.WithSeed(*seed))
+	}
+	if *sequential {
+		opts = append(opts, sgml.WithSequential())
+	}
+	rep, err := sgml.Run(context.Background(), ms, sc, opts...)
+	if err != nil {
+		return err
+	}
+	fmt.Println(rep)
+	if rep.Err != "" {
+		return fmt.Errorf("scenario aborted: %s", rep.Err)
+	}
+	return nil
+}
+
+// runMain implements the real-time mode (and the legacy flag form).
+func runMain(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	model := fs.String("model", "", "SG-ML model directory (required)")
+	name := fs.String("name", "range", "range name")
+	duration := fs.Duration("duration", 3*time.Second, "how long to run")
+	panel := fs.Duration("panel", time.Second, "status panel print interval (0 = only final)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *model == "" {
+		fs.Usage()
+		os.Exit(2)
+	}
+	return run(*model, *name, *duration, *panel)
+}
+
+func run(dir, name string, duration, panel time.Duration) error {
+	ms, err := sgml.LoadModelDir(name, dir)
+	if err != nil {
+		return err
+	}
+	r, err := sgml.Compile(ms)
 	if err != nil {
 		return err
 	}

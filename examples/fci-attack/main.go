@@ -9,6 +9,10 @@
 // The attacker box is attached to the transmission-segment switch, runs MMS
 // reconnaissance (GetNameList), then injects a standard-compliant breaker
 // open command at TIED1 — and the lights go out downstream.
+//
+// This example drives the attack interactively through the public red-team
+// facades (repro/attack, repro/mms, repro/netem); the scenario DSL expresses
+// the same injection declaratively (see examples/redblue).
 package main
 
 import (
@@ -19,9 +23,9 @@ import (
 
 	sgml "repro"
 
-	"repro/internal/attack"
-	"repro/internal/mms"
-	"repro/internal/netem"
+	"repro/attack"
+	"repro/mms"
+	"repro/netem"
 )
 
 func main() {

@@ -9,6 +9,9 @@
 // The attacker poisons the ARP caches of the CPLC and TIED1, inserts itself
 // on the path, and rewrites every MMS float measurement in flight — halving
 // the voltage the PLC reports to SCADA while the real grid is healthy.
+// This example drives the attack interactively through the public red-team
+// facades (repro/attack, repro/netem); the scenario DSL expresses the same
+// MITM declaratively (sgml.StartMITM — see examples/redblue).
 package main
 
 import (
@@ -19,8 +22,8 @@ import (
 
 	sgml "repro"
 
-	"repro/internal/attack"
-	"repro/internal/netem"
+	"repro/attack"
+	"repro/netem"
 )
 
 func main() {

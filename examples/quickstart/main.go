@@ -1,6 +1,10 @@
 // Quickstart: generate the EPIC demonstration model, compile it into a cyber
 // range, run a few simulation intervals and read the grid through the SCADA
 // HMI — the full Fig 2 workflow in ~40 lines of API usage.
+//
+// This is the manual-driving workflow; for declarative, reproducible
+// experiments (attack drills with IDS scoring, fault scenarios) see
+// sgml.Run and the Scenario DSL, demonstrated in examples/redblue.
 package main
 
 import (

@@ -1,25 +1,24 @@
-// Red-team vs blue-team training exercise.
+// Red-team vs blue-team training exercise, expressed as a Scenario.
 //
 // The paper positions the cyber range for "cybersecurity hands-on training
-// and education" and red-team exercises (§I). This example runs a full
-// engagement on the EPIC range: a passive IDS sensor (blue team) watches the
-// fabric while the attacker (red team) works through reconnaissance, false
-// command injection and an ARP-spoofing MITM — then the alert timeline is
-// compared against ground truth.
+// and education" and red-team exercises (§I). This example declares the full
+// engagement on the EPIC range as a reproducible scenario: the blue team
+// deploys a passive IDS sensor, the red team works through reconnaissance,
+// false command injection and an ARP-spoofing MITM — with the later phases
+// chained off the IDS's own alerts — and the run returns a structured
+// report whose alert timeline is matched against the injected ground truth.
+// Re-running with the same seed replays the engagement identically.
 package main
 
 import (
 	"context"
 	"fmt"
 	"log"
-	"time"
 
 	sgml "repro"
 
-	"repro/internal/attack"
-	"repro/internal/ids"
-	"repro/internal/mms"
-	"repro/internal/netem"
+	"repro/mms"
+	"repro/netem"
 )
 
 func main() {
@@ -27,91 +26,57 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	r, err := sgml.Compile(ms)
+
+	sc := &sgml.Scenario{
+		Name: "redblue",
+		Seed: 7,
+		// Red team: a compromised box on the transmission LAN.
+		Attackers: []sgml.AttackerSpec{
+			{Name: "redbox", Switch: "sw-TransLAN", IP: netem.MustIPv4("10.0.1.13")},
+		},
+		Events: []sgml.Event{
+			// Blue team: sensor up before anything else. Only SCADA and the
+			// CPLC are authorized to issue MMS control writes.
+			{Name: "blue-sensor", Trigger: sgml.At(0), Action: sgml.DeployIDS{
+				Name:              "blue",
+				AuthorizedWriters: []string{"SCADA", "CPLC"},
+				PortScanThreshold: 5,
+			}},
+			// Phase 1: reconnaissance — port scan of the target IED.
+			{Name: "recon", Trigger: sgml.At(3), Action: sgml.PortScan{
+				Attacker: "redbox", Target: "TIED1",
+			}},
+			// Phase 2: once the scan trips the IDS, inject the breaker-open
+			// command at the MMS service the scan discovered.
+			{Name: "fci", Trigger: sgml.OnAlert(sgml.AlertPortScan).Plus(1), Action: sgml.FalseCommand{
+				Attacker: "redbox", Target: "TIED1",
+				Ref: "LD0/XCBR1.Pos.Oper", Value: mms.NewBool(false),
+			}},
+			// Phase 3: MITM between CPLC and TIED1 to hide the restoration
+			// value (pure interception), withdrawn after three steps.
+			{Name: "mitm", Trigger: sgml.OnAlert(sgml.AlertUnauthorizedWrite).Plus(1), Action: sgml.StartMITM{
+				Attacker: "redbox", VictimA: "CPLC", VictimB: "TIED1",
+				ScaleFloats: 1.0, ForSteps: 3,
+			}},
+		},
+		Steps: 16,
+	}
+
+	rep, err := sgml.Run(context.Background(), ms, sc)
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer r.Stop()
+	fmt.Println(rep)
 
-	// Blue team: deploy the sensor before anything starts. Only SCADA and
-	// the CPLC are authorized to issue MMS control writes.
-	sensor := ids.New(ids.Options{
-		AuthorizedWriters: []netem.IPv4{r.Built.AddrOf["SCADA"], r.Built.AddrOf["CPLC"]},
-		PortScanThreshold: 5,
-	})
-	sensor.Attach(r.Net)
-
-	// Red team: a compromised box on the transmission LAN.
-	attacker, err := r.Built.AttachHost("redbox",
-		netem.MustMAC("02:ba:d0:00:00:13"), netem.MustIPv4("10.0.1.13"), "sw-TransLAN")
-	if err != nil {
-		log.Fatal(err)
-	}
-	if err := r.Start(context.Background(), false); err != nil {
-		log.Fatal(err)
-	}
-	now := time.Now()
-	step := func(n int) {
-		for i := 0; i < n; i++ {
-			now = now.Add(r.Interval())
-			if err := r.StepAll(now); err != nil {
-				log.Fatal(err)
-			}
-		}
-	}
-	step(3)
-
-	fmt.Println("=== RED TEAM ACTIONS ===")
-	// Phase 1: recon — ARP sweep + port scan of a discovered host.
-	alive := attack.ARPSweep(attacker, netem.IPv4{10, 0, 1, 0}, 1, 50, 30*time.Millisecond)
-	fmt.Printf("[red] ARP sweep found %d hosts\n", len(alive))
-	results := attack.ScanPorts(attacker, r.Built.AddrOf["TIED1"], []uint16{21, 22, 23, 80, 102, 443, 502, 2404})
-	open := 0
-	for _, res := range results {
-		if res.Open {
-			open++
-			fmt.Printf("[red] TIED1 port %d open\n", res.Port)
-		}
-	}
-
-	// Phase 2: false command injection against the discovered MMS service.
-	fci := attack.NewFCI(attacker)
-	if err := fci.InjectCommand(r.Built.AddrOf["TIED1"], 0, "LD0/XCBR1.Pos.Oper", mms.NewBool(false)); err != nil {
-		log.Fatal(err)
-	}
-	fmt.Println("[red] injected breaker-open at TIED1")
-	step(2)
-
-	// Phase 3: MITM between CPLC and TIED1 to hide the restoration value.
-	m := attack.NewMITM(attacker, r.Built.AddrOf["CPLC"], r.Built.AddrOf["TIED1"])
-	m.SetPayloadTamper(attack.ScaleMMSFloats(1.0)) // pure interception
-	ctx, cancel := context.WithCancel(context.Background())
-	defer cancel()
-	if err := m.Start(ctx); err != nil {
-		log.Fatal(err)
-	}
-	fmt.Println("[red] MITM mounted between CPLC and TIED1")
-	time.Sleep(60 * time.Millisecond)
-	step(2)
-	m.Stop()
-
-	fmt.Println("\n=== BLUE TEAM: IDS ALERT TIMELINE ===")
-	for _, a := range sensor.Alerts() {
-		fmt.Printf("%s  %-24s src=%-18s %s\n", a.Time.Format("15:04:05.000"), a.Kind, a.Source, a.Detail)
-	}
-	fmt.Printf("\nsensor inspected %d frames\n", sensor.Frames())
-
-	// Scorecard: did the blue team see every phase?
-	fmt.Println("\n=== SCORECARD ===")
-	check := func(kind ids.AlertKind, phase string) {
-		if len(sensor.AlertsOf(kind)) > 0 {
-			fmt.Printf("detected  %-22s (%s)\n", string(kind), phase)
+	// The structured report doubles as the exercise scorecard.
+	fmt.Println("=== SCORECARD ===")
+	for _, tr := range rep.Truth {
+		if tr.Detected {
+			fmt.Printf("detected  %-24s (%s, step %d)\n", tr.Expect, tr.Event, tr.DetectedStep)
 		} else {
-			fmt.Printf("MISSED    %-22s (%s)\n", string(kind), phase)
+			fmt.Printf("MISSED    %-24s (%s)\n", tr.Expect, tr.Event)
 		}
 	}
-	check(ids.AlertPortScan, "phase 1: recon")
-	check(ids.AlertUnauthorizedWrite, "phase 2: false command injection")
-	check(ids.AlertARPSpoof, "phase 3: MITM")
-	fmt.Printf("\nground truth: grid impact = %d de-energised buses\n", r.Sim.LastResult().DeadBuses)
+	fmt.Printf("precision %.2f, recall %.2f\n", rep.Precision, rep.Recall)
+	fmt.Printf("ground truth: grid impact = %d de-energised buses\n", rep.Grid.DeadBuses)
 }

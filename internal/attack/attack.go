@@ -96,6 +96,14 @@ func NewMITM(host *netem.Host, victimA, victimB netem.IPv4) *MITM {
 	return &MITM{host: host, victimA: victimA, victimB: victimB, interval: 500 * time.Millisecond}
 }
 
+// SetInterval changes the ARP re-poisoning period (default 500 ms). Must be
+// called before Start; non-positive values are ignored.
+func (m *MITM) SetInterval(d time.Duration) {
+	if d > 0 {
+		m.interval = d
+	}
+}
+
 // SetPayloadTamper installs a transport-payload rewrite applied to traffic
 // crossing the attacker. Returning ok=false drops the packet. The rewrite
 // must preserve length (our TCP-lite victims track byte counts).

@@ -13,8 +13,10 @@ package core
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"repro/internal/powergrid"
+	"repro/internal/powersim"
 	"repro/internal/scl"
 	"repro/internal/sclmerge"
 	"repro/internal/sgmlconf"
@@ -307,8 +309,11 @@ func addSwitch(net *powergrid.Network, bay scl.Bay, eq scl.ConductingEquipment) 
 	return fmt.Errorf("%w: breaker %q at %q guards no line or transformer", ErrModel, eq.Name, node)
 }
 
-// PowerEvents converts Power System Extra Config XML steps into simulator
-// events (the load-profile / contingency time series of §III-B).
+// PowerEvents converts Power System Extra Config XML steps into neutral
+// event specs (the load-profile / contingency time series of §III-B). The
+// specs are one compile-time source of the scenario event model: Compile
+// validates them against the generated grid and schedules them into the
+// simulator; Scenario runs express the same actions via the typed DSL.
 func PowerEvents(pc *sgmlconf.PowerConfig) ([]EventSpec, error) {
 	if pc == nil {
 		return nil, nil
@@ -321,10 +326,90 @@ func PowerEvents(pc *sgmlconf.PowerConfig) ([]EventSpec, error) {
 }
 
 // EventSpec is a scenario step in neutral form (decoupled from powersim so
-// the public API does not leak the simulator's types).
+// the public API does not leak the simulator's types). It is the wire form
+// of the scenario layer's power actions: Action converts a spec into the
+// typed DSL event, and the supplementary-XML power steps compile through it.
 type EventSpec struct {
 	AtMS    int
 	Kind    string
 	Element string
 	Value   float64
+}
+
+// powerKinds maps the neutral step-kind vocabulary (shared by the
+// supplementary XML schema and the scenario DSL) onto simulator event kinds.
+var powerKinds = map[string]powersim.EventKind{
+	"loadScale":   powersim.SetLoadScale,
+	"loadP":       powersim.SetLoadP,
+	"genP":        powersim.SetGenP,
+	"sgenP":       powersim.SetSGenP,
+	"switch":      powersim.SetSwitch,
+	"lineService": powersim.SetLineService,
+}
+
+// Action converts the spec into its typed scenario-DSL action.
+func (s EventSpec) Action() Action {
+	return PowerStep{Kind: s.Kind, Element: s.Element, Value: s.Value}
+}
+
+// SimEvent converts the spec into a scheduled simulator event.
+func (s EventSpec) SimEvent() (powersim.Event, error) {
+	k, ok := powerKinds[s.Kind]
+	if !ok {
+		return powersim.Event{}, fmt.Errorf("%w: step kind %q", ErrModel, s.Kind)
+	}
+	return powersim.Event{
+		At: time.Duration(s.AtMS) * time.Millisecond, Kind: k,
+		Element: s.Element, Value: s.Value,
+	}, nil
+}
+
+// Validate checks that the spec's kind is known and its element resolves in
+// the generated power model, so a broken scenario step fails Compile instead
+// of being discovered (or silently dropped) at runtime.
+func (s EventSpec) Validate(grid *powergrid.Network) error {
+	return validatePowerAction(grid, s.Kind, s.Element)
+}
+
+// validatePowerAction resolves (kind, element) against the power model. It
+// backs both the compile-time validation of supplementary-XML steps and the
+// scenario layer's pre-run validation of power actions.
+func validatePowerAction(grid *powergrid.Network, kind, element string) error {
+	if _, ok := powerKinds[kind]; !ok {
+		return fmt.Errorf("unknown event kind %q", kind)
+	}
+	var found bool
+	switch kind {
+	case "loadScale", "loadP":
+		found = grid.FindLoad(element) != nil
+	case "genP":
+		found = grid.FindGen(element) != nil
+	case "sgenP":
+		found = grid.FindSGen(element) != nil
+	case "switch":
+		found = grid.FindSwitch(element) != nil
+	case "lineService":
+		found = grid.FindLine(element) != nil
+	}
+	if !found {
+		return fmt.Errorf("%s element %q not in the power model", kindElementNoun(kind), element)
+	}
+	return nil
+}
+
+// kindElementNoun names the element class an event kind addresses.
+func kindElementNoun(kind string) string {
+	switch kind {
+	case "loadScale", "loadP":
+		return "load"
+	case "genP":
+		return "generator"
+	case "sgenP":
+		return "static generator"
+	case "switch":
+		return "breaker/switch"
+	case "lineService":
+		return "line"
+	}
+	return "element"
 }

@@ -76,12 +76,15 @@ type CyberRange struct {
 	PLCs  map[string]*plc.PLC
 	HMI   *scada.HMI
 
-	cons     *sclmerge.Consolidated
-	shards   []Shard
-	engine   *stepEngine
-	interval time.Duration
-	started  bool
-	cancel   context.CancelFunc
+	cons      *sclmerge.Consolidated
+	shards    []Shard
+	engine    *stepEngine
+	interval  time.Duration
+	started   bool
+	cancel    context.CancelFunc
+	stepIndex int
+	preStep   StepHook
+	postStep  StepHook
 }
 
 // Compile runs the SG-ML Processor pipeline and assembles the range.
@@ -131,10 +134,22 @@ func Compile(ms *ModelSet, opts ...CompileOption) (*CyberRange, error) {
 		interval = ms.PowerConfig.Interval()
 	}
 	sim := powersim.New(grid, bus, powersim.Options{Interval: interval, EnforceQLimits: true})
-	if ms.PowerConfig != nil {
-		events := make([]powersim.Event, 0, len(ms.PowerConfig.Steps))
-		for _, s := range ms.PowerConfig.Steps {
-			ev, err := toSimEvent(s)
+	specs, err := PowerEvents(ms.PowerConfig)
+	if err != nil {
+		return nil, err
+	}
+	if len(specs) > 0 {
+		// The supplementary-XML power steps are one compile-time scenario
+		// source: validate every step against the generated grid (an unknown
+		// kind or unresolvable element fails Compile naming the step, rather
+		// than erroring — or worse, being dropped — mid-run) and schedule.
+		events := make([]powersim.Event, 0, len(specs))
+		for i, spec := range specs {
+			if err := spec.Validate(grid); err != nil {
+				return nil, fmt.Errorf("%w: power step %d (kind %q, element %q, at %d ms): %v",
+					ErrModel, i, spec.Kind, spec.Element, spec.AtMS, err)
+			}
+			ev, err := spec.SimEvent()
 			if err != nil {
 				return nil, err
 			}
@@ -347,25 +362,6 @@ func gooseAppIDs(doc *scl.Document) map[string]uint16 {
 	return out
 }
 
-func toSimEvent(s sgmlconf.ProfileStep) (powersim.Event, error) {
-	kinds := map[string]powersim.EventKind{
-		"loadScale":   powersim.SetLoadScale,
-		"loadP":       powersim.SetLoadP,
-		"genP":        powersim.SetGenP,
-		"sgenP":       powersim.SetSGenP,
-		"switch":      powersim.SetSwitch,
-		"lineService": powersim.SetLineService,
-	}
-	k, ok := kinds[s.Kind]
-	if !ok {
-		return powersim.Event{}, fmt.Errorf("%w: step kind %q", ErrModel, s.Kind)
-	}
-	return powersim.Event{
-		At: time.Duration(s.AtMS) * time.Millisecond, Kind: k,
-		Element: s.Element, Value: s.Value,
-	}, nil
-}
-
 // Start brings the range up: network workers, one initial power-flow step
 // (so devices see live measurements), MMS servers, PLC southbound
 // associations, SCADA connections — then, in real-time mode, the periodic
@@ -446,6 +442,12 @@ func (r *CyberRange) plcBindingsOf(name string) map[string]bool {
 // compute with buffered bus writes, ordered commit, PLC scans), one HMI poll.
 // The committed state is byte-identical to StepAllSequential.
 func (r *CyberRange) StepAll(now time.Time) error {
+	step := r.stepIndex
+	if r.preStep != nil {
+		if err := r.preStep(step, now); err != nil {
+			return err
+		}
+	}
 	if _, err := r.Sim.Step(); err != nil {
 		return err
 	}
@@ -454,6 +456,10 @@ func (r *CyberRange) StepAll(now time.Time) error {
 	}
 	if r.HMI != nil {
 		r.HMI.PollOnce()
+	}
+	r.stepIndex++
+	if r.postStep != nil {
+		return r.postStep(step, now)
 	}
 	return nil
 }
@@ -465,6 +471,12 @@ func (r *CyberRange) StepAll(now time.Time) error {
 // scan never forks the two engines' state. The determinism test and the
 // parallel-engine ablation bench diff StepAll against it.
 func (r *CyberRange) StepAllSequential(now time.Time) error {
+	step := r.stepIndex
+	if r.preStep != nil {
+		if err := r.preStep(step, now); err != nil {
+			return err
+		}
+	}
 	if _, err := r.Sim.Step(); err != nil {
 		return err
 	}
@@ -489,6 +501,10 @@ func (r *CyberRange) StepAllSequential(now time.Time) error {
 	}
 	if r.HMI != nil {
 		r.HMI.PollOnce()
+	}
+	r.stepIndex++
+	if r.postStep != nil {
+		return r.postStep(step, now)
 	}
 	return nil
 }
@@ -520,6 +536,22 @@ func (r *CyberRange) GooseSubscriberDrops() map[string]uint64 {
 	}
 	return out
 }
+
+// SetStepHooks installs the scenario scheduler's pre/post hooks into the
+// step loop (nil clears). The pre hook runs before the physical solve of the
+// step — a scenario action applied there is visible to that step's power
+// flow — and the post hook runs after the HMI poll, once the step's device
+// state is committed; both run under BOTH engines (StepAll and
+// StepAllSequential), which is what lets a scenario replay identically across
+// them. Hooks are part of the single-threaded step loop: they must not be
+// installed concurrently with stepping.
+func (r *CyberRange) SetStepHooks(pre, post StepHook) {
+	r.preStep, r.postStep = pre, post
+}
+
+// StepIndex reports how many steps the range has completed; the value passed
+// to the step hooks for the upcoming step.
+func (r *CyberRange) StepIndex() int { return r.stepIndex }
 
 // Shards exposes the step engine's device partition (diagnostics, tests).
 func (r *CyberRange) Shards() []Shard { return r.shards }

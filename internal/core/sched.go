@@ -38,6 +38,15 @@ import (
 // outside the Tx path, so byte-identity across engines additionally assumes
 // no two PLCs command the same breaker — which per-substation PLC placement
 // gives by construction.
+// StepHook observes (and may act on) the range's step loop. step is the
+// zero-based index of the step about to run (pre hook) or just completed
+// (post hook); now is the step's virtual timestamp. Returning an error aborts
+// the step. The deterministic scenario scheduler is implemented as a pair of
+// these hooks, which is what keeps event triggering identical across the
+// parallel and sequential engines: hooks run strictly between device passes,
+// never concurrently with them.
+type StepHook func(step int, now time.Time) error
+
 type stepEngine struct {
 	shards  []Shard
 	workers int

@@ -45,6 +45,12 @@ type Alert struct {
 	Kind   AlertKind
 	Source string // offending MAC or IP
 	Detail string
+	// Step is the simulation step during which the alert was raised, stamped
+	// via SetStepFunc; -1 when no step provider is installed. Alerts raised
+	// by synchronous scenario actions carry a deterministic step; alerts from
+	// asynchronous traffic (GOOSE retransmissions, ARP re-poisoning ticks)
+	// inherit whatever step the wall clock landed them in.
+	Step int
 }
 
 // Options configures the sensor.
@@ -84,6 +90,7 @@ type Sensor struct {
 	scanThresh int
 	scanFired  map[netem.IPv4]bool
 	frames     uint64
+	stepFn     func() int // simulation-step provider for alert stamping
 }
 
 // New builds a sensor.
@@ -106,12 +113,22 @@ func New(opts Options) *Sensor {
 	return s
 }
 
-// Attach registers the sensor as a tap on every link of the network.
-// Must be called before the network starts.
+// Attach registers the sensor as a tap on every link of the network. It may
+// be called before the network starts or while it is running (scenario-driven
+// sensor deployment); a sensor attached mid-run observes from the next frame.
 func (s *Sensor) Attach(n *netem.Network) {
 	n.Tap(func(_ *netem.Link, _ string, f netem.Frame) {
 		s.inspect(f)
 	})
+}
+
+// SetStepFunc installs a simulation-step provider; every subsequent alert is
+// stamped with its value (Alert.Step). The function is called from fabric
+// goroutines and must be safe for concurrent use (e.g. an atomic load).
+func (s *Sensor) SetStepFunc(fn func() int) {
+	s.mu.Lock()
+	s.stepFn = fn
+	s.mu.Unlock()
 }
 
 // Alerts returns a copy of the alert log.
@@ -140,7 +157,11 @@ func (s *Sensor) Frames() uint64 {
 }
 
 func (s *Sensor) raise(kind AlertKind, source, detail string) {
-	s.alerts = append(s.alerts, Alert{Time: time.Now(), Kind: kind, Source: source, Detail: detail})
+	step := -1
+	if s.stepFn != nil {
+		step = s.stepFn()
+	}
+	s.alerts = append(s.alerts, Alert{Time: time.Now(), Kind: kind, Source: source, Detail: detail, Step: step})
 }
 
 // inspect runs under the tap; it must be fast and never block.

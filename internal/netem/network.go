@@ -37,14 +37,14 @@ type endpoint struct {
 
 // Link is a full-duplex cable between two device ports.
 type Link struct {
-	A, B    endpoint
-	Latency time.Duration
+	A, B endpoint
 
 	// Precomputed tap direction labels ("a->b" / "b->a"), so the warm
 	// transmit path performs no string building.
 	dirAB, dirBA string
 
 	mu       sync.Mutex
+	latency  time.Duration
 	lossRate float64 // 0..1, applied per frame with a deterministic generator
 	up       bool
 	tamper   TamperFunc
@@ -55,6 +55,21 @@ func (l *Link) SetLossRate(r float64) {
 	l.mu.Lock()
 	l.lossRate = r
 	l.mu.Unlock()
+}
+
+// SetLatency changes the link's one-way propagation delay (scenario
+// impairment injection; safe while the fabric is running).
+func (l *Link) SetLatency(d time.Duration) {
+	l.mu.Lock()
+	l.latency = d
+	l.mu.Unlock()
+}
+
+// Latency reports the link's one-way propagation delay.
+func (l *Link) Latency() time.Duration {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.latency
 }
 
 // SetUp brings the link up or down (cable pull / restore).
@@ -188,7 +203,7 @@ func (n *Network) Connect(devA string, portA int, devB string, portB int, latenc
 		return nil, fmt.Errorf("%w: %s[%d]", ErrPortInUse, devB, portB)
 	}
 	l := &Link{
-		A: a, B: b, Latency: latency, up: true,
+		A: a, B: b, latency: latency, up: true,
 		dirAB: devA + "->" + devB, dirBA: devB + "->" + devA,
 	}
 	n.links = append(n.links, l)
@@ -198,10 +213,41 @@ func (n *Network) Connect(devA string, portA int, devB string, portB int, latenc
 }
 
 // Tap registers a global capture callback observing every link crossing.
+// Taps may be added while the fabric is running (scenario-driven sensor
+// deployment): the transmit path snapshots the tap list under the lock, so a
+// concurrent append never races with delivery — the new tap simply starts
+// observing from the next frame on.
 func (n *Network) Tap(fn TapFunc) {
 	n.mu.Lock()
 	n.taps = append(n.taps, fn)
 	n.mu.Unlock()
+}
+
+// SeedRand reseeds the deterministic per-frame loss generator, so the draw
+// sequence replays for a fixed seed. Frames consume draws in arrival order
+// at Transmit, which is goroutine-scheduling-dependent under concurrent
+// traffic — reseeding makes loss statistically reproducible, not a
+// frame-exact replay. A zero seed falls back to the default constant.
+func (n *Network) SeedRand(seed uint64) {
+	n.mu.Lock()
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	n.rng = seed
+	n.mu.Unlock()
+}
+
+// LinkBetween returns the first link joining the two named devices (in either
+// orientation), or nil. Scenario impairment events address links this way.
+func (n *Network) LinkBetween(devA, devB string) *Link {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, l := range n.links {
+		if (l.A.dev == devA && l.B.dev == devB) || (l.A.dev == devB && l.B.dev == devA) {
+			return l
+		}
+	}
+	return nil
 }
 
 // Start launches the per-device workers.
@@ -272,6 +318,7 @@ func (n *Network) Transmit(dev string, port int, f Frame) {
 	up := link.up
 	tamper := link.tamper
 	loss := link.lossRate
+	latency := link.latency
 	link.mu.Unlock()
 	if !up {
 		n.countDrop(f)
@@ -304,8 +351,8 @@ func (n *Network) Transmit(dev string, port int, f Frame) {
 		tap(link, dir, f)
 	}
 
-	if link.Latency > 0 {
-		time.AfterFunc(link.Latency, func() { n.deliverTo(to, f) })
+	if latency > 0 {
+		time.AfterFunc(latency, func() { n.deliverTo(to, f) })
 		return
 	}
 	n.deliverTo(to, f)
@@ -374,8 +421,8 @@ func (n *Network) Topology() string {
 	sort.Slice(links, func(i, j int) bool { return links[i].String() < links[j].String() })
 	for _, l := range links {
 		fmt.Fprintf(&sb, "  link   %s", l)
-		if l.Latency > 0 {
-			fmt.Fprintf(&sb, " latency=%v", l.Latency)
+		if d := l.Latency(); d > 0 {
+			fmt.Fprintf(&sb, " latency=%v", d)
 		}
 		if !l.Up() {
 			sb.WriteString(" DOWN")

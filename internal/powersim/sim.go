@@ -146,6 +146,17 @@ func (s *Simulator) SolverCacheStats() (hits, misses uint64) {
 	return s.solver.CacheStats()
 }
 
+// Apply applies one scenario event to the live network model immediately,
+// outside the scheduled-event queue. The deterministic scenario scheduler
+// uses it for condition-triggered actions whose activation time cannot be
+// known in advance; the change is picked up by the next Step's solve. The
+// event's At field is ignored.
+func (s *Simulator) Apply(ev Event) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.applyEvent(ev)
+}
+
 // Step advances simulation time by one interval and solves.
 func (s *Simulator) Step() (*powerflow.Result, error) {
 	s.mu.Lock()

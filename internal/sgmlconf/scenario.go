@@ -1,0 +1,286 @@
+package sgmlconf
+
+import (
+	"encoding/xml"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ---------------------------------------------------------------------------
+// Scenario XML
+// ---------------------------------------------------------------------------
+//
+// The fourth supplementary schema: a declarative experiment description in
+// the same flat, attribute-based style as the three SG-ML config files. It
+// extends the Power System Extra Config's <Step> time series to the full
+// scenario vocabulary — power faults, network impairments, attack steps and
+// IDS deployment — with triggers that may be a step index, a simulated-time
+// offset, or an observed condition.
+//
+//	<Scenario name="redblue" steps="16" seed="7">
+//	  <Attacker name="redbox" switch="sw-TransLAN" ip="10.0.1.13"/>
+//	  <Event name="blue"  atStep="0" kind="deployIDS" writers="SCADA,CPLC" threshold="5"/>
+//	  <Event name="recon" atStep="3" kind="portScan" attacker="redbox" target="TIED1"/>
+//	  <Event name="fci"   onAlert="tcp-port-scan" plus="1" kind="falseCommand"
+//	         attacker="redbox" target="TIED1" ref="LD0/XCBR1.Pos.Oper" boolValue="false"/>
+//	</Scenario>
+
+// ScenarioConfig is the root of a Scenario XML file.
+type ScenarioConfig struct {
+	XMLName   xml.Name           `xml:"Scenario"`
+	Name      string             `xml:"name,attr"`
+	Steps     int                `xml:"steps,attr"`
+	Seed      int64              `xml:"seed,attr"`
+	Attackers []ScenarioAttacker `xml:"Attacker"`
+	Events    []ScenarioEvent    `xml:"Event"`
+}
+
+// ScenarioAttacker places an attacker host on a named switch.
+type ScenarioAttacker struct {
+	Name   string `xml:"name,attr"`
+	Switch string `xml:"switch,attr"`
+	IP     string `xml:"ip,attr"`
+	MAC    string `xml:"mac,attr"` // optional; derived from the seed when empty
+}
+
+// ScenarioEvent is one trigger + action pair. Exactly one trigger attribute
+// may be set (none defaults to atStep="0"); the action attributes used depend
+// on kind.
+type ScenarioEvent struct {
+	Name string `xml:"name,attr"`
+
+	// Triggers (mutually exclusive).
+	AtStep         *int   `xml:"atStep,attr"`
+	AfterMS        int    `xml:"afterMs,attr"`
+	OnBreakerOpen  string `xml:"onBreakerOpen,attr"`
+	OnBreakerClose string `xml:"onBreakerClose,attr"`
+	OnAlert        string `xml:"onAlert,attr"`
+	OnDeadBuses    int    `xml:"onDeadBuses,attr"`
+	Plus           int    `xml:"plus,attr"` // extra step delay on any trigger
+
+	// Action selector.
+	Kind string `xml:"kind,attr"`
+
+	// Power actions: loadScale|loadP|genP|sgenP|switch|lineService (generic,
+	// element+value) and the openBreaker|closeBreaker sugar (element only).
+	Element string  `xml:"element,attr"`
+	Value   float64 `xml:"value,attr"`
+
+	// Network impairments: linkDown|linkUp|linkFlap|linkLoss|linkLatency.
+	LinkA     string  `xml:"linkA,attr"`
+	LinkB     string  `xml:"linkB,attr"`
+	DownSteps int     `xml:"downSteps,attr"`
+	Rate      float64 `xml:"rate,attr"`
+	LatencyMS int     `xml:"latencyMs,attr"`
+
+	// Attack steps: portScan|falseCommand|mitm|stopMitm.
+	Attacker    string  `xml:"attacker,attr"`
+	Target      string  `xml:"target,attr"`
+	Ports       string  `xml:"ports,attr"` // comma-separated; empty = defaults
+	Ref         string  `xml:"ref,attr"`
+	BoolValue   *bool   `xml:"boolValue,attr"` // falseCommand payload; Value when absent
+	VictimA     string  `xml:"victimA,attr"`
+	VictimB     string  `xml:"victimB,attr"`
+	ScaleFloats float64 `xml:"scaleFloats,attr"`
+	Blackhole   bool    `xml:"blackhole,attr"`
+	ForSteps    int     `xml:"forSteps,attr"`
+
+	// Sensor deployment: deployIDS.
+	Sensor    string `xml:"sensor,attr"`
+	Writers   string `xml:"writers,attr"` // comma-separated node names
+	Threshold int    `xml:"threshold,attr"`
+}
+
+// PortList parses the comma-separated port list (nil when empty).
+func (e *ScenarioEvent) PortList() []uint16 {
+	if e.Ports == "" {
+		return nil
+	}
+	var out []uint16
+	for _, s := range strings.Split(e.Ports, ",") {
+		p, err := strconv.ParseUint(strings.TrimSpace(s), 10, 16)
+		if err != nil {
+			continue // Validate rejects malformed lists before this is used
+		}
+		out = append(out, uint16(p))
+	}
+	return out
+}
+
+// WriterList parses the comma-separated authorized-writer node names.
+func (e *ScenarioEvent) WriterList() []string {
+	if e.Writers == "" {
+		return nil
+	}
+	var out []string
+	for _, s := range strings.Split(e.Writers, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// SensorName returns the sensor attribute (deployIDS), defaulting downstream.
+func (e *ScenarioEvent) SensorName() string { return e.Sensor }
+
+var scenarioActionKinds = map[string]bool{
+	"loadScale": true, "loadP": true, "genP": true, "sgenP": true,
+	"switch": true, "lineService": true,
+	"openBreaker": true, "closeBreaker": true,
+	"linkDown": true, "linkUp": true, "linkFlap": true,
+	"linkLoss": true, "linkLatency": true,
+	"portScan": true, "falseCommand": true, "mitm": true, "stopMitm": true,
+	"deployIDS": true,
+}
+
+// Validate checks the structural invariants: trigger exclusivity, known
+// action kinds and the per-kind required attributes. Name resolution against
+// a compiled range happens when the scenario runs.
+func (c *ScenarioConfig) Validate() error {
+	if c.Name == "" {
+		return fmt.Errorf("%w: scenario without name", ErrConfig)
+	}
+	if c.Steps < 0 {
+		return fmt.Errorf("%w: scenario steps %d", ErrConfig, c.Steps)
+	}
+	attackers := map[string]bool{}
+	for _, a := range c.Attackers {
+		if a.Name == "" || attackers[a.Name] {
+			return fmt.Errorf("%w: bad or duplicate attacker %q", ErrConfig, a.Name)
+		}
+		if a.Switch == "" {
+			return fmt.Errorf("%w: attacker %q without switch", ErrConfig, a.Name)
+		}
+		if a.IP == "" {
+			return fmt.Errorf("%w: attacker %q without ip", ErrConfig, a.Name)
+		}
+		attackers[a.Name] = true
+	}
+	names := map[string]bool{}
+	for i := range c.Events {
+		e := &c.Events[i]
+		label := e.Name
+		if label == "" {
+			label = fmt.Sprintf("#%d", i+1)
+		}
+		if e.Name != "" && names[e.Name] {
+			return fmt.Errorf("%w: duplicate event name %q", ErrConfig, e.Name)
+		}
+		names[e.Name] = true
+		triggers := 0
+		if e.AtStep != nil {
+			triggers++
+			if *e.AtStep < 0 {
+				return fmt.Errorf("%w: event %s: negative atStep", ErrConfig, label)
+			}
+		}
+		if e.AfterMS > 0 {
+			triggers++
+		}
+		if e.OnBreakerOpen != "" {
+			triggers++
+		}
+		if e.OnBreakerClose != "" {
+			triggers++
+		}
+		if e.OnAlert != "" {
+			triggers++
+		}
+		if e.OnDeadBuses > 0 {
+			triggers++
+		}
+		if triggers > 1 {
+			return fmt.Errorf("%w: event %s: multiple triggers", ErrConfig, label)
+		}
+		if e.Plus < 0 {
+			return fmt.Errorf("%w: event %s: negative plus", ErrConfig, label)
+		}
+		if !scenarioActionKinds[e.Kind] {
+			return fmt.Errorf("%w: event %s: unknown kind %q", ErrConfig, label, e.Kind)
+		}
+		if err := e.validateKind(label, attackers); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (e *ScenarioEvent) validateKind(label string, attackers map[string]bool) error {
+	needAttacker := func() error {
+		if e.Attacker == "" {
+			return fmt.Errorf("%w: event %s: kind %q needs attacker", ErrConfig, label, e.Kind)
+		}
+		if !attackers[e.Attacker] {
+			return fmt.Errorf("%w: event %s: undeclared attacker %q", ErrConfig, label, e.Attacker)
+		}
+		return nil
+	}
+	switch e.Kind {
+	case "loadScale", "loadP", "genP", "sgenP", "switch", "lineService",
+		"openBreaker", "closeBreaker":
+		if e.Element == "" {
+			return fmt.Errorf("%w: event %s: kind %q needs element", ErrConfig, label, e.Kind)
+		}
+	case "linkDown", "linkUp", "linkFlap", "linkLoss", "linkLatency":
+		if e.LinkA == "" || e.LinkB == "" {
+			return fmt.Errorf("%w: event %s: kind %q needs linkA and linkB", ErrConfig, label, e.Kind)
+		}
+		if e.Kind == "linkFlap" && e.DownSteps < 1 {
+			return fmt.Errorf("%w: event %s: linkFlap needs downSteps >= 1", ErrConfig, label)
+		}
+		if e.Kind == "linkLoss" && (e.Rate < 0 || e.Rate > 1) {
+			return fmt.Errorf("%w: event %s: loss rate %v outside [0,1]", ErrConfig, label, e.Rate)
+		}
+	case "portScan":
+		if err := needAttacker(); err != nil {
+			return err
+		}
+		if e.Target == "" {
+			return fmt.Errorf("%w: event %s: portScan needs target", ErrConfig, label)
+		}
+		if e.Ports != "" {
+			for _, s := range strings.Split(e.Ports, ",") {
+				if _, err := strconv.ParseUint(strings.TrimSpace(s), 10, 16); err != nil {
+					return fmt.Errorf("%w: event %s: bad port %q", ErrConfig, label, strings.TrimSpace(s))
+				}
+			}
+		}
+	case "falseCommand":
+		if err := needAttacker(); err != nil {
+			return err
+		}
+		if e.Target == "" || e.Ref == "" {
+			return fmt.Errorf("%w: event %s: falseCommand needs target and ref", ErrConfig, label)
+		}
+	case "mitm":
+		if err := needAttacker(); err != nil {
+			return err
+		}
+		if e.VictimA == "" || e.VictimB == "" {
+			return fmt.Errorf("%w: event %s: mitm needs victimA and victimB", ErrConfig, label)
+		}
+	case "stopMitm":
+		if err := needAttacker(); err != nil {
+			return err
+		}
+	case "deployIDS":
+		if e.Threshold < 0 {
+			return fmt.Errorf("%w: event %s: negative threshold", ErrConfig, label)
+		}
+	}
+	return nil
+}
+
+// ParseScenarioConfig decodes and validates a Scenario XML file.
+func ParseScenarioConfig(data []byte) (*ScenarioConfig, error) {
+	var c ScenarioConfig
+	if err := xml.Unmarshal(data, &c); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrConfig, err)
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return &c, nil
+}

@@ -1,0 +1,44 @@
+// Package mms is the public facade of the IEC 61850 MMS implementation:
+// object references, typed values and the client used to talk to virtual
+// IEDs (legitimately, or from an attacker via repro/attack).
+//
+// It re-exports the internal implementation (repro/internal/mms) so
+// experiment code never needs an internal import; the protocol details
+// (TPKT framing, BER PDUs, the server side) live on the internal package.
+package mms
+
+import (
+	imms "repro/internal/mms"
+
+	"repro/netem"
+)
+
+type (
+	// Value is one typed MMS value.
+	Value = imms.Value
+	// ValueKind discriminates Value.
+	ValueKind = imms.ValueKind
+	// ObjectReference addresses an object in an IED's model ("LD0/XCBR1.Pos").
+	ObjectReference = imms.ObjectReference
+	// Client is an MMS client association.
+	Client = imms.Client
+	// DialOptions tunes a client association.
+	DialOptions = imms.DialOptions
+)
+
+// NewBool builds a boolean value.
+func NewBool(v bool) Value { return imms.NewBool(v) }
+
+// NewInt builds an integer value.
+func NewInt(v int64) Value { return imms.NewInt(v) }
+
+// NewFloat builds a double-precision float value.
+func NewFloat(v float64) Value { return imms.NewFloat(v) }
+
+// NewString builds a visible-string value.
+func NewString(v string) Value { return imms.NewString(v) }
+
+// Dial opens an MMS association to ip:port (port 0 uses the standard 102).
+func Dial(h *netem.Host, ip netem.IPv4, port uint16, opts DialOptions) (*Client, error) {
+	return imms.Dial(h, ip, port, opts)
+}

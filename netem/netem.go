@@ -1,0 +1,49 @@
+// Package netem is the public facade of the emulated network fabric: the
+// addressing types, hosts, switches, links (with their impairment knobs) and
+// the data-plane counters that the scenario layer and the examples consume.
+//
+// It re-exports the internal implementation (repro/internal/netem) so
+// out-of-tree experiment code never needs an internal import. The full
+// fabric — per-device worker goroutines, pooled frame payloads, the
+// deterministic loss generator — is documented on the internal package.
+package netem
+
+import inetem "repro/internal/netem"
+
+type (
+	// Network is the emulated fabric: devices joined by links.
+	Network = inetem.Network
+	// Host is an emulated end node with an IP/MAC and a TCP/UDP-lite stack.
+	Host = inetem.Host
+	// Switch is a learning L2 switch.
+	Switch = inetem.Switch
+	// Link is a full-duplex cable with impairment knobs (SetUp, SetLossRate,
+	// SetLatency, SetTamper).
+	Link = inetem.Link
+	// Frame is one L2 frame on the fabric.
+	Frame = inetem.Frame
+	// IPv4 is a 4-byte address.
+	IPv4 = inetem.IPv4
+	// MAC is a 6-byte hardware address.
+	MAC = inetem.MAC
+	// ARPPacket is a parsed ARP request/reply.
+	ARPPacket = inetem.ARPPacket
+	// IPPacket is a parsed IPv4 packet.
+	IPPacket = inetem.IPPacket
+	// DataPlaneStats are the fabric's transmit/drop/pool counters.
+	DataPlaneStats = inetem.DataPlaneStats
+	// TapFunc observes frames traversing a link (borrowed per call).
+	TapFunc = inetem.TapFunc
+)
+
+// ParseIPv4 parses a dotted-quad address.
+func ParseIPv4(s string) (IPv4, error) { return inetem.ParseIPv4(s) }
+
+// MustIPv4 parses a dotted-quad address or panics (static topology tables).
+func MustIPv4(s string) IPv4 { return inetem.MustIPv4(s) }
+
+// ParseMAC parses a colon-separated hardware address.
+func ParseMAC(s string) (MAC, error) { return inetem.ParseMAC(s) }
+
+// MustMAC parses a colon-separated hardware address or panics.
+func MustMAC(s string) MAC { return inetem.MustMAC(s) }

@@ -1,0 +1,190 @@
+package sgml
+
+import (
+	"context"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ids"
+	"repro/internal/sgmlconf"
+)
+
+// Scenario layer re-exports: the typed event DSL, the deterministic
+// scheduler's options and the structured run report. See the package doc's
+// "Scenarios" section for the model; internal/core/scenario.go holds the
+// engine.
+type (
+	// Scenario is a declarative, reproducible experiment: attacker
+	// placements plus typed events (trigger + action) that the deterministic
+	// scheduler fires inside the step loop.
+	Scenario = core.Scenario
+	// Event pairs a Trigger with an Action.
+	Event = core.ScenarioEvent
+	// AttackerSpec places an attacker host on a named switch of the fabric.
+	AttackerSpec = core.AttackerSpec
+	// Trigger decides when an event fires: a step index (At), a
+	// simulated-time offset (After), or an observed condition
+	// (OnBreakerOpen/OnBreakerClose/OnAlert/OnDeadBuses), optionally
+	// delayed with Plus.
+	Trigger = core.Trigger
+	// Action is one typed scenario action; see the concrete types below.
+	Action = core.Action
+
+	// PowerStep is the generic power-model action (kinds "loadScale",
+	// "loadP", "genP", "sgenP", "switch", "lineService" — the supplementary
+	// XML vocabulary). OpenBreaker, CloseBreaker, ScaleLoad, SetLoadMW,
+	// SetGenMW, SetSGenMW, FailLine and RestoreLine construct the common
+	// cases.
+	PowerStep = core.PowerStep
+	// LinkDown pulls the cable between two named devices.
+	LinkDown = core.LinkDown
+	// LinkUp restores the cable between two named devices.
+	LinkUp = core.LinkUp
+	// LinkFlap pulls a cable for DownSteps steps, then restores it.
+	LinkFlap = core.LinkFlap
+	// LinkLoss sets a link's per-frame loss rate (seeded, replayable).
+	LinkLoss = core.LinkLoss
+	// LinkLatency sets a link's one-way propagation delay.
+	LinkLatency = core.LinkLatency
+	// PortScan runs a TCP connect scan from an attacker (recon).
+	PortScan = core.PortScan
+	// FalseCommand injects a standard-compliant MMS write from an attacker
+	// (the §IV-B false-command-injection case study).
+	FalseCommand = core.FalseCommand
+	// StartMITM mounts an ARP-spoofing man-in-the-middle (Fig 6).
+	StartMITM = core.StartMITM
+	// StopMITM withdraws an attacker's active MITM.
+	StopMITM = core.StopMITM
+	// DeployIDS attaches a passive IDS sensor to every link of the fabric.
+	DeployIDS = core.DeployIDS
+
+	// RunReport is the structured result of a scenario run; everything
+	// outside its Diag section is deterministic for a fixed (model,
+	// scenario, seed) and canonicalised by Fingerprint.
+	RunReport = core.RunReport
+	// EventOutcome records one scenario event's execution.
+	EventOutcome = core.EventOutcome
+	// TruthEntry is one injected-attack ground-truth record.
+	TruthEntry = core.TruthEntry
+	// AlertSummary is one distinct (sensor, kind, source) IDS timeline line.
+	AlertSummary = core.AlertSummary
+	// GridReport is the closing state of the power model.
+	GridReport = core.GridReport
+	// RunDiagnostics are the wall-clock-coupled counters of a run.
+	RunDiagnostics = core.RunDiagnostics
+
+	// RunOption tunes a scenario run (WithSeed, WithSequential,
+	// WithFramePooling).
+	RunOption = core.RunOption
+
+	// AlertKind classifies IDS alerts (see the repro/ids facade for the
+	// sensor itself and the kind constants).
+	AlertKind = ids.AlertKind
+)
+
+// ErrScenario is returned when a scenario cannot be validated against the
+// compiled range, or cannot be run.
+var ErrScenario = core.ErrScenario
+
+// IDS alert kinds, re-exported for OnAlert triggers and report matching.
+const (
+	AlertARPSpoof          = ids.AlertARPSpoof
+	AlertUnauthorizedWrite = ids.AlertUnauthorizedWrite
+	AlertGooseAnomaly      = ids.AlertGooseAnomaly
+	AlertPortScan          = ids.AlertPortScan
+)
+
+// At triggers at the given zero-based step index.
+func At(step int) Trigger { return core.At(step) }
+
+// After triggers at the first step at or past the simulated-time offset.
+func After(offset time.Duration) Trigger { return core.After(offset) }
+
+// OnBreakerOpen triggers once the named breaker/switch is observed open.
+func OnBreakerOpen(breaker string) Trigger { return core.OnBreakerOpen(breaker) }
+
+// OnBreakerClose triggers once the named breaker/switch is observed closed.
+func OnBreakerClose(breaker string) Trigger { return core.OnBreakerClose(breaker) }
+
+// OnAlert triggers once any deployed IDS sensor raises an alert of the kind.
+func OnAlert(kind AlertKind) Trigger { return core.OnAlert(kind) }
+
+// OnDeadBuses triggers once the grid reports at least n de-energised buses.
+func OnDeadBuses(n int) Trigger { return core.OnDeadBuses(n) }
+
+// OpenBreaker opens the named breaker/switch in the power model.
+func OpenBreaker(breaker string) PowerStep { return core.OpenBreaker(breaker) }
+
+// CloseBreaker closes the named breaker/switch in the power model.
+func CloseBreaker(breaker string) PowerStep { return core.CloseBreaker(breaker) }
+
+// ScaleLoad multiplies the named load's nominal power by factor (0 sheds it).
+func ScaleLoad(load string, factor float64) PowerStep { return core.ScaleLoad(load, factor) }
+
+// SetLoadMW overrides the named load's absolute active power.
+func SetLoadMW(load string, mw float64) PowerStep { return core.SetLoadMW(load, mw) }
+
+// SetGenMW overrides the named generator's active power.
+func SetGenMW(gen string, mw float64) PowerStep { return core.SetGenMW(gen, mw) }
+
+// SetSGenMW overrides the named static generator's active power.
+func SetSGenMW(sgen string, mw float64) PowerStep { return core.SetSGenMW(sgen, mw) }
+
+// FailLine forces the named line out of service.
+func FailLine(line string) PowerStep { return core.FailLine(line) }
+
+// RestoreLine returns the named line to service.
+func RestoreLine(line string) PowerStep { return core.RestoreLine(line) }
+
+// WithSeed overrides the scenario's replay seed: every randomised choice of
+// the run (attacker MAC derivation, port-scan order, the fabric's loss
+// generator) derives from it, so a fixed seed replays byte-identically.
+func WithSeed(seed int64) RunOption { return core.WithSeed(seed) }
+
+// WithSequential drives the run with the single-threaded reference step
+// engine (StepAllSequential) instead of the sharded parallel engine.
+func WithSequential() RunOption { return core.WithSequential() }
+
+// WithFramePooling selects the pooled (true) or reference copy-per-publish
+// (false) data plane for the run.
+func WithFramePooling(on bool) RunOption { return core.WithFramePooling(on) }
+
+// Run compiles a model set, executes the scenario against it and tears the
+// range down, returning the structured report — the paper's "automated
+// generation of experiments" as one call. Use RunRange to keep the range
+// alive for inspection afterwards.
+func Run(ctx context.Context, ms *ModelSet, sc *Scenario, opts ...RunOption) (*RunReport, error) {
+	r, err := Compile(ms)
+	if err != nil {
+		return nil, err
+	}
+	defer r.Stop()
+	return core.RunScenario(ctx, r, sc, opts...)
+}
+
+// RunRange executes a scenario against an already compiled (not yet started)
+// range. The range is left started so callers can inspect the HMI, grid and
+// counters; they still own Stop.
+func RunRange(ctx context.Context, r *CyberRange, sc *Scenario, opts ...RunOption) (*RunReport, error) {
+	return core.RunScenario(ctx, r, sc, opts...)
+}
+
+// ParseScenario decodes and validates a Scenario XML document (the fourth
+// supplementary schema, parsed by internal/sgmlconf) into a typed Scenario.
+func ParseScenario(data []byte) (*Scenario, error) {
+	cfg, err := sgmlconf.ParseScenarioConfig(data)
+	if err != nil {
+		return nil, err
+	}
+	return core.ScenarioFromConfig(cfg)
+}
+
+// LoadScenarioFile reads a Scenario XML file from disk.
+func LoadScenarioFile(path string) (*Scenario, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return ParseScenario(data)
+}

@@ -10,15 +10,70 @@
 // plus the IED/SCADA/Power supplementary configs); Compile runs the SG-ML
 // Processor pipeline and returns a CyberRange whose emulated network,
 // virtual IEDs, PLCs, SCADA HMI and power-flow simulation are ready to start.
+// On top of that sits the scenario layer — the paper's actual point:
+// automated generation of experiments (attack drills, IDS evaluation,
+// training exercises) as declarative, reproducible Scenario values.
 //
-// Quick start:
+// Quick start — declare an experiment and run it:
 //
-//	ms, _ := sgml.EPICModelSet()          // generate the EPIC demo model
+//	ms, _ := sgml.EPICModelSet()           // generate the EPIC demo model
+//	sc := &sgml.Scenario{
+//	    Name: "drill",
+//	    Attackers: []sgml.AttackerSpec{
+//	        {Name: "redbox", Switch: "sw-TransLAN", IP: netem.MustIPv4("10.0.1.13")},
+//	    },
+//	    Events: []sgml.Event{
+//	        {Trigger: sgml.At(0), Action: sgml.DeployIDS{
+//	            AuthorizedWriters: []string{"SCADA", "CPLC"}, PortScanThreshold: 5}},
+//	        {Trigger: sgml.At(2), Action: sgml.PortScan{Attacker: "redbox", Target: "TIED1"}},
+//	        {Trigger: sgml.OnAlert(sgml.AlertPortScan).Plus(1), Action: sgml.FalseCommand{
+//	            Attacker: "redbox", Target: "TIED1",
+//	            Ref: "LD0/XCBR1.Pos.Oper", Value: mms.NewBool(false)}},
+//	    },
+//	}
+//	rep, _ := sgml.Run(ctx, ms, sc, sgml.WithSeed(7))  // compile, execute, tear down
+//	fmt.Println(rep)                       // events, IDS scorecard, grid state
+//
+// The report is structured (RunReport): per-event outcomes, the IDS alert
+// timeline matched against the injected ground truth with precision/recall,
+// the grid's closing state, and the solver/data-plane counters. For manual
+// driving — the pre-scenario workflow — compile and step yourself:
+//
 //	r, _ := sgml.Compile(ms)              // "compile" it into a cyber range
 //	r.Start(ctx, false)                   // bring devices up (step-driven)
 //	r.StepAll(time.Now())                 // advance one 100 ms interval
 //	fmt.Println(r.HMI.StatusPanel())      // operator view
 //	r.Stop()
+//
+// # Scenarios
+//
+// A Scenario is a list of typed events, each pairing a Trigger with an
+// Action. Triggers are a step index (At), a simulated-time offset (After),
+// or a condition observed at step boundaries (OnBreakerOpen/OnBreakerClose,
+// OnAlert, OnDeadBuses), optionally delayed (Plus). Actions cover the power
+// model (OpenBreaker, ScaleLoad, FailLine, ... — the same vocabulary as the
+// supplementary XML's <Step> time series, which Compile validates and
+// schedules as the compile-time scenario source), network impairments
+// (LinkDown/LinkUp/LinkFlap/LinkLoss/LinkLatency), attack steps (PortScan,
+// FalseCommand, StartMITM/StopMITM) and blue-team instrumentation
+// (DeployIDS).
+//
+// The scheduler is deterministic: it is woven into the step loop as pre/post
+// step hooks, so events fire at identical points under the parallel and the
+// sequential engine, and every randomised choice (attacker MAC derivation,
+// scan order, the fabric's frame-loss draw sequence) derives from one seed
+// (WithSeed). A fixed (model, scenario, seed) triple replays byte-identically
+// — RunReport.Fingerprint canonicalises the deterministic projection of the
+// report, and the determinism tests pin it across engines and data-plane
+// modes. (The one caveat is LinkLoss: the draw sequence is seeded, but which
+// concurrent frame consumes which draw is scheduling-dependent, so keep
+// asserted outcomes off lossy links — see LinkLoss.) Scenarios also have a declarative XML form (ParseScenario,
+// LoadScenarioFile; schema in internal/sgmlconf) consumed by
+// "rangectl scenario run".
+//
+// Red/blue tooling is public: repro/attack (FCI, MITM, scans), repro/ids
+// (the passive sensor), repro/netem (fabric addressing and link knobs) and
+// repro/mms (client + values) — examples never import repro/internal.
 //
 // # Parallel step engine
 //

@@ -1,0 +1,10 @@
+// Package attack is the public facade of the §IV-B attack toolkit: false
+// command injection, ARP-spoofing man-in-the-middle with payload tampering,
+// and reconnaissance helpers (port scans, ARP sweeps).
+//
+// Scenario runs drive these through the typed event DSL (sgml.PortScan,
+// sgml.FalseCommand, sgml.StartMITM); this facade exists for interactive
+// red-team scripting on top of a compiled range, re-exporting the internal
+// implementation (repro/internal/attack) so experiment code never needs an
+// internal import.
+package attack

@@ -883,6 +883,77 @@ func BenchmarkScale_SVStreamThroughput(b *testing.B) {
 	b.ReportMetric(100*stats.PoolHitRate(), "%poolhit")
 }
 
+func BenchmarkScale_CampaignThroughput(b *testing.B) {
+	// The campaign ablation: a 20-run seed sweep of a fault drill at the
+	// paper's 5×20 scale target (104+ IEDs per range), executed sequentially
+	// (workers=1) vs concurrently on the bounded campaign pool. Each run
+	// compiles its own isolated range from the shared parsed model; besides
+	// ns/op, the bench asserts the acceptance contract — the pooled sweep's
+	// per-run fingerprints are identical to the sequential sweep's. (On a
+	// single-CPU host the two show parity, like the step-engine ablation;
+	// the pool pays off with cores.)
+	ms, _, err := sgml.ScaleModelSet(5, 20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	seeds := make([]int64, 20)
+	for i := range seeds {
+		seeds[i] = int64(i + 1)
+	}
+	drill := &sgml.Scenario{
+		Name:  "campaign-drill",
+		Steps: 6,
+		Events: []sgml.Event{
+			{Name: "trip", Trigger: sgml.At(1), Action: sgml.OpenBreaker("S3_CB1")},
+			{Name: "shed", Trigger: sgml.At(2), Action: sgml.ScaleLoad("S1_LD1", 0.5)},
+			{Name: "heal", Trigger: sgml.At(4), Action: sgml.CloseBreaker("S3_CB1")},
+		},
+	}
+	campaign := &sgml.Campaign{
+		Name:     "scale-sweep",
+		Model:    ms,
+		Variants: []sgml.CampaignVariant{{Name: "sweep", Scenario: drill, Seeds: seeds}},
+	}
+	fingerprints := func(b *testing.B, rep *sgml.CampaignReport) map[int64]string {
+		b.Helper()
+		if !rep.OK() {
+			b.Fatalf("campaign not clean: %d failures, %d determinism mismatches",
+				rep.Failures, len(rep.Determinism))
+		}
+		out := make(map[int64]string, len(rep.Runs))
+		for _, run := range rep.Runs {
+			out[run.Seed] = run.Fingerprint
+		}
+		return out
+	}
+	var sequential, pooled map[int64]string
+	runCampaign := func(b *testing.B, workers int, out *map[int64]string) {
+		b.Helper()
+		runs := 0
+		for i := 0; i < b.N; i++ {
+			rep, err := sgml.RunCampaign(context.Background(), campaign, sgml.WithCampaignWorkers(workers))
+			if err != nil {
+				b.Fatal(err)
+			}
+			*out = fingerprints(b, rep)
+			runs += rep.TotalRuns
+		}
+		b.ReportMetric(float64(runs)/b.Elapsed().Seconds(), "runs/s")
+	}
+	b.Run("sequential", func(b *testing.B) { runCampaign(b, 1, &sequential) })
+	b.Run("pooled", func(b *testing.B) {
+		// Runs block on range start/teardown I/O, not pure CPU: oversubscribe.
+		runCampaign(b, runtime.GOMAXPROCS(0)*2, &pooled)
+	})
+	if sequential != nil && pooled != nil {
+		for seed, fp := range sequential {
+			if pooled[seed] != fp {
+				b.Fatalf("seed %d: pooled fingerprint %s != sequential %s", seed, pooled[seed], fp)
+			}
+		}
+	}
+}
+
 // ---------------------------------------------------------------------------
 // Ablations — design choices called out in DESIGN.md
 // ---------------------------------------------------------------------------

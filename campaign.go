@@ -1,0 +1,119 @@
+package sgml
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+
+	"repro/internal/core"
+	"repro/internal/sgmlconf"
+)
+
+// Campaign layer re-exports: the declarative sweep over scenario runs and the
+// aggregated report. See the package doc's "Campaigns" section for the model;
+// internal/core/campaign.go holds the engine.
+type (
+	// Campaign is a declarative sweep — scenario variants × seed lists ×
+	// engine/data-plane toggles — executed concurrently on a bounded worker
+	// pool, one isolated CyberRange per run.
+	Campaign = core.Campaign
+	// CampaignVariant is one cell of the sweep matrix.
+	CampaignVariant = core.CampaignVariant
+	// CampaignReport aggregates the sweep: per-run records, per-variant
+	// distributions and the cross-seed determinism verdict.
+	CampaignReport = core.CampaignReport
+	// CampaignRun is one run's record within a campaign.
+	CampaignRun = core.CampaignRun
+	// VariantSummary is one variant's aggregated distribution.
+	VariantSummary = core.VariantSummary
+	// DeterminismMismatch names a (variant, seed) group whose repeated runs
+	// disagreed on their fingerprint.
+	DeterminismMismatch = core.DeterminismMismatch
+	// CampaignOption tunes a campaign execution (WithCampaignWorkers).
+	CampaignOption = core.CampaignOption
+)
+
+// ErrCampaign is returned when a campaign cannot be validated or executed.
+var ErrCampaign = core.ErrCampaign
+
+// WithCampaignWorkers sets how many runs execute concurrently (default
+// runtime.GOMAXPROCS); 1 executes the sweep sequentially.
+func WithCampaignWorkers(n int) CampaignOption { return core.WithCampaignWorkers(n) }
+
+// RunCampaign executes the campaign's full sweep — every (variant, seed,
+// attempt) triple — and aggregates the RunReports into a CampaignReport.
+// Worker count and run ordering never change the per-run fingerprints; see
+// the Campaign type for the model-sharing and isolation rules.
+func RunCampaign(ctx context.Context, c *Campaign, opts ...CampaignOption) (*CampaignReport, error) {
+	return core.RunCampaign(ctx, c, opts...)
+}
+
+// ParseCampaign decodes and validates a Campaign XML document (the fifth
+// supplementary schema, parsed by internal/sgmlconf) into a typed Campaign.
+// Scenario and model references are resolved relative to baseDir; model is
+// the default model compiled for variants without their own.
+func ParseCampaign(data []byte, baseDir string, model *ModelSet) (*Campaign, error) {
+	cfg, err := sgmlconf.ParseCampaignConfig(data)
+	if err != nil {
+		return nil, err
+	}
+	return campaignFromConfig(cfg, baseDir, model)
+}
+
+// LoadCampaignFile reads a Campaign XML file from disk, resolving its
+// scenario (and per-variant model) references relative to the file's own
+// directory. model is the campaign-wide default model.
+func LoadCampaignFile(path string, model *ModelSet) (*Campaign, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return ParseCampaign(data, filepath.Dir(path), model)
+}
+
+func campaignFromConfig(cfg *sgmlconf.CampaignConfig, baseDir string, model *ModelSet) (*Campaign, error) {
+	c := &Campaign{Name: cfg.Name, Model: model, Workers: cfg.Workers}
+	// Scenario files (and model dirs) are loaded once per distinct path and
+	// shared across the variants referencing them — the same read-only reuse
+	// the engine applies to compiled model artifacts.
+	scenarios := map[string]*Scenario{}
+	models := map[string]*ModelSet{}
+	for i := range cfg.Variants {
+		vc := &cfg.Variants[i]
+		v := CampaignVariant{Name: vc.Name, Repeat: vc.Repeat, Sequential: vc.Sequential}
+		scPath := filepath.Join(baseDir, vc.Scenario)
+		sc, ok := scenarios[scPath]
+		if !ok {
+			var err error
+			if sc, err = LoadScenarioFile(scPath); err != nil {
+				return nil, err
+			}
+			scenarios[scPath] = sc
+		}
+		v.Scenario = sc
+		if vc.Model != "" {
+			dir := filepath.Join(baseDir, vc.Model)
+			ms, ok := models[dir]
+			if !ok {
+				var err error
+				if ms, err = LoadModelDir(filepath.Base(vc.Model), dir); err != nil {
+					return nil, err
+				}
+				models[dir] = ms
+			}
+			v.Model = ms
+		}
+		seeds, err := vc.SeedList()
+		if err != nil {
+			return nil, err
+		}
+		v.Seeds = seeds
+		pooling, err := vc.FramePoolingChoice()
+		if err != nil {
+			return nil, err
+		}
+		v.FramePooling = pooling
+		c.Variants = append(c.Variants, v)
+	}
+	return c, nil
+}

@@ -10,6 +10,14 @@
 //
 //	rangectl scenario run <model-dir> <scenario-file> [-seed N] [-sequential]
 //
+// Execute a campaign — a concurrent sweep of scenario runs — and print the
+// aggregated report (optionally also as JSON):
+//
+//	rangectl campaign run <model-dir> <campaign-file> [-workers N] [-json out.json]
+//
+// Both scenario and campaign runs exit non-zero when any scenario event fails
+// validation or execution, with the per-event outcome table on stdout.
+//
 // The legacy flag form (rangectl -model ... -duration ...) is kept as an
 // alias of "run".
 package main
@@ -19,6 +27,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	sgml "repro"
@@ -30,6 +39,8 @@ func main() {
 	switch {
 	case len(args) > 0 && args[0] == "scenario":
 		err = scenarioMain(args[1:])
+	case len(args) > 0 && args[0] == "campaign":
+		err = campaignMain(args[1:])
 	case len(args) > 0 && args[0] == "run":
 		err = runMain(args[1:])
 	default:
@@ -39,6 +50,33 @@ func main() {
 		fmt.Fprintln(os.Stderr, "rangectl:", err)
 		os.Exit(1)
 	}
+}
+
+// parsePositionals interleaves flag parsing with positional extraction so
+// flags work before, between or after the positional arguments (flag.Parse
+// stops at the first non-flag token).
+func parsePositionals(fs *flag.FlagSet, args []string, want int) ([]string, error) {
+	var positionals []string
+	rest := args
+	for {
+		if err := fs.Parse(rest); err != nil {
+			return nil, err
+		}
+		rest = fs.Args()
+		if len(rest) == 0 {
+			break
+		}
+		positionals = append(positionals, rest[0])
+		rest = rest[1:]
+	}
+	if len(positionals) != want {
+		if len(positionals) > want {
+			fmt.Fprintf(os.Stderr, "rangectl: unexpected argument %q\n", positionals[want])
+		}
+		fs.Usage()
+		os.Exit(2)
+	}
+	return positionals, nil
 }
 
 // scenarioMain implements "rangectl scenario run <model-dir> <scenario-file>".
@@ -54,27 +92,9 @@ func scenarioMain(args []string) error {
 		fmt.Fprintln(os.Stderr, "usage: rangectl scenario run <model-dir> <scenario-file> [flags]")
 		fs.PrintDefaults()
 	}
-	// flag.Parse stops at the first non-flag token; peel positionals off one
-	// at a time and re-parse so flags work before, between or after them.
-	var positionals []string
-	rest := args[1:]
-	for {
-		if err := fs.Parse(rest); err != nil {
-			return err
-		}
-		rest = fs.Args()
-		if len(rest) == 0 {
-			break
-		}
-		positionals = append(positionals, rest[0])
-		rest = rest[1:]
-	}
-	if len(positionals) != 2 {
-		if len(positionals) > 2 {
-			fmt.Fprintf(os.Stderr, "rangectl: unexpected argument %q\n", positionals[2])
-		}
-		fs.Usage()
-		os.Exit(2)
+	positionals, err := parsePositionals(fs, args[1:], 2)
+	if err != nil {
+		return err
 	}
 	modelDir, scenarioFile := positionals[0], positionals[1]
 	ms, err := sgml.LoadModelDir(*name, modelDir)
@@ -96,9 +116,78 @@ func scenarioMain(args []string) error {
 	if err != nil {
 		return err
 	}
+	// The per-event outcome table always prints, so an event failure is
+	// visible in context rather than buried — and then fails the command.
 	fmt.Println(rep)
 	if rep.Err != "" {
 		return fmt.Errorf("scenario aborted: %s", rep.Err)
+	}
+	if failed := rep.FailedEvents(); len(failed) > 0 {
+		return fmt.Errorf("%d scenario event(s) failed: %s", len(failed), strings.Join(failed, "; "))
+	}
+	return nil
+}
+
+// campaignMain implements "rangectl campaign run <model-dir> <campaign-file>".
+func campaignMain(args []string) error {
+	if len(args) < 1 || args[0] != "run" {
+		return fmt.Errorf("usage: rangectl campaign run <model-dir> <campaign-file> [-workers N] [-json out.json]")
+	}
+	fs := flag.NewFlagSet("campaign run", flag.ExitOnError)
+	workers := fs.Int("workers", 0, "concurrent runs (0 uses the campaign file's value, then GOMAXPROCS)")
+	jsonOut := fs.String("json", "", "also write the machine-readable report to this file")
+	name := fs.String("name", "range", "default model name")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: rangectl campaign run <model-dir> <campaign-file> [flags]")
+		fs.PrintDefaults()
+	}
+	positionals, err := parsePositionals(fs, args[1:], 2)
+	if err != nil {
+		return err
+	}
+	modelDir, campaignFile := positionals[0], positionals[1]
+	ms, err := sgml.LoadModelDir(*name, modelDir)
+	if err != nil {
+		return err
+	}
+	c, err := sgml.LoadCampaignFile(campaignFile, ms)
+	if err != nil {
+		return err
+	}
+	var opts []sgml.CampaignOption
+	if *workers > 0 {
+		opts = append(opts, sgml.WithCampaignWorkers(*workers))
+	}
+	rep, err := sgml.RunCampaign(context.Background(), c, opts...)
+	if err != nil {
+		return err
+	}
+	fmt.Println(rep)
+	if *jsonOut != "" {
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			return err
+		}
+		if err := rep.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("JSON report written to %s\n", *jsonOut)
+	}
+	// Propagate failures the same way scenario runs do: a failed run, a
+	// failed event or a determinism mismatch fails the campaign.
+	if failed := rep.EventFailures(); len(failed) > 0 {
+		return fmt.Errorf("%d scenario event(s) failed across the sweep: %s",
+			len(failed), strings.Join(failed, "; "))
+	}
+	if rep.Failures > 0 {
+		return fmt.Errorf("%d of %d runs failed", rep.Failures, rep.TotalRuns)
+	}
+	if len(rep.Determinism) > 0 {
+		return fmt.Errorf("%d determinism mismatch(es)", len(rep.Determinism))
 	}
 	return nil
 }

@@ -1,0 +1,126 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	sgml "repro"
+)
+
+// writeEPICModelDir materialises the EPIC SG-ML file set into a temp model
+// directory, as sclgen would.
+func writeEPICModelDir(t *testing.T) string {
+	t.Helper()
+	files, err := sgml.EPICFiles()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	for name, data := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func writeFile(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestScenarioRunFailedEventExitsNonZero pins the bugfix: a scenario event
+// that fails at execution (here a stopMitm with nothing mounted — valid
+// structurally, fails at runtime) must fail the command instead of being
+// buried in the printed report.
+func TestScenarioRunFailedEventExitsNonZero(t *testing.T) {
+	model := writeEPICModelDir(t)
+	scenario := writeFile(t, t.TempDir(), "broken.scenario.xml",
+		`<Scenario name="broken" steps="3" seed="1">
+  <Attacker name="red" switch="sw-TransLAN" ip="10.0.1.77"/>
+  <Event name="orphan-stop" atStep="1" kind="stopMitm" attacker="red"/>
+</Scenario>`)
+	err := scenarioMain([]string{"run", model, scenario})
+	if err == nil {
+		t.Fatal("scenario with failing event reported success")
+	}
+	if !strings.Contains(err.Error(), "orphan-stop") {
+		t.Errorf("error %q does not name the failed event", err)
+	}
+}
+
+func TestScenarioRunHappyPath(t *testing.T) {
+	model := writeEPICModelDir(t)
+	scenario := writeFile(t, t.TempDir(), "ok.scenario.xml",
+		`<Scenario name="ok" steps="4" seed="1">
+  <Event name="trip" atStep="1" kind="openBreaker" element="CBMicro"/>
+</Scenario>`)
+	if err := scenarioMain([]string{"run", model, scenario, "-seed", "2"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCampaignRunSmoke drives "rangectl campaign run" end to end on a small
+// sweep: human summary, JSON artifact, zero exit.
+func TestCampaignRunSmoke(t *testing.T) {
+	model := writeEPICModelDir(t)
+	dir := t.TempDir()
+	writeFile(t, dir, "mini.scenario.xml",
+		`<Scenario name="mini" steps="4" seed="1">
+  <Event name="trip" atStep="1" kind="openBreaker" element="CBMicro"/>
+</Scenario>`)
+	campaign := writeFile(t, dir, "mini.campaign.xml",
+		`<Campaign name="mini-sweep" workers="2">
+  <Variant name="a" scenario="mini.scenario.xml" seeds="1-2"/>
+  <Variant name="b" scenario="mini.scenario.xml" seeds="1" repeat="2" sequential="true"/>
+</Campaign>`)
+	jsonOut := filepath.Join(dir, "report.json")
+	if err := campaignMain([]string{"run", model, campaign, "-json", jsonOut}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(jsonOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Campaign  string `json:"campaign"`
+		TotalRuns int    `json:"totalRuns"`
+		Failures  int    `json:"failures"`
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Campaign != "mini-sweep" || rep.TotalRuns != 4 || rep.Failures != 0 {
+		t.Errorf("JSON report = %+v", rep)
+	}
+}
+
+// TestCampaignRunPropagatesEventFailures: the campaign form of the exit-code
+// bugfix — one failing event in one run fails the whole command.
+func TestCampaignRunPropagatesEventFailures(t *testing.T) {
+	model := writeEPICModelDir(t)
+	dir := t.TempDir()
+	writeFile(t, dir, "broken.scenario.xml",
+		`<Scenario name="broken" steps="3" seed="1">
+  <Attacker name="red" switch="sw-TransLAN" ip="10.0.1.77"/>
+  <Event name="orphan-stop" atStep="1" kind="stopMitm" attacker="red"/>
+</Scenario>`)
+	campaign := writeFile(t, dir, "broken.campaign.xml",
+		`<Campaign name="broken-sweep">
+  <Variant name="v" scenario="broken.scenario.xml" seeds="1"/>
+</Campaign>`)
+	err := campaignMain([]string{"run", model, campaign, "-workers", "1"})
+	if err == nil {
+		t.Fatal("campaign with failing event reported success")
+	}
+	if !strings.Contains(err.Error(), "orphan-stop") {
+		t.Errorf("error %q does not name the failed event", err)
+	}
+}

@@ -1,0 +1,165 @@
+// Package sgml is the public API of the SG-ML cyber range framework — a Go
+// reproduction of "Towards Automated Generation of Smart Grid Cyber Range
+// for Cybersecurity Experiments and Training" (DSN 2023).
+//
+// The workflow mirrors Fig 2 of the paper:
+//
+//	model files (SCL + supplementary XML)  --Compile-->  operational CyberRange
+//
+// A ModelSet holds the parsed SG-ML input (IEC 61850 SCD/ICD/SED documents
+// plus the IED/SCADA/Power supplementary configs); Compile runs the SG-ML
+// Processor pipeline and returns a CyberRange whose emulated network,
+// virtual IEDs, PLCs, SCADA HMI and power-flow simulation are ready to start.
+// On top of that sits the scenario layer — the paper's actual point:
+// automated generation of experiments (attack drills, IDS evaluation,
+// training exercises) as declarative, reproducible Scenario values.
+//
+// Quick start — declare an experiment and run it:
+//
+//	ms, _ := sgml.EPICModelSet()           // generate the EPIC demo model
+//	sc := &sgml.Scenario{
+//	    Name: "drill",
+//	    Attackers: []sgml.AttackerSpec{
+//	        {Name: "redbox", Switch: "sw-TransLAN", IP: netem.MustIPv4("10.0.1.13")},
+//	    },
+//	    Events: []sgml.Event{
+//	        {Trigger: sgml.At(0), Action: sgml.DeployIDS{
+//	            AuthorizedWriters: []string{"SCADA", "CPLC"}, PortScanThreshold: 5}},
+//	        {Trigger: sgml.At(2), Action: sgml.PortScan{Attacker: "redbox", Target: "TIED1"}},
+//	        {Trigger: sgml.OnAlert(sgml.AlertPortScan).Plus(1), Action: sgml.FalseCommand{
+//	            Attacker: "redbox", Target: "TIED1",
+//	            Ref: "LD0/XCBR1.Pos.Oper", Value: mms.NewBool(false)}},
+//	    },
+//	}
+//	rep, _ := sgml.Run(ctx, ms, sc, sgml.WithSeed(7))  // compile, execute, tear down
+//	fmt.Println(rep)                       // events, IDS scorecard, grid state
+//
+// The report is structured (RunReport): per-event outcomes, the IDS alert
+// timeline matched against the injected ground truth with precision/recall,
+// the grid's closing state, and the solver/data-plane counters. For manual
+// driving — the pre-scenario workflow — compile and step yourself:
+//
+//	r, _ := sgml.Compile(ms)              // "compile" it into a cyber range
+//	r.Start(ctx, false)                   // bring devices up (step-driven)
+//	r.StepAll(time.Now())                 // advance one 100 ms interval
+//	fmt.Println(r.HMI.StatusPanel())      // operator view
+//	r.Stop()
+//
+// # Scenarios
+//
+// A Scenario is a list of typed events, each pairing a Trigger with an
+// Action. Triggers are a step index (At), a simulated-time offset (After),
+// or a condition observed at step boundaries (OnBreakerOpen/OnBreakerClose,
+// OnAlert, OnDeadBuses), optionally delayed (Plus). Actions cover the power
+// model (OpenBreaker, ScaleLoad, FailLine, ... — the same vocabulary as the
+// supplementary XML's <Step> time series, which Compile validates and
+// schedules as the compile-time scenario source), network impairments
+// (LinkDown/LinkUp/LinkFlap/LinkLoss/LinkLatency), attack steps (PortScan,
+// FalseCommand, StartMITM/StopMITM) and blue-team instrumentation
+// (DeployIDS).
+//
+// The scheduler is deterministic: it is woven into the step loop as pre/post
+// step hooks, so events fire at identical points under the parallel and the
+// sequential engine, and every randomised choice (attacker MAC derivation,
+// scan order, the fabric's frame-loss draw sequence) derives from one seed
+// (WithSeed). A fixed (model, scenario, seed) triple replays byte-identically
+// — RunReport.Fingerprint canonicalises the deterministic projection of the
+// report, and the determinism tests pin it across engines and data-plane
+// modes. (The one caveat is LinkLoss: the draw sequence is seeded, but which
+// concurrent frame consumes which draw is scheduling-dependent, so keep
+// asserted outcomes off lossy links — see LinkLoss.) Scenarios also have a declarative XML form (ParseScenario,
+// LoadScenarioFile; schema in internal/sgmlconf) consumed by
+// "rangectl scenario run".
+//
+// Red/blue tooling is public: repro/attack (FCI, MITM, scans), repro/ids
+// (the passive sensor), repro/netem (fabric addressing and link knobs) and
+// repro/mms (client + values) — examples never import repro/internal.
+//
+// # Campaigns
+//
+// A Campaign is the population form of a scenario experiment: a declarative
+// sweep of scenario variants × seed lists × engine/data-plane toggles,
+// executed by RunCampaign on a bounded worker pool (WithCampaignWorkers) with
+// one isolated CyberRange per run. The parsed ModelSet is shared read-only
+// across the concurrent compiles — the one compiled artifact that is safe to
+// reuse — while every run owns its range, so worker count and run ordering
+// never change any run's fingerprint. The aggregated CampaignReport carries
+// per-variant distributions (precision/recall, alert latency, solver cache
+// hit rate, data-plane throughput, step-time quantiles) and a cross-seed
+// determinism verdict: repeated (variant, seed) runs must reproduce identical
+// fingerprints. Campaigns also have a declarative XML form (ParseCampaign,
+// LoadCampaignFile; the fifth supplementary schema in internal/sgmlconf)
+// consumed by "rangectl campaign run":
+//
+//	rangectl campaign run models/epic sweep.campaign.xml -workers 4 -json out.json
+//
+// # Parallel step engine
+//
+// StepAll advances the device layer with a sharded, deterministic two-phase
+// engine. At compile time the range is partitioned into per-substation
+// shards (the model's natural hierarchy; ModelSet.ShardHints can override
+// the attribution). Each step then runs two phases:
+//
+//  1. Compute — shards execute concurrently on a bounded worker pool, each
+//     stepping its IEDs in sorted order. Bus writes (breaker trip commands)
+//     are buffered into per-IED transactions, so every device reads the
+//     same pre-step simulator state it would see sequentially.
+//  2. Commit — the buffered transactions are applied to the kv bus in
+//     globally sorted IED order, reproducing the sequential engine's write
+//     order exactly.
+//
+// PLC scans and the HMI poll follow against the committed state. The kv bus
+// and HMI state is byte-identical to CyberRange.StepAllSequential — the
+// single-threaded reference path — while step latency scales with
+// substation count instead of total device count. (GOOSE/R-SV arrival
+// timing is asynchronous under both engines and is not part of that
+// contract.) WithWorkers sets the pool size (default runtime.GOMAXPROCS):
+//
+//	r, _ := sgml.Compile(ms, sgml.WithWorkers(4))
+//
+// # Sparse warm-path power flow
+//
+// The coupled physical simulation (internal/powersim driving
+// internal/powerflow every interval) runs on a sparse Newton-Raphson engine
+// with a per-topology cache: as long as no breaker, switch or in-service
+// state changed since the previous step, the solver reuses the island
+// assignment, CSR Ybus and the symbolic LU factorization and only refreshes
+// injections and numeric values. Topology changes (trips, outages, tap
+// moves) invalidate the cache for exactly one rebuild step.
+// CyberRange.PowerSolverStats reports the cache hit/miss counts and solve
+// failures; see the internal/powerflow package doc for the engine details.
+//
+// # Zero-allocation data plane
+//
+// The packet plane — every GOOSE/R-GOOSE/SV/MMS message marshalled, carried
+// across the emulated fabric and decoded again — runs (near-)allocation-free
+// on its warm path. The BER codec encodes in place with back-patched lengths
+// (ber.Encoder) and decodes into a reusable TLV arena (ber.Decoder); the
+// GOOSE and SV publishers marshal into fabric-pooled payload buffers and the
+// subscribers decode with per-subscriber arenas; netem recycles frame
+// payloads through a sync.Pool.
+//
+// The buffer-ownership rules (see netem.PayloadBuf):
+//
+//   - A publisher obtains a buffer with Host.AllocPayload, marshals into it
+//     and transfers ownership to the fabric with Host.SendPooled; it must
+//     not touch the buffer afterwards.
+//   - The fabric borrows the payload per hop: switches forward unicast
+//     frames without copying and clone once per extra egress port when
+//     flooding; the terminal deliverer (the consuming host, or any drop
+//     point) releases the buffer back to the pool.
+//   - Anything observing a frame in flight — taps, the promiscuous sniffer,
+//     EtherType hooks — borrows it only for the duration of the call and
+//     must Clone (or copy out) whatever it retains. Tamper hooks always
+//     receive a detached Clone. Decoded goose.Message / sv.Sample values own
+//     all their data, so protocol consumers are retention-safe by default.
+//
+// The legacy copy-per-publish semantics remain selectable as the reference
+// path via netem's Network.SetFramePooling(false) — mirroring the
+// StepAllSequential and dense-solver precedents — and differential tests pin
+// delivered payloads, capture output and IDS verdicts byte-identical across
+// the two paths. CyberRange.DataPlaneStats (and the HMI status panel's
+// diagnostics footer) reports frames transmitted/dropped and the payload
+// pool hit rate; BenchmarkAblation_ZeroAllocDataPlane measures the old path
+// against the new one.
+package sgml

@@ -1,0 +1,11 @@
+// Package ids is the public facade of the passive network intrusion
+// detection sensor — the blue-team counterpart of the attack toolkit. The
+// sensor taps every link of the emulated fabric and raises alerts for ARP
+// spoofing, unauthorized MMS control writes, GOOSE stNum anomalies and TCP
+// port scans.
+//
+// Scenario runs deploy sensors through the typed event DSL (sgml.DeployIDS)
+// and match their alert timeline against injected ground truth in the
+// RunReport; this facade exists for interactive blue-team scripting,
+// re-exporting the internal implementation (repro/internal/ids).
+package ids

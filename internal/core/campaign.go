@@ -1,0 +1,254 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// ErrCampaign is returned when a campaign cannot be validated or executed.
+var ErrCampaign = errors.New("core: invalid campaign")
+
+// Campaign is a declarative sweep over scenario runs: the population form of
+// the single (model, scenario, seed) experiment RunScenario executes. Each
+// variant pairs a scenario with a seed list and the engine/data-plane toggles
+// to run it under; RunCampaign expands the cross product into individual runs
+// and executes them concurrently on a bounded worker pool, one isolated
+// CyberRange per run.
+//
+// The parsed model (ModelSet) is the one compiled artifact that is safe to
+// share: it is read-only during Compile, so every run of a variant reuses the
+// same parsed SCL documents and supplementary configs instead of re-loading
+// them. Compiled ranges are stateful (grid switch positions, kv bus, device
+// goroutines) and are therefore never shared — each run compiles, starts and
+// stops its own.
+type Campaign struct {
+	Name string
+	// Model is the default model compiled for every run; a variant may
+	// override it with its own. Required unless every variant carries one.
+	Model *ModelSet
+	// Workers is the default worker-pool size (0 = runtime.GOMAXPROCS);
+	// WithCampaignWorkers overrides it per execution.
+	Workers  int
+	Variants []CampaignVariant
+}
+
+// CampaignVariant is one cell of the sweep matrix: a scenario executed once
+// per (seed, attempt) under a fixed engine and data-plane choice.
+type CampaignVariant struct {
+	Name string
+	// Model overrides the campaign's default model for this variant.
+	Model    *ModelSet
+	Scenario *Scenario
+	// Seeds are the replay seeds to sweep. Empty defaults to the scenario's
+	// own seed (or 1), i.e. a single run per attempt.
+	Seeds []int64
+	// Repeat is the number of runs per seed (default 1). Repeat >= 2 turns
+	// the variant into a determinism probe: all attempts of a (variant, seed)
+	// pair must produce identical RunReport fingerprints.
+	Repeat int
+	// Sequential drives the runs with the single-threaded reference step
+	// engine (StepAllSequential) instead of the sharded parallel engine.
+	Sequential bool
+	// FramePooling selects the pooled (true) or reference copy-per-publish
+	// (false) data plane; nil keeps the network's default (pooled).
+	FramePooling *bool
+}
+
+// CampaignOption tunes a campaign execution.
+type CampaignOption func(*campaignConfig)
+
+type campaignConfig struct {
+	workers int
+}
+
+// WithCampaignWorkers sets the campaign worker-pool size — how many runs
+// execute concurrently, each with its own range. 1 executes the sweep
+// sequentially (the reference path the throughput ablation compares against).
+func WithCampaignWorkers(n int) CampaignOption {
+	return func(c *campaignConfig) { c.workers = n }
+}
+
+// campaignRunSpec is one expanded run of the sweep.
+type campaignRunSpec struct {
+	variant *CampaignVariant
+	model   *ModelSet
+	seed    int64
+	attempt int // 1-based repeat index
+}
+
+// normalizedVariants validates the campaign and expands defaults: variant
+// names, seed lists, repeat counts and the per-variant model.
+func (c *Campaign) normalizedVariants() ([]CampaignVariant, error) {
+	if len(c.Variants) == 0 {
+		return nil, fmt.Errorf("%w: no variants", ErrCampaign)
+	}
+	out := append([]CampaignVariant(nil), c.Variants...)
+	seen := make(map[string]bool, len(out))
+	for i := range out {
+		v := &out[i]
+		if v.Name == "" {
+			v.Name = fmt.Sprintf("variant-%d", i+1)
+		}
+		if seen[v.Name] {
+			return nil, fmt.Errorf("%w: duplicate variant %q", ErrCampaign, v.Name)
+		}
+		seen[v.Name] = true
+		if v.Scenario == nil {
+			return nil, fmt.Errorf("%w: variant %q has no scenario", ErrCampaign, v.Name)
+		}
+		if v.Model == nil {
+			v.Model = c.Model
+		}
+		if v.Model == nil {
+			return nil, fmt.Errorf("%w: variant %q has no model and the campaign has no default", ErrCampaign, v.Name)
+		}
+		if v.Repeat < 1 {
+			v.Repeat = 1
+		}
+		if len(v.Seeds) == 0 {
+			seed := v.Scenario.Seed
+			if seed == 0 {
+				seed = 1
+			}
+			v.Seeds = []int64{seed}
+		}
+	}
+	return out, nil
+}
+
+// RunCampaign executes the campaign's full sweep — every (variant, seed,
+// attempt) triple — on a bounded worker pool and aggregates the per-run
+// RunReports into a CampaignReport: per-variant score and performance
+// distributions, cross-seed determinism checks, and both machine-readable
+// (WriteJSON) and human (String) renderings.
+//
+// Run ordering and worker count never change the deterministic half of any
+// run: each run owns a private range seeded from its own (scenario, seed), so
+// the set of run fingerprints is identical whether the sweep executes on one
+// worker or many (pinned by the campaign determinism tests). A failed run
+// (compile error, aborted scenario, failed event) is recorded in its
+// CampaignRun rather than aborting the sweep; callers decide via
+// CampaignReport.Failures and EventFailures whether the population is usable.
+func RunCampaign(ctx context.Context, c *Campaign, opts ...CampaignOption) (*CampaignReport, error) {
+	cfg := campaignConfig{workers: c.Workers}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.workers < 1 {
+		cfg.workers = runtime.GOMAXPROCS(0)
+	}
+	name := c.Name
+	if name == "" {
+		name = "campaign"
+	}
+	variants, err := c.normalizedVariants()
+	if err != nil {
+		return nil, err
+	}
+	// Default every distinct model's name serially, before the pool shares
+	// them: Compile writes ms.Name when empty, which would otherwise be the
+	// one write against the read-only sharing contract.
+	for i := range variants {
+		if variants[i].Model.Name == "" {
+			variants[i].Model.Name = name
+		}
+	}
+
+	var specs []campaignRunSpec
+	for i := range variants {
+		v := &variants[i]
+		for _, seed := range v.Seeds {
+			for attempt := 1; attempt <= v.Repeat; attempt++ {
+				specs = append(specs, campaignRunSpec{variant: v, model: v.Model, seed: seed, attempt: attempt})
+			}
+		}
+	}
+
+	rep := &CampaignReport{
+		Campaign: name,
+		Workers:  cfg.workers,
+		Runs:     make([]CampaignRun, len(specs)),
+	}
+	start := time.Now()
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range jobs {
+				rep.Runs[idx] = executeCampaignRun(ctx, specs[idx])
+			}
+		}()
+	}
+	for idx := range specs {
+		jobs <- idx
+	}
+	close(jobs)
+	wg.Wait()
+	rep.WallTime = time.Since(start)
+	rep.aggregate(variants)
+	return rep, nil
+}
+
+// executeCampaignRun performs one isolated run: compile the (shared, read-
+// only) model into a private range, execute the scenario, tear down, record.
+func executeCampaignRun(ctx context.Context, spec campaignRunSpec) CampaignRun {
+	v := spec.variant
+	run := CampaignRun{
+		Variant: v.Name,
+		Seed:    spec.seed,
+		Attempt: spec.attempt,
+		Engine:  "parallel",
+	}
+	if v.Sequential {
+		run.Engine = "sequential"
+	}
+	run.FramePooling = v.FramePooling == nil || *v.FramePooling
+	if err := ctx.Err(); err != nil {
+		run.Err = fmt.Sprintf("cancelled before run: %v", err)
+		return run
+	}
+
+	compileStart := time.Now()
+	r, err := Compile(spec.model)
+	if err != nil {
+		run.Err = fmt.Sprintf("compile: %v", err)
+		return run
+	}
+	defer r.Stop()
+	run.CompileTime = time.Since(compileStart)
+
+	opts := []RunOption{WithSeed(spec.seed)}
+	if v.Sequential {
+		opts = append(opts, WithSequential())
+	}
+	if v.FramePooling != nil {
+		opts = append(opts, WithFramePooling(*v.FramePooling))
+	}
+	runStart := time.Now()
+	report, err := RunScenario(ctx, r, v.Scenario, opts...)
+	run.Duration = time.Since(runStart)
+	if err != nil {
+		run.Err = err.Error()
+		return run
+	}
+	run.Report = report
+	run.fingerprint = report.Fingerprint()
+	run.Fingerprint = fingerprintHash(run.fingerprint)
+	run.Steps = report.Steps
+	if report.Steps > 0 {
+		run.StepTime = run.Duration / time.Duration(report.Steps)
+	}
+	run.Precision = report.Precision
+	run.Recall = report.Recall
+	if report.Err != "" {
+		run.Err = report.Err
+	}
+	run.EventErrors = report.FailedEvents()
+	return run
+}

@@ -1,13 +1,3 @@
-// Package core implements the SG-ML Processor: the toolchain that parses
-// SG-ML model files and "compiles" them into an operational cyber range
-// (Fig 2 / Fig 3 of the paper).
-//
-// Stages, in Fig 3 order: SSD/SCD merging (internal/sclmerge), power-system
-// model generation from the SSD content (this file), cyber network emulation
-// model generation from the SCD communication section (network.go), virtual
-// IED building from ICDs + IED Config XML, PLC instantiation from PLCopen
-// XML, SCADA configuration from the SCADA Config JSON, and final assembly
-// into a runnable CyberRange (range.go).
 package core
 
 import (

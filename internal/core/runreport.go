@@ -96,6 +96,19 @@ type RunDiagnostics struct {
 	AlertsRaised      int    // raw alert count incl. repeats
 }
 
+// FailedEvents returns "event: error" lines for every scenario event whose
+// action failed at runtime. Operators (rangectl, campaigns) use it to turn a
+// buried event failure into a non-zero exit instead of a silent report line.
+func (rep *RunReport) FailedEvents() []string {
+	var out []string
+	for _, e := range rep.Events {
+		if e.Err != "" {
+			out = append(out, fmt.Sprintf("%s: %s", e.Event, e.Err))
+		}
+	}
+	return out
+}
+
 // Fingerprint renders the deterministic projection of the report in a
 // canonical line-oriented form. Two runs of the same scenario with the same
 // seed yield byte-identical fingerprints regardless of step engine, frame

@@ -1,13 +1,3 @@
-// Package netem is the cyber-side network emulator of the cyber range.
-//
-// The paper uses Mininet to emulate each substation LAN: nodes with IP and
-// MAC addresses from the SCD file, connected through switches, with the
-// inter-substation WAN abstracted as a single switch (§III-B). This package
-// provides the equivalent substrate in-process: Ethernet frames, learning
-// switches, links with latency/loss, hosts with an ARP + IPv4 + UDP stack and
-// a reliable TCP-like stream transport, promiscuous capture, and raw frame
-// injection. ARP is a real protocol here — the MITM case study (§IV-B,
-// Fig 6) works by actual cache poisoning, exactly as on the Mininet range.
 package netem
 
 import (

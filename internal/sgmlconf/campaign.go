@@ -1,0 +1,154 @@
+package sgmlconf
+
+import (
+	"encoding/xml"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ---------------------------------------------------------------------------
+// Campaign XML
+// ---------------------------------------------------------------------------
+//
+// The fifth supplementary schema: a declarative sweep over scenario runs, in
+// the same flat attribute style as the other SG-ML config files. Each
+// <Variant> references a Scenario XML file (path relative to the campaign
+// file) and sweeps it over a seed list under a fixed engine/data-plane
+// choice; an optional model attribute points a variant at a different SG-ML
+// model directory than the campaign default.
+//
+//	<Campaign name="seedsweep" workers="4">
+//	  <Variant name="baseline"   scenario="drill.scenario.xml" seeds="1-20"/>
+//	  <Variant name="reference"  scenario="drill.scenario.xml" seeds="1-5"
+//	           repeat="2" sequential="true" framePooling="off"/>
+//	</Campaign>
+
+// CampaignConfig is the root of a Campaign XML file.
+type CampaignConfig struct {
+	XMLName xml.Name `xml:"Campaign"`
+	Name    string   `xml:"name,attr"`
+	// Workers is the default worker-pool size (0 = GOMAXPROCS).
+	Workers  int                     `xml:"workers,attr"`
+	Variants []CampaignVariantConfig `xml:"Variant"`
+}
+
+// CampaignVariantConfig is one sweep cell: scenario file, seed list and the
+// engine/data-plane toggles to run it under.
+type CampaignVariantConfig struct {
+	Name string `xml:"name,attr"`
+	// Scenario is the Scenario XML file, relative to the campaign file.
+	Scenario string `xml:"scenario,attr"`
+	// Model optionally overrides the campaign's model directory (relative to
+	// the campaign file).
+	Model string `xml:"model,attr"`
+	// Seeds is a comma-separated list of seeds and inclusive ranges, e.g.
+	// "1,2,10-14". Empty sweeps the scenario's own seed once.
+	Seeds string `xml:"seeds,attr"`
+	// Repeat runs each seed this many times (>= 2 probes determinism).
+	Repeat     int  `xml:"repeat,attr"`
+	Sequential bool `xml:"sequential,attr"`
+	// FramePooling is "on"/"off" ("" keeps the range default, pooled).
+	FramePooling string `xml:"framePooling,attr"`
+}
+
+// SeedList parses the seeds attribute into the expanded seed slice.
+func (v *CampaignVariantConfig) SeedList() ([]int64, error) {
+	if v.Seeds == "" {
+		return nil, nil
+	}
+	var out []int64
+	for _, part := range strings.Split(v.Seeds, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		// An inclusive range "a-b" (negative seeds are not supported in the
+		// XML form, so the dash is unambiguous).
+		if lo, hi, ok := strings.Cut(part, "-"); ok {
+			a, err1 := strconv.ParseInt(strings.TrimSpace(lo), 10, 64)
+			b, err2 := strconv.ParseInt(strings.TrimSpace(hi), 10, 64)
+			if err1 != nil || err2 != nil || a > b {
+				return nil, fmt.Errorf("bad seed range %q", part)
+			}
+			for s := a; s <= b; s++ {
+				out = append(out, s)
+			}
+			continue
+		}
+		s, err := strconv.ParseInt(part, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad seed %q", part)
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// FramePoolingChoice resolves the framePooling attribute: (nil, nil) keeps
+// the default; otherwise a pointer to the selected mode.
+func (v *CampaignVariantConfig) FramePoolingChoice() (*bool, error) {
+	switch strings.ToLower(v.FramePooling) {
+	case "":
+		return nil, nil
+	case "on", "true":
+		on := true
+		return &on, nil
+	case "off", "false":
+		off := false
+		return &off, nil
+	}
+	return nil, fmt.Errorf("framePooling %q, want on or off", v.FramePooling)
+}
+
+// Validate checks the structural invariants: a campaign name, at least one
+// variant, unique variant names, scenario references, parsable seed lists
+// and frame-pooling choices. File resolution happens in the loader.
+func (c *CampaignConfig) Validate() error {
+	if c.Name == "" {
+		return fmt.Errorf("%w: campaign without name", ErrConfig)
+	}
+	if c.Workers < 0 {
+		return fmt.Errorf("%w: campaign workers %d", ErrConfig, c.Workers)
+	}
+	if len(c.Variants) == 0 {
+		return fmt.Errorf("%w: campaign %q has no variants", ErrConfig, c.Name)
+	}
+	names := map[string]bool{}
+	for i := range c.Variants {
+		v := &c.Variants[i]
+		label := v.Name
+		if label == "" {
+			label = fmt.Sprintf("#%d", i+1)
+		}
+		if v.Name != "" && names[v.Name] {
+			return fmt.Errorf("%w: duplicate variant %q", ErrConfig, v.Name)
+		}
+		names[v.Name] = true
+		if v.Scenario == "" {
+			return fmt.Errorf("%w: variant %s without scenario file", ErrConfig, label)
+		}
+		if v.Repeat < 0 {
+			return fmt.Errorf("%w: variant %s: negative repeat", ErrConfig, label)
+		}
+		if _, err := v.SeedList(); err != nil {
+			return fmt.Errorf("%w: variant %s: %v", ErrConfig, label, err)
+		}
+		if _, err := v.FramePoolingChoice(); err != nil {
+			return fmt.Errorf("%w: variant %s: %v", ErrConfig, label, err)
+		}
+	}
+	return nil
+}
+
+// ParseCampaignConfig decodes and validates a Campaign XML file.
+func ParseCampaignConfig(data []byte) (*CampaignConfig, error) {
+	var c CampaignConfig
+	if err := xml.Unmarshal(data, &c); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrConfig, err)
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return &c, nil
+}

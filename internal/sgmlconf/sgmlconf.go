@@ -1,16 +1,3 @@
-// Package sgmlconf implements the three supplementary XML schemas of SG-ML.
-//
-// IEC 61850 SCL files carry static structure but not everything a cyber
-// range needs (§III-A). The paper therefore defines:
-//
-//   - IED Config XML — protection-function thresholds (Table II) and the
-//     mapping between ICD data names and power-simulation elements ("which
-//     IED is measuring or controlling which transmission lines");
-//   - SCADA Config XML — data sources and data points for the SCADA HMI;
-//   - Power System Extra Config XML — electrical parameters absent from SCL,
-//     plus load-profile / disturbance time series driving the simulation.
-//
-// Each schema is deliberately simple and flat ("user-friendliness", §III-A).
 package sgmlconf
 
 import (

@@ -1,0 +1,9 @@
+// Package netem is the public facade of the emulated network fabric: the
+// addressing types, hosts, switches, links (with their impairment knobs) and
+// the data-plane counters that the scenario layer and the examples consume.
+//
+// It re-exports the internal implementation (repro/internal/netem) so
+// out-of-tree experiment code never needs an internal import. The full
+// fabric — per-device worker goroutines, pooled frame payloads, the
+// deterministic loss generator — is documented on the internal package.
+package netem

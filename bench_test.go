@@ -885,13 +885,14 @@ func BenchmarkScale_SVStreamThroughput(b *testing.B) {
 
 func BenchmarkScale_CampaignThroughput(b *testing.B) {
 	// The campaign ablation: a 20-run seed sweep of a fault drill at the
-	// paper's 5×20 scale target (104+ IEDs per range), executed sequentially
-	// (workers=1) vs concurrently on the bounded campaign pool. Each run
-	// compiles its own isolated range from the shared parsed model; besides
-	// ns/op, the bench asserts the acceptance contract — the pooled sweep's
-	// per-run fingerprints are identical to the sequential sweep's. (On a
-	// single-CPU host the two show parity, like the step-engine ablation;
-	// the pool pays off with cores.)
+	// paper's 5×20 scale target (104+ IEDs per range), executed per-run-
+	// compile (every run pays the full SG-ML pipeline — the pre-fork
+	// reference path, selected with WithPerRunCompile) vs forked (the model
+	// compiles once and every run clones the compiled root). Both sweeps use
+	// the same oversubscribed worker pool, so the ratio isolates the fork
+	// fast path. Besides ns/op, the bench asserts the acceptance contract —
+	// the forked sweep's per-run fingerprints are identical to the
+	// per-run-compile sweep's.
 	ms, _, err := sgml.ScaleModelSet(5, 20)
 	if err != nil {
 		b.Fatal(err)
@@ -926,12 +927,15 @@ func BenchmarkScale_CampaignThroughput(b *testing.B) {
 		}
 		return out
 	}
-	var sequential, pooled map[int64]string
-	runCampaign := func(b *testing.B, workers int, out *map[int64]string) {
+	// Runs block on range start/teardown I/O, not pure CPU: oversubscribe.
+	workers := runtime.GOMAXPROCS(0) * 2
+	var perRunCompile, forked map[int64]string
+	runCampaign := func(b *testing.B, out *map[int64]string, opts ...sgml.CampaignOption) {
 		b.Helper()
+		opts = append([]sgml.CampaignOption{sgml.WithWorkers(workers)}, opts...)
 		runs := 0
 		for i := 0; i < b.N; i++ {
-			rep, err := sgml.RunCampaign(context.Background(), campaign, sgml.WithCampaignWorkers(workers))
+			rep, err := sgml.RunCampaign(context.Background(), campaign, opts...)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -940,18 +944,44 @@ func BenchmarkScale_CampaignThroughput(b *testing.B) {
 		}
 		b.ReportMetric(float64(runs)/b.Elapsed().Seconds(), "runs/s")
 	}
-	b.Run("sequential", func(b *testing.B) { runCampaign(b, 1, &sequential) })
-	b.Run("pooled", func(b *testing.B) {
-		// Runs block on range start/teardown I/O, not pure CPU: oversubscribe.
-		runCampaign(b, runtime.GOMAXPROCS(0)*2, &pooled)
-	})
-	if sequential != nil && pooled != nil {
-		for seed, fp := range sequential {
-			if pooled[seed] != fp {
-				b.Fatalf("seed %d: pooled fingerprint %s != sequential %s", seed, pooled[seed], fp)
+	b.Run("per-run-compile", func(b *testing.B) { runCampaign(b, &perRunCompile, sgml.WithPerRunCompile()) })
+	b.Run("forked", func(b *testing.B) { runCampaign(b, &forked) })
+	if perRunCompile != nil && forked != nil {
+		for seed, fp := range perRunCompile {
+			if forked[seed] != fp {
+				b.Fatalf("seed %d: forked fingerprint %s != per-run-compile %s", seed, forked[seed], fp)
 			}
 		}
 	}
+
+	// Provisioning in isolation — what each sweep pays per run to obtain an
+	// isolated range, with the (identical) scenario execution factored out.
+	// This is the ratio the fork fast path targets: full SG-ML pipeline vs
+	// clone-from-artifacts.
+	b.Run("provision/per-run-compile", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			r, err := sgml.Compile(ms)
+			if err != nil {
+				b.Fatal(err)
+			}
+			r.Stop()
+		}
+	})
+	b.Run("provision/forked", func(b *testing.B) {
+		root, err := sgml.Compile(ms)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer root.Stop()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			f, err := root.Fork()
+			if err != nil {
+				b.Fatal(err)
+			}
+			f.Stop()
+		}
+	})
 }
 
 // ---------------------------------------------------------------------------

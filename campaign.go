@@ -29,7 +29,8 @@ type (
 	// DeterminismMismatch names a (variant, seed) group whose repeated runs
 	// disagreed on their fingerprint.
 	DeterminismMismatch = core.DeterminismMismatch
-	// CampaignOption tunes a campaign execution (WithCampaignWorkers).
+	// CampaignOption tunes a campaign execution (WithWorkers,
+	// WithPerRunCompile).
 	CampaignOption = core.CampaignOption
 )
 
@@ -38,7 +39,16 @@ var ErrCampaign = core.ErrCampaign
 
 // WithCampaignWorkers sets how many runs execute concurrently (default
 // runtime.GOMAXPROCS); 1 executes the sweep sequentially.
+//
+// Deprecated: WithCampaignWorkers is the pre-unification name; it is exactly
+// WithWorkers restricted to campaigns. Use WithWorkers.
 func WithCampaignWorkers(n int) CampaignOption { return core.WithCampaignWorkers(n) }
+
+// WithPerRunCompile makes RunCampaign compile a fresh range for every run
+// (the pre-fork reference path) instead of compiling each distinct model once
+// and forking per run. The two paths produce byte-identical run fingerprints;
+// the knob exists for ablation and as a conservative fallback.
+func WithPerRunCompile() CampaignOption { return core.WithPerRunCompile() }
 
 // RunCampaign executes the campaign's full sweep — every (variant, seed,
 // attempt) triple — and aggregates the RunReports into a CampaignReport.

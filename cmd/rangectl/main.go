@@ -15,6 +15,9 @@
 //
 //	rangectl campaign run <model-dir> <campaign-file> [-workers N] [-json out.json]
 //
+// Campaigns fork a compile-once root range per run; -per-run-compile restores
+// the reference behaviour of compiling a fresh range for every run.
+//
 // Both scenario and campaign runs exit non-zero when any scenario event fails
 // validation or execution, with the per-event outcome table on stdout.
 //
@@ -112,7 +115,12 @@ func scenarioMain(args []string) error {
 	if *sequential {
 		opts = append(opts, sgml.WithSequential())
 	}
-	rep, err := sgml.Run(context.Background(), ms, sc, opts...)
+	cr, err := sgml.Compile(ms)
+	if err != nil {
+		return err
+	}
+	defer cr.Stop()
+	rep, err := sgml.RunCompiled(context.Background(), cr, sc, opts...)
 	if err != nil {
 		return err
 	}
@@ -135,6 +143,7 @@ func campaignMain(args []string) error {
 	}
 	fs := flag.NewFlagSet("campaign run", flag.ExitOnError)
 	workers := fs.Int("workers", 0, "concurrent runs (0 uses the campaign file's value, then GOMAXPROCS)")
+	perRunCompile := fs.Bool("per-run-compile", false, "compile a fresh range per run instead of forking a compile-once root")
 	jsonOut := fs.String("json", "", "also write the machine-readable report to this file")
 	name := fs.String("name", "range", "default model name")
 	fs.Usage = func() {
@@ -156,7 +165,10 @@ func campaignMain(args []string) error {
 	}
 	var opts []sgml.CampaignOption
 	if *workers > 0 {
-		opts = append(opts, sgml.WithCampaignWorkers(*workers))
+		opts = append(opts, sgml.WithWorkers(*workers))
+	}
+	if *perRunCompile {
+		opts = append(opts, sgml.WithPerRunCompile())
 	}
 	rep, err := sgml.RunCampaign(context.Background(), c, opts...)
 	if err != nil {

@@ -79,19 +79,43 @@
 //
 // A Campaign is the population form of a scenario experiment: a declarative
 // sweep of scenario variants × seed lists × engine/data-plane toggles,
-// executed by RunCampaign on a bounded worker pool (WithCampaignWorkers) with
-// one isolated CyberRange per run. The parsed ModelSet is shared read-only
-// across the concurrent compiles — the one compiled artifact that is safe to
-// reuse — while every run owns its range, so worker count and run ordering
-// never change any run's fingerprint. The aggregated CampaignReport carries
-// per-variant distributions (precision/recall, alert latency, solver cache
-// hit rate, data-plane throughput, step-time quantiles) and a cross-seed
-// determinism verdict: repeated (variant, seed) runs must reproduce identical
-// fingerprints. Campaigns also have a declarative XML form (ParseCampaign,
-// LoadCampaignFile; the fifth supplementary schema in internal/sgmlconf)
-// consumed by "rangectl campaign run":
+// executed by RunCampaign on a bounded worker pool (WithWorkers) with one
+// isolated CyberRange per run. Each distinct model is compiled once and every
+// run forks the compiled root (see Forking below); WithPerRunCompile restores
+// the reference behaviour of compiling a fresh range per run. Either way every
+// run owns its range, so worker count and run ordering never change any run's
+// fingerprint. The aggregated CampaignReport carries per-variant distributions
+// (precision/recall, alert latency, solver cache hit rate, data-plane
+// throughput, step-time quantiles) and a cross-seed determinism verdict:
+// repeated (variant, seed) runs must reproduce identical fingerprints.
+// Campaigns also have a declarative XML form (ParseCampaign, LoadCampaignFile;
+// the fifth supplementary schema in internal/sgmlconf) consumed by
+// "rangectl campaign run":
 //
 //	rangectl campaign run models/epic sweep.campaign.xml -workers 4 -json out.json
+//
+// # Forking
+//
+// Compile separates the expensive, immutable half of range construction —
+// SCL merge, power-model generation, scenario-event validation, per-device
+// config precomputation, solver symbolic prewarm — from the cheap mutable
+// half: the network fabric, kv bus, device instances and per-topology solver
+// cache. CyberRange.Fork clones a compiled, unstarted range into a fully
+// isolated sibling in about a millisecond: forks share only read-only
+// artifacts (plus a recycler that hands stopped forks' fabric inboxes to the
+// next fork), and a forked range is indistinguishable from a freshly compiled
+// one — identical run fingerprints under both step engines and both data
+// planes, pinned by TestForkDeterminism. RunCompiled is the one-shot form:
+//
+//	cr, _ := sgml.Compile(ms)
+//	defer cr.Stop()
+//	rep, _ := sgml.RunCompiled(ctx, cr, sc, sgml.WithSeed(7))   // runs on a private fork
+//
+// Option families are unified around this split: WithWorkers is a
+// sgml.Option accepted by Compile (engine default), Run/RunCompiled (per-run
+// override) and RunCampaign (pool size). WithCampaignWorkers remains as a
+// deprecated alias — migrate by renaming the call; the argument and
+// semantics are unchanged.
 //
 // # Parallel step engine
 //

@@ -13,8 +13,12 @@
 //     probe (repeated seeds must reproduce identical fingerprints).
 //
 // RunCampaign executes all eight runs concurrently on a bounded worker pool
-// (one isolated range per run, the parsed model shared read-only) and
-// aggregates the per-variant distributions plus the determinism verdict.
+// and aggregates the per-variant distributions plus the determinism verdict.
+// The model is compiled once into a root range; every run forks that root
+// (CyberRange.Fork) into a private, isolated range instead of recompiling —
+// the immutable artifacts (parsed SCL, power model, device configs, prewarmed
+// solver) are shared read-only, everything mutable is per-fork. A preview run
+// goes through the same machinery explicitly via Compile + RunCompiled.
 //
 // The same sweep in declarative form lives next to this file
 // (sweep.campaign.xml + drill.scenario.xml) and runs headlessly with:
@@ -60,6 +64,22 @@ func main() {
 		},
 	}
 
+	// Compile once; the campaign below reuses the same pipeline internally.
+	// A single preview run via RunCompiled sanity-checks the drill (and warms
+	// nothing the campaign wouldn't warm itself): the root stays pristine, the
+	// run executes on a fork that is stopped when RunCompiled returns.
+	cr, err := sgml.Compile(ms)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cr.Stop()
+	preview, err := sgml.RunCompiled(context.Background(), cr, drill)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("preview run: %d steps, precision=%.2f recall=%.2f\n\n",
+		preview.Steps, preview.Precision, preview.Recall)
+
 	reference := false
 	campaign := &sgml.Campaign{
 		Name:  "seedsweep",
@@ -71,7 +91,7 @@ func main() {
 		},
 	}
 
-	rep, err := sgml.RunCampaign(context.Background(), campaign, sgml.WithCampaignWorkers(4))
+	rep, err := sgml.RunCampaign(context.Background(), campaign, sgml.WithWorkers(4))
 	if err != nil {
 		log.Fatal(err)
 	}

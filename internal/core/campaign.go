@@ -19,19 +19,19 @@ var ErrCampaign = errors.New("core: invalid campaign")
 // and executes them concurrently on a bounded worker pool, one isolated
 // CyberRange per run.
 //
-// The parsed model (ModelSet) is the one compiled artifact that is safe to
-// share: it is read-only during Compile, so every run of a variant reuses the
-// same parsed SCL documents and supplementary configs instead of re-loading
-// them. Compiled ranges are stateful (grid switch positions, kv bus, device
-// goroutines) and are therefore never shared — each run compiles, starts and
-// stops its own.
+// Each distinct model is compiled once into a root range whose immutable
+// artifacts (parsed SCL, power-model template, device configs, prewarmed
+// solver) every run shares read-only; the mutable layers — fabric, coupling
+// cache, grid, devices — are never shared. Each run forks the root
+// (CyberRange.Fork) into a private range it starts and stops itself, or
+// compiles its own under WithPerRunCompile.
 type Campaign struct {
 	Name string
 	// Model is the default model compiled for every run; a variant may
 	// override it with its own. Required unless every variant carries one.
 	Model *ModelSet
 	// Workers is the default worker-pool size (0 = runtime.GOMAXPROCS);
-	// WithCampaignWorkers overrides it per execution.
+	// WithWorkers overrides it per execution.
 	Workers  int
 	Variants []CampaignVariant
 }
@@ -43,8 +43,9 @@ type CampaignVariant struct {
 	// Model overrides the campaign's default model for this variant.
 	Model    *ModelSet
 	Scenario *Scenario
-	// Seeds are the replay seeds to sweep. Empty defaults to the scenario's
-	// own seed (or 1), i.e. a single run per attempt.
+	// Seeds are the replay seeds to sweep. A nil list defaults to the
+	// scenario's own seed (or 1), i.e. a single run per attempt; a non-nil
+	// empty list is rejected (a sweep of zero runs is a config error).
 	Seeds []int64
 	// Repeat is the number of runs per seed (default 1). Repeat >= 2 turns
 	// the variant into a determinism probe: all attempts of a (variant, seed)
@@ -58,26 +59,17 @@ type CampaignVariant struct {
 	FramePooling *bool
 }
 
-// CampaignOption tunes a campaign execution.
-type CampaignOption func(*campaignConfig)
-
-type campaignConfig struct {
-	workers int
-}
-
-// WithCampaignWorkers sets the campaign worker-pool size — how many runs
-// execute concurrently, each with its own range. 1 executes the sweep
-// sequentially (the reference path the throughput ablation compares against).
-func WithCampaignWorkers(n int) CampaignOption {
-	return func(c *campaignConfig) { c.workers = n }
-}
-
 // campaignRunSpec is one expanded run of the sweep.
 type campaignRunSpec struct {
 	variant *CampaignVariant
 	model   *ModelSet
 	seed    int64
 	attempt int // 1-based repeat index
+	// root is the model's compile-once range; runs fork it instead of
+	// recompiling. nil under WithPerRunCompile (each run compiles), and when
+	// the root compile failed (rootErr carries the error to every run).
+	root    *CyberRange
+	rootErr error
 }
 
 // normalizedVariants validates the campaign and expands defaults: variant
@@ -109,6 +101,13 @@ func (c *Campaign) normalizedVariants() ([]CampaignVariant, error) {
 		if v.Repeat < 1 {
 			v.Repeat = 1
 		}
+		if v.Seeds != nil && len(v.Seeds) == 0 {
+			// A present-but-empty seed list is a sweep of zero runs — almost
+			// always a truncated config, so it fails fast naming the variant
+			// instead of silently contributing nothing to the population.
+			// A nil list keeps the documented default below.
+			return nil, fmt.Errorf("%w: variant %q has an empty seed list (omit Seeds to default to the scenario seed)", ErrCampaign, v.Name)
+		}
 		if len(v.Seeds) == 0 {
 			seed := v.Scenario.Seed
 			if seed == 0 {
@@ -133,11 +132,17 @@ func (c *Campaign) normalizedVariants() ([]CampaignVariant, error) {
 // (compile error, aborted scenario, failed event) is recorded in its
 // CampaignRun rather than aborting the sweep; callers decide via
 // CampaignReport.Failures and EventFailures whether the population is usable.
+//
+// Each distinct model is compiled once and every run forks the compiled root
+// (CyberRange.Fork): the expensive SG-ML pipeline — merge, model generation,
+// config validation, solver warm-up — runs once per model instead of once per
+// run, and stopped forks hand their fabric inboxes back for the next fork.
+// WithPerRunCompile restores the old compile-every-run behaviour; the two
+// paths produce byte-identical run fingerprints (pinned by the campaign fork
+// tests and BenchmarkScale_CampaignThroughput).
 func RunCampaign(ctx context.Context, c *Campaign, opts ...CampaignOption) (*CampaignReport, error) {
-	cfg := campaignConfig{workers: c.Workers}
-	for _, o := range opts {
-		o(&cfg)
-	}
+	cfg := optionSet{workers: c.Workers}
+	applyCampaign(opts, &cfg)
 	if cfg.workers < 1 {
 		cfg.workers = runtime.GOMAXPROCS(0)
 	}
@@ -158,12 +163,47 @@ func RunCampaign(ctx context.Context, c *Campaign, opts ...CampaignOption) (*Cam
 		}
 	}
 
+	// Compile each distinct model once, up front. A root compile failure is
+	// not fatal to the sweep: it is recorded on every run of the affected
+	// variants, exactly as the per-run compile error used to be.
+	roots := make(map[*ModelSet]*CyberRange)
+	rootErrs := make(map[*ModelSet]error)
+	if !cfg.perRunCompile {
+		for i := range variants {
+			ms := variants[i].Model
+			if _, ok := roots[ms]; ok {
+				continue
+			}
+			if _, ok := rootErrs[ms]; ok {
+				continue
+			}
+			root, err := Compile(ms)
+			if err != nil {
+				rootErrs[ms] = err
+				continue
+			}
+			// The root exists only to be forked: donate its idle fabric
+			// channels to the recycler so the sweep's first fork starts from
+			// a warm pool instead of allocating a fabric of its own.
+			root.releaseFabric()
+			roots[ms] = root
+		}
+		defer func() {
+			for _, root := range roots {
+				root.Stop()
+			}
+		}()
+	}
+
 	var specs []campaignRunSpec
 	for i := range variants {
 		v := &variants[i]
 		for _, seed := range v.Seeds {
 			for attempt := 1; attempt <= v.Repeat; attempt++ {
-				specs = append(specs, campaignRunSpec{variant: v, model: v.Model, seed: seed, attempt: attempt})
+				specs = append(specs, campaignRunSpec{
+					variant: v, model: v.Model, seed: seed, attempt: attempt,
+					root: roots[v.Model], rootErr: rootErrs[v.Model],
+				})
 			}
 		}
 	}
@@ -195,8 +235,9 @@ func RunCampaign(ctx context.Context, c *Campaign, opts ...CampaignOption) (*Cam
 	return rep, nil
 }
 
-// executeCampaignRun performs one isolated run: compile the (shared, read-
-// only) model into a private range, execute the scenario, tear down, record.
+// executeCampaignRun performs one isolated run: obtain a private range — a
+// fork of the model's compile-once root, or a fresh compile under
+// WithPerRunCompile — execute the scenario, tear down, record.
 func executeCampaignRun(ctx context.Context, spec campaignRunSpec) CampaignRun {
 	v := spec.variant
 	run := CampaignRun{
@@ -214,8 +255,19 @@ func executeCampaignRun(ctx context.Context, spec campaignRunSpec) CampaignRun {
 		return run
 	}
 
+	// CompileTime records what this run paid to obtain its range: the fork
+	// (fast path) or the full compile (per-run-compile reference path).
 	compileStart := time.Now()
-	r, err := Compile(spec.model)
+	var r *CyberRange
+	var err error
+	switch {
+	case spec.rootErr != nil:
+		err = spec.rootErr
+	case spec.root != nil:
+		r, err = spec.root.Fork()
+	default:
+		r, err = Compile(spec.model)
+	}
 	if err != nil {
 		run.Err = fmt.Sprintf("compile: %v", err)
 		return run

@@ -49,20 +49,6 @@ type ModelSet struct {
 	ShardHints map[string]string
 }
 
-// CompileOption tunes the compiled range.
-type CompileOption func(*compileOptions)
-
-type compileOptions struct {
-	workers int
-}
-
-// WithWorkers sets the worker-pool size of the parallel step engine. The
-// default is runtime.GOMAXPROCS(0); 1 confines the two-phase step to a
-// single goroutine (still deterministic, no parallelism).
-func WithWorkers(n int) CompileOption {
-	return func(o *compileOptions) { o.workers = n }
-}
-
 // CyberRange is a compiled, operational cyber range (Fig 1's architecture):
 // emulated network, virtual devices and the coupled power simulation.
 type CyberRange struct {
@@ -76,6 +62,7 @@ type CyberRange struct {
 	PLCs  map[string]*plc.PLC
 	HMI   *scada.HMI
 
+	artifacts *rangeArtifacts
 	cons      *sclmerge.Consolidated
 	shards    []Shard
 	engine    *stepEngine
@@ -87,18 +74,108 @@ type CyberRange struct {
 	postStep  StepHook
 }
 
+// rangeArtifacts is everything Compile derives from a ModelSet that is
+// immutable once built: the merged SCL, the power-model template, validated
+// scenario events, per-device configurations, the prewarmed solver template,
+// the coupling-cache template and the fabric's inbox recycler. A CyberRange
+// is an instantiation of these artifacts; Fork re-instantiates them, which is
+// what makes forked and freshly compiled ranges byte-identical — both come
+// off the same assembly path, the fork merely skips re-deriving the inputs.
+type rangeArtifacts struct {
+	name     string
+	cons     *sclmerge.Consolidated
+	grid     *powergrid.Network // pristine template; cloned per instantiation
+	events   []powersim.Event
+	interval time.Duration
+
+	iedCfgs    []ied.Config // in cons.Doc.IEDs order
+	plcBuilds  []plcBuild
+	scadaImp   *sgmlconf.ScadaImport // nil when the model has no SCADA config
+	scadaHost  string
+	shardHints map[string]string
+	workers    int // compile-time default engine pool size
+
+	// simTmpl is a never-started simulator holding the prewarmed solver
+	// template; each instantiation forks its solver so the first real solve
+	// is a topology-cache hit.
+	simTmpl *powersim.Simulator
+	// busTmpl is the coupling cache's initial state, forked per instantiation.
+	busTmpl *kvbus.Bus
+	// recycler hands drained device inbox channels from stopped ranges to the
+	// next instantiation (the dominant fabric-construction cost at scale).
+	recycler *netem.InboxRecycler
+}
+
+// plcBuild is one PLC's precompiled build inputs: config, extracted
+// Structured Text and host attachment.
+type plcBuild struct {
+	cfg      plc.Config
+	logic    string
+	hostName string
+}
+
 // Compile runs the SG-ML Processor pipeline and assembles the range.
 // Nothing is started; call Start (real-time) or StepAll (deterministic).
+// The expensive derivation work (merge, model generation, config validation,
+// solver warm-up) is kept on the range as shared immutable artifacts, so
+// Fork can clone the range for another run without repeating it.
 func Compile(ms *ModelSet, opts ...CompileOption) (*CyberRange, error) {
-	co := compileOptions{workers: runtime.GOMAXPROCS(0)}
-	for _, o := range opts {
-		o(&co)
+	var co optionSet
+	applyCompile(opts, &co)
+	a, built, err := buildArtifacts(ms, co.workers)
+	if err != nil {
+		return nil, err
+	}
+	return a.instantiate(built, a.workers)
+}
+
+// Fork clones a compiled, not-yet-started range into a fully isolated
+// sibling: fresh fabric (recycled inbox channels), forked coupling cache,
+// private grid and simulator (sharing only the solver's read-only symbolic
+// artifacts), and freshly instantiated IEDs, PLCs and SCADA from the
+// precompiled configs. Fork and Compile share one assembly path, so a forked
+// range's runs are byte-identical to a freshly compiled range's (pinned by
+// TestForkDeterminism and the campaign differential tests). Forks may be
+// created concurrently and forked again; each owns its own Stop.
+func (r *CyberRange) Fork() (*CyberRange, error) {
+	if r.started {
+		return nil, fmt.Errorf("%w: cannot fork a started range", ErrModel)
+	}
+	if r.artifacts == nil {
+		return nil, fmt.Errorf("%w: range was not produced by Compile", ErrModel)
+	}
+	built, err := generateNetwork(r.artifacts.cons, r.artifacts.recycler)
+	if err != nil {
+		return nil, err
+	}
+	return r.artifacts.instantiate(built, r.engine.workers)
+}
+
+// releaseFabric hands the range's idle fabric inboxes to the artifacts'
+// recycler. Only valid on a never-started range that will serve purely as a
+// fork root from here on (RunCampaign's compile-once roots): the range's own
+// fabric becomes undriveable, while Fork — which regenerates a fabric from
+// the artifacts — is unaffected and the first fork inherits the channels.
+func (r *CyberRange) releaseFabric() {
+	if r.started {
+		return
+	}
+	r.Net.ReclaimInboxes()
+}
+
+// buildArtifacts runs stages 1-2 of the pipeline (merge, power model), the
+// one-time generation of the root fabric, and precomputes every immutable
+// input of range assembly: validated power events, per-IED and per-PLC
+// configurations, the parsed SCADA import and the prewarmed solver template.
+func buildArtifacts(ms *ModelSet, workers int) (*rangeArtifacts, *BuiltNetwork, error) {
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
 	}
 	if ms.Name == "" {
 		ms.Name = "sgml-range"
 	}
 	if len(ms.SCDs) == 0 {
-		return nil, fmt.Errorf("%w: no SCD documents", ErrModel)
+		return nil, nil, fmt.Errorf("%w: no SCD documents", ErrModel)
 	}
 
 	// Stage 1: merge (SSD Merger + SCD Merger of Fig 3).
@@ -112,67 +189,72 @@ func Compile(ms *ModelSet, opts ...CompileOption) (*CyberRange, error) {
 		cons, err = sclmerge.MergeSCD(ms.SCDs, ms.SED)
 	}
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 
 	// Stage 2: power system simulation model (SSD Parser).
 	grid, err := GeneratePowerModel(ms.Name, cons, ms.PowerConfig)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 
-	// Stage 3: cyber network emulation model (Mininet Launcher).
-	built, err := GenerateNetwork(cons)
-	if err != nil {
-		return nil, err
+	a := &rangeArtifacts{
+		name:       ms.Name,
+		cons:       cons,
+		grid:       grid,
+		shardHints: ms.ShardHints,
+		workers:    workers,
+		busTmpl:    kvbus.New(),
+		recycler:   netem.NewInboxRecycler(),
 	}
-
-	// Stage 4: coupling cache + simulator with scenario events.
-	bus := kvbus.New()
-	interval := 100 * time.Millisecond
+	a.interval = 100 * time.Millisecond
 	if ms.PowerConfig != nil {
-		interval = ms.PowerConfig.Interval()
+		a.interval = ms.PowerConfig.Interval()
 	}
-	sim := powersim.New(grid, bus, powersim.Options{Interval: interval, EnforceQLimits: true})
+
+	// Stage 3 (once): the root fabric. Later instantiations regenerate it
+	// from cons; the host/address tables below are derived from this one.
+	built, err := generateNetwork(cons, a.recycler)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Power scenario events from the supplementary XML: validate every step
+	// against the generated grid (an unknown kind or unresolvable element
+	// fails Compile naming the step, rather than erroring — or worse, being
+	// dropped — mid-run).
 	specs, err := PowerEvents(ms.PowerConfig)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	if len(specs) > 0 {
-		// The supplementary-XML power steps are one compile-time scenario
-		// source: validate every step against the generated grid (an unknown
-		// kind or unresolvable element fails Compile naming the step, rather
-		// than erroring — or worse, being dropped — mid-run) and schedule.
-		events := make([]powersim.Event, 0, len(specs))
-		for i, spec := range specs {
-			if err := spec.Validate(grid); err != nil {
-				return nil, fmt.Errorf("%w: power step %d (kind %q, element %q, at %d ms): %v",
-					ErrModel, i, spec.Kind, spec.Element, spec.AtMS, err)
-			}
-			ev, err := spec.SimEvent()
-			if err != nil {
-				return nil, err
-			}
-			events = append(events, ev)
+	for i, spec := range specs {
+		if err := spec.Validate(grid); err != nil {
+			return nil, nil, fmt.Errorf("%w: power step %d (kind %q, element %q, at %d ms): %v",
+				ErrModel, i, spec.Kind, spec.Element, spec.AtMS, err)
 		}
-		sim.Schedule(events...)
+		ev, err := spec.SimEvent()
+		if err != nil {
+			return nil, nil, err
+		}
+		a.events = append(a.events, ev)
 	}
 
-	r := &CyberRange{
-		Name: ms.Name, Net: built.Net, Built: built, Bus: bus, Sim: sim, Grid: grid,
-		IEDs: make(map[string]*ied.IED), PLCs: make(map[string]*plc.PLC),
-		cons: cons, interval: interval,
-	}
+	// Solver template: one prewarm solve populates the topology cache and
+	// symbolic factorization every fork then shares read-only. A failed
+	// prewarm (e.g. a model that diverges at t=0) is not a compile error —
+	// the first Start reports it exactly as before, just without the warm
+	// cache.
+	a.simTmpl = powersim.New(grid, a.busTmpl, powersim.Options{Interval: a.interval, EnforceQLimits: true})
+	_ = a.simTmpl.Prewarm()
 
-	// Stage 5: virtual IED builder.
+	// Per-IED configurations (stage 5 inputs).
 	appIDs := gooseAppIDs(cons.Doc)
 	for i := range cons.Doc.IEDs {
 		sclIED := &cons.Doc.IEDs[i]
 		if isInfraNode(sclIED) {
 			continue
 		}
-		host, ok := built.Hosts[sclIED.Name]
-		if !ok {
+		if _, ok := built.Hosts[sclIED.Name]; !ok {
 			continue // no network attachment: not instantiated
 		}
 		var entry *sgmlconf.IEDEntry
@@ -190,7 +272,7 @@ func Compile(ms *ModelSet, opts ...CompileOption) (*CyberRange, error) {
 			ICD:        icd,
 			Entry:      entry,
 			GooseAppID: appIDs[sclIED.Name],
-			Period:     interval,
+			Period:     a.interval,
 		}
 		if entry != nil && entry.Protection.CILO != nil {
 			cfg.GuardAppID = appIDs[entry.Protection.CILO.GuardIED]
@@ -202,39 +284,34 @@ func Compile(ms *ModelSet, opts ...CompileOption) (*CyberRange, error) {
 			remote := entry.Protection.PDIF.RemoteIED
 			peer, ok := built.AddrOf[remote]
 			if !ok {
-				return nil, fmt.Errorf("%w: IED %s PDIF remote %q has no network address", ErrModel, sclIED.Name, remote)
+				return nil, nil, fmt.Errorf("%w: IED %s PDIF remote %q has no network address", ErrModel, sclIED.Name, remote)
 			}
 			cfg.RSVAppID = rsvPairAppID(sclIED.Name, remote)
 			cfg.RSVPeers = []netem.IPv4{peer}
 		}
-		dev, err := ied.New(host, bus, cfg)
-		if err != nil {
-			return nil, fmt.Errorf("%w: IED %s: %v", ErrModel, sclIED.Name, err)
-		}
-		r.IEDs[sclIED.Name] = dev
+		a.iedCfgs = append(a.iedCfgs, cfg)
 	}
 
-	// Stage 6: virtual PLCs (OpenPLC61850).
+	// Per-PLC build inputs (stage 6), PLCopen parsed once.
 	for _, spec := range ms.PLCs {
 		if spec.Config == nil {
-			return nil, fmt.Errorf("%w: PLC spec without config", ErrModel)
+			return nil, nil, fmt.Errorf("%w: PLC spec without config", ErrModel)
 		}
 		if err := spec.Config.Validate(); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		hostName := spec.Config.Host
 		if hostName == "" {
 			hostName = spec.Config.Name
 		}
-		host, ok := built.Hosts[hostName]
-		if !ok {
-			return nil, fmt.Errorf("%w: PLC host %q not in communication section", ErrModel, hostName)
+		if _, ok := built.Hosts[hostName]; !ok {
+			return nil, nil, fmt.Errorf("%w: PLC host %q not in communication section", ErrModel, hostName)
 		}
 		logic := spec.Logic
 		if len(spec.PLCopenXML) > 0 {
 			_, src, err := plc.ParsePLCopen(spec.PLCopenXML)
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 			logic = src
 		}
@@ -262,32 +339,84 @@ func Compile(ms *ModelSet, opts ...CompileOption) (*CyberRange, error) {
 		for _, c := range spec.Config.Commands {
 			cfg.Commands = append(cfg.Commands, plc.CommandBinding{Coil: c.Coil, Var: c.Var})
 		}
-		p, err := plc.New(host, cfg, logic)
-		if err != nil {
-			return nil, err
-		}
-		r.PLCs[spec.Config.Name] = p
+		a.plcBuilds = append(a.plcBuilds, plcBuild{cfg: cfg, logic: logic, hostName: hostName})
 	}
 
-	// Stage 7: SCADA (config parser + HMI).
+	// SCADA import (stage 7 input), generated and parsed once.
 	if ms.SCADAConfig != nil {
-		scadaHost := ms.SCADAHost
-		if scadaHost == "" {
-			scadaHost = "SCADA"
+		a.scadaHost = ms.SCADAHost
+		if a.scadaHost == "" {
+			a.scadaHost = "SCADA"
 		}
-		host, ok := built.Hosts[scadaHost]
-		if !ok {
-			return nil, fmt.Errorf("%w: SCADA host %q not in communication section", ErrModel, scadaHost)
+		if _, ok := built.Hosts[a.scadaHost]; !ok {
+			return nil, nil, fmt.Errorf("%w: SCADA host %q not in communication section", ErrModel, a.scadaHost)
 		}
 		jsonData, err := ms.SCADAConfig.ToImportJSON()
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		imp, err := sgmlconf.ParseImportJSON(jsonData)
 		if err != nil {
+			return nil, nil, err
+		}
+		a.scadaImp = imp
+	}
+	return a, built, nil
+}
+
+// instantiate assembles a runnable range on a freshly generated fabric: the
+// single shared code path of Compile (first instantiation) and Fork (every
+// later one).
+func (a *rangeArtifacts) instantiate(built *BuiltNetwork, workers int) (*CyberRange, error) {
+	// Stage 4: coupling cache + simulator with scenario events. The solver
+	// fork shares the template's read-only topology artifacts.
+	bus := a.busTmpl.Fork()
+	sim := powersim.NewWithSolver(a.grid, bus, powersim.Options{Interval: a.interval, EnforceQLimits: true}, a.simTmpl.ForkSolver())
+	if len(a.events) > 0 {
+		sim.Schedule(a.events...)
+	}
+
+	r := &CyberRange{
+		Name: a.name, Net: built.Net, Built: built, Bus: bus, Sim: sim, Grid: sim.Network(),
+		IEDs: make(map[string]*ied.IED), PLCs: make(map[string]*plc.PLC),
+		artifacts: a, cons: a.cons, interval: a.interval,
+	}
+
+	// Stage 5: virtual IED builder.
+	for i := range a.iedCfgs {
+		cfg := &a.iedCfgs[i]
+		host, ok := built.Hosts[cfg.Name]
+		if !ok {
+			return nil, fmt.Errorf("%w: IED %s has no host on the generated fabric", ErrModel, cfg.Name)
+		}
+		dev, err := ied.New(host, bus, *cfg)
+		if err != nil {
+			return nil, fmt.Errorf("%w: IED %s: %v", ErrModel, cfg.Name, err)
+		}
+		r.IEDs[cfg.Name] = dev
+	}
+
+	// Stage 6: virtual PLCs (OpenPLC61850).
+	for i := range a.plcBuilds {
+		pb := &a.plcBuilds[i]
+		host, ok := built.Hosts[pb.hostName]
+		if !ok {
+			return nil, fmt.Errorf("%w: PLC host %q not in communication section", ErrModel, pb.hostName)
+		}
+		p, err := plc.New(host, pb.cfg, pb.logic)
+		if err != nil {
 			return nil, err
 		}
-		hmi, err := scada.New(host, imp)
+		r.PLCs[pb.cfg.Name] = p
+	}
+
+	// Stage 7: SCADA (HMI on the precompiled import model).
+	if a.scadaImp != nil {
+		host, ok := built.Hosts[a.scadaHost]
+		if !ok {
+			return nil, fmt.Errorf("%w: SCADA host %q not in communication section", ErrModel, a.scadaHost)
+		}
+		hmi, err := scada.New(host, a.scadaImp)
 		if err != nil {
 			return nil, err
 		}
@@ -301,11 +430,10 @@ func Compile(ms *ModelSet, opts ...CompileOption) (*CyberRange, error) {
 
 	// Stage 8: step scheduler — partition devices along the substation
 	// hierarchy and build the bounded-pool two-phase engine.
-	workers := co.workers
 	if workers < 1 {
 		workers = 1
 	}
-	r.shards = partitionShards(cons.SubstationOf, ms.ShardHints, r.IEDs, r.PLCs)
+	r.shards = partitionShards(a.cons.SubstationOf, a.shardHints, r.IEDs, r.PLCs)
 	r.engine = newStepEngine(r.shards, workers, r.IEDs, r.PLCs, bus)
 	return r, nil
 }

@@ -672,30 +672,6 @@ func (sc *Scenario) normalized(interval time.Duration) (*Scenario, error) {
 // Deterministic scheduler
 // ---------------------------------------------------------------------------
 
-// RunOption tunes a scenario run.
-type RunOption func(*runConfig)
-
-type runConfig struct {
-	seed       int64
-	sequential bool
-	pooling    bool
-	poolingSet bool
-}
-
-// WithSeed overrides the scenario's replay seed.
-func WithSeed(seed int64) RunOption { return func(c *runConfig) { c.seed = seed } }
-
-// WithSequential drives the run with StepAllSequential (the single-threaded
-// reference engine) instead of the sharded parallel engine. The determinism
-// tests diff reports across the two.
-func WithSequential() RunOption { return func(c *runConfig) { c.sequential = true } }
-
-// WithFramePooling selects the pooled (true) or reference copy-per-publish
-// (false) data plane for the run; unset leaves the network's default.
-func WithFramePooling(on bool) RunOption {
-	return func(c *runConfig) { c.pooling = on; c.poolingSet = true }
-}
-
 type eventState struct {
 	ev      *ScenarioEvent
 	outcome *EventOutcome
@@ -719,7 +695,7 @@ type restore struct {
 type scenarioRun struct {
 	r   *CyberRange
 	sc  *Scenario
-	cfg runConfig
+	cfg optionSet
 	ctx context.Context
 	rng *rand.Rand
 
@@ -740,15 +716,19 @@ type scenarioRun struct {
 // every randomised choice replayable. The range is left started (callers
 // still own Stop); scenario-started MITMs are withdrawn before returning.
 func RunScenario(ctx context.Context, r *CyberRange, sc *Scenario, opts ...RunOption) (*RunReport, error) {
-	cfg := runConfig{seed: sc.Seed}
-	for _, o := range opts {
-		o(&cfg)
-	}
+	cfg := optionSet{seed: sc.Seed}
+	applyRun(opts, &cfg)
 	if cfg.seed == 0 {
 		cfg.seed = 1
 	}
 	if r.started {
 		return nil, fmt.Errorf("%w: range already started", ErrScenario)
+	}
+	if cfg.workers > 0 {
+		// Per-run override of the compiled pool size. Worker count never
+		// changes committed state or fingerprints (pinned by the determinism
+		// tests), so this is a pure throughput knob.
+		r.engine.workers = cfg.workers
 	}
 	norm, err := sc.normalized(r.interval)
 	if err != nil {

@@ -281,6 +281,24 @@ func (b *Bus) Snapshot() map[string]string {
 	return out
 }
 
+// Fork returns an independent bus pre-loaded with b's current contents,
+// versions included — unlike Snapshot/Restore, which flatten versions to 1,
+// a fork is byte- and version-identical to its parent at the fork point, so
+// version-sensitive readers (watch de-duplication, stale-read checks) behave
+// exactly as they would on the original. Watchers and read/write counters
+// are not inherited: a fork starts with no subscribers and zeroed stats.
+// The compiled-range fork path uses this to duplicate the coupling cache
+// per run without re-deriving its initial state.
+func (b *Bus) Fork() *Bus {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	nb := New()
+	for k, v := range b.data {
+		nb.data[k] = v
+	}
+	return nb
+}
+
 // Restore replaces the store contents with snap (versions restart at 1).
 func (b *Bus) Restore(snap map[string]string) {
 	b.mu.Lock()

@@ -78,10 +78,46 @@ type Simulator struct {
 // powerflow.Solver, so consecutive steps with unchanged breaker/switch
 // topology stay on the solver's cached warm path.
 func New(net *powergrid.Network, bus *kvbus.Bus, opts Options) *Simulator {
+	return NewWithSolver(net, bus, opts, nil)
+}
+
+// NewWithSolver is New with a caller-supplied solver (nil falls back to a
+// fresh one). The compiled-range fork path passes a powerflow.Solver.Fork of
+// a prewarmed template here, so the simulator's first solve reuses the
+// model's cached topology and symbolic factorization instead of rebuilding
+// them. The solver must be private to this simulator (a Fork, not the shared
+// template itself): Step serialises on the simulator mutex, not across
+// simulators.
+func NewWithSolver(net *powergrid.Network, bus *kvbus.Bus, opts Options, solver *powerflow.Solver) *Simulator {
 	if opts.Interval <= 0 {
 		opts.Interval = 100 * time.Millisecond
 	}
-	return &Simulator{net: net.Clone(), bus: bus, opts: opts, solver: powerflow.NewSolver()}
+	if solver == nil {
+		solver = powerflow.NewSolver()
+	}
+	return &Simulator{net: net.Clone(), bus: bus, opts: opts, solver: solver}
+}
+
+// Prewarm runs one power-flow solve without advancing simulation time,
+// applying events or publishing to the bus: its only effect is populating the
+// solver's topology cache (and symbolic factorizations) for the current grid
+// structure. A template simulator prewarms once per model so that every
+// forked solver starts on the cache-hit path. Solve errors are returned but
+// leave the simulator unchanged; the first real Step will surface the same
+// condition.
+func (s *Simulator) Prewarm() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, err := s.solver.Solve(s.net, powerflow.Options{EnforceQLimits: s.opts.EnforceQLimits})
+	return err
+}
+
+// ForkSolver returns an isolated powerflow.Solver sharing this simulator's
+// cached read-only topology artifacts (see powerflow.Solver.Fork).
+func (s *Simulator) ForkSolver() *powerflow.Solver {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.solver.Fork()
 }
 
 // Network returns the simulator's (live) network model. Callers must not

@@ -43,8 +43,11 @@ type CampaignVariantConfig struct {
 	// the campaign file).
 	Model string `xml:"model,attr"`
 	// Seeds is a comma-separated list of seeds and inclusive ranges, e.g.
-	// "1,2,10-14". Empty sweeps the scenario's own seed once.
-	Seeds string `xml:"seeds,attr"`
+	// "1,2,10-14". An absent attribute sweeps the scenario's own seed once;
+	// a present-but-empty one (seeds="") is rejected — a sweep of zero runs
+	// is a truncated config, not a default. The pointer distinguishes the
+	// two XML shapes.
+	Seeds *string `xml:"seeds,attr"`
 	// Repeat runs each seed this many times (>= 2 probes determinism).
 	Repeat     int  `xml:"repeat,attr"`
 	Sequential bool `xml:"sequential,attr"`
@@ -52,13 +55,16 @@ type CampaignVariantConfig struct {
 	FramePooling string `xml:"framePooling,attr"`
 }
 
-// SeedList parses the seeds attribute into the expanded seed slice.
+// SeedList parses the seeds attribute into the expanded seed slice. An
+// absent attribute returns (nil, nil) — the engine then defaults to the
+// scenario's own seed; a present attribute that expands to no seeds at all
+// (seeds="" or only separators) is an error.
 func (v *CampaignVariantConfig) SeedList() ([]int64, error) {
-	if v.Seeds == "" {
+	if v.Seeds == nil {
 		return nil, nil
 	}
 	var out []int64
-	for _, part := range strings.Split(v.Seeds, ",") {
+	for _, part := range strings.Split(*v.Seeds, ",") {
 		part = strings.TrimSpace(part)
 		if part == "" {
 			continue
@@ -81,6 +87,9 @@ func (v *CampaignVariantConfig) SeedList() ([]int64, error) {
 			return nil, fmt.Errorf("bad seed %q", part)
 		}
 		out = append(out, s)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("seeds attribute %q expands to no seeds (omit the attribute to sweep the scenario's own seed)", *v.Seeds)
 	}
 	return out, nil
 }

@@ -37,10 +37,10 @@ func TestParseCampaignConfig(t *testing.T) {
 	if err != nil || on == nil || !*on {
 		t.Errorf("framePooling on = %v, %v", on, err)
 	}
-	// Empty seeds attribute: nil list (the engine defaults it).
+	// Absent seeds attribute: nil list (the engine defaults it).
 	empty, err := c.Variants[2].SeedList()
 	if err != nil || empty != nil {
-		t.Errorf("empty seeds = %v, %v", empty, err)
+		t.Errorf("absent seeds = %v, %v", empty, err)
 	}
 	keep, err := c.Variants[0].FramePoolingChoice()
 	if err != nil || keep != nil {
@@ -58,6 +58,8 @@ func TestCampaignConfigValidation(t *testing.T) {
 		{"negative workers", `<Campaign name="c" workers="-2"><Variant name="v" scenario="s.xml"/></Campaign>`},
 		{"bad seed", `<Campaign name="c"><Variant name="v" scenario="s.xml" seeds="x"/></Campaign>`},
 		{"inverted range", `<Campaign name="c"><Variant name="v" scenario="s.xml" seeds="9-3"/></Campaign>`},
+		{"empty seeds", `<Campaign name="c"><Variant name="v" scenario="s.xml" seeds=""/></Campaign>`},
+		{"separator-only seeds", `<Campaign name="c"><Variant name="v" scenario="s.xml" seeds=" , "/></Campaign>`},
 		{"bad framePooling", `<Campaign name="c"><Variant name="v" scenario="s.xml" framePooling="sometimes"/></Campaign>`},
 	}
 	for _, tc := range cases {

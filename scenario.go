@@ -153,7 +153,8 @@ func WithFramePooling(on bool) RunOption { return core.WithFramePooling(on) }
 // Run compiles a model set, executes the scenario against it and tears the
 // range down, returning the structured report — the paper's "automated
 // generation of experiments" as one call. Use RunRange to keep the range
-// alive for inspection afterwards.
+// alive for inspection afterwards, or Compile + RunCompiled to execute many
+// runs against one compiled range.
 func Run(ctx context.Context, ms *ModelSet, sc *Scenario, opts ...RunOption) (*RunReport, error) {
 	r, err := Compile(ms)
 	if err != nil {
@@ -168,6 +169,23 @@ func Run(ctx context.Context, ms *ModelSet, sc *Scenario, opts ...RunOption) (*R
 // counters; they still own Stop.
 func RunRange(ctx context.Context, r *CyberRange, sc *Scenario, opts ...RunOption) (*RunReport, error) {
 	return core.RunScenario(ctx, r, sc, opts...)
+}
+
+// RunCompiled executes a scenario against a fork of a compiled range: cr
+// itself is never started or mutated, so the caller can issue any number of
+// RunCompiled calls — sequentially or concurrently — against the same
+// compiled range, paying the SG-ML pipeline once. Each call's fork is stopped
+// before returning; the caller keeps ownership of cr (and its Stop).
+//
+// A forked run is byte-identical to a fresh Compile + Run of the same
+// (model, scenario, seed) — pinned by TestForkDeterminism.
+func RunCompiled(ctx context.Context, cr *CyberRange, sc *Scenario, opts ...RunOption) (*RunReport, error) {
+	fork, err := cr.Fork()
+	if err != nil {
+		return nil, err
+	}
+	defer fork.Stop()
+	return core.RunScenario(ctx, fork, sc, opts...)
 }
 
 // ParseScenario decodes and validates a Scenario XML document (the fourth

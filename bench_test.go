@@ -17,6 +17,7 @@ package sgml_test
 import (
 	"context"
 	"fmt"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"strings"
@@ -950,6 +951,47 @@ func BenchmarkScale_CampaignThroughput(b *testing.B) {
 		for seed, fp := range perRunCompile {
 			if forked[seed] != fp {
 				b.Fatalf("seed %d: forked fingerprint %s != per-run-compile %s", seed, forked[seed], fp)
+			}
+		}
+	}
+
+	// The durable result store in the hot path: the forked sweep again, with
+	// every completed run framed, checksummed and fsync'd into the JSONL
+	// store and the sweep sealed under its Merkle root. The delta against
+	// "forked" is the whole persistence overhead (target: within 5% at 20
+	// runs — the runs dominate; each record is one fsync on a worker
+	// goroutine, off the other workers' critical path). The fingerprints
+	// must match the unstored sweeps exactly; the sealed root must verify.
+	var stored map[int64]string
+	b.Run("store/jsonl", func(b *testing.B) {
+		base := b.TempDir()
+		runs := 0
+		for i := 0; i < b.N; i++ {
+			dir := filepath.Join(base, fmt.Sprintf("i%d", i))
+			rep, err := sgml.RunCampaign(context.Background(), campaign,
+				sgml.WithWorkers(workers), sgml.WithStore(dir))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if rep.MerkleRoot == "" {
+				b.Fatal("clean sweep not sealed")
+			}
+			stored = fingerprints(b, rep)
+			runs += rep.TotalRuns
+			if i == 0 {
+				b.StopTimer()
+				if _, err := sgml.VerifyStore(dir); err != nil {
+					b.Fatalf("store verify: %v", err)
+				}
+				b.StartTimer()
+			}
+		}
+		b.ReportMetric(float64(runs)/b.Elapsed().Seconds(), "runs/s")
+	})
+	if stored != nil && forked != nil {
+		for seed, fp := range forked {
+			if stored[seed] != fp {
+				b.Fatalf("seed %d: stored fingerprint %s != unstored %s", seed, stored[seed], fp)
 			}
 		}
 	}

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/sgmlconf"
+	"repro/internal/store"
 )
 
 // Campaign layer re-exports: the declarative sweep over scenario runs and the
@@ -30,8 +31,14 @@ type (
 	// disagreed on their fingerprint.
 	DeterminismMismatch = core.DeterminismMismatch
 	// CampaignOption tunes a campaign execution (WithWorkers,
-	// WithPerRunCompile).
+	// WithPerRunCompile, WithStore, WithResume, WithRunSink).
 	CampaignOption = core.CampaignOption
+	// RunSink observes completed campaign runs as they finish — the
+	// streaming half of the campaign result path. See WithRunSink.
+	RunSink = core.RunSink
+	// StoreVerification is the audit result for one sealed campaign in a
+	// result-store directory. See VerifyStore.
+	StoreVerification = store.Verification
 )
 
 // ErrCampaign is returned when a campaign cannot be validated or executed.
@@ -49,6 +56,48 @@ func WithCampaignWorkers(n int) CampaignOption { return core.WithCampaignWorkers
 // and forking per run. The two paths produce byte-identical run fingerprints;
 // the knob exists for ablation and as a conservative fallback.
 func WithPerRunCompile() CampaignOption { return core.WithPerRunCompile() }
+
+// WithRunSink attaches a streaming observer to RunCampaign: every executed
+// run is delivered as it completes, in completion order, from worker
+// goroutines (the sink must be safe for concurrent use). Cells cancelled
+// before execution are recorded in the report but never delivered. May be
+// repeated to attach several sinks.
+func WithRunSink(s RunSink) CampaignOption { return core.WithRunSink(s) }
+
+// WithStore attaches the durable result store under dir to RunCampaign:
+// every executed run is checkpointed as it completes (append-only JSONL,
+// one fsync'd length/CRC-framed record per run), keyed inside dir by the
+// campaign's name and spec-content hash. If the sweep completes with every
+// cell clean, the store is sealed under a Merkle root over the run
+// fingerprints and CampaignReport.MerkleRoot is stamped; a cancelled or
+// failing sweep leaves the store unsealed so WithResume can finish it.
+// Audit a sealed store with VerifyStore / "rangectl campaign verify".
+func WithStore(dir string) CampaignOption {
+	return core.WithCampaignStore(func(c *core.Campaign) (core.CampaignStore, error) {
+		return store.OpenJSONL(dir, c)
+	})
+}
+
+// WithResume makes RunCampaign load the attached store's records before
+// dispatch: cells with a persisted record are restored into the report
+// (marked Resumed) and never re-executed; only missing cells run. Requires
+// WithStore. A resumed sweep's fingerprint map and Merkle root are
+// byte-identical to an uninterrupted run's.
+func WithResume() CampaignOption { return core.WithResume() }
+
+// VerifyStore audits every campaign under a result-store directory written
+// by WithStore: records must parse intact (any flipped byte fails), every
+// campaign must be sealed, and the Merkle root recomputed from the records
+// must match the sealed root. Returns one StoreVerification per campaign,
+// or the first violation as a non-nil error.
+func VerifyStore(dir string) ([]StoreVerification, error) { return store.Verify(dir) }
+
+// VerifyStoreRun audits one cell of a sealed store: it builds the
+// (variant, seed, attempt) record's Merkle inclusion proof and checks it
+// against the sealed root.
+func VerifyStoreRun(dir, variant string, seed int64, attempt int) (*StoreVerification, error) {
+	return store.VerifyRun(dir, variant, seed, attempt)
+}
 
 // RunCampaign executes the campaign's full sweep — every (variant, seed,
 // attempt) triple — and aggregates the RunReports into a CampaignReport.

@@ -14,9 +14,21 @@
 // aggregated report (optionally also as JSON):
 //
 //	rangectl campaign run <model-dir> <campaign-file> [-workers N] [-json out.json]
+//	                      [-store DIR] [-resume]
 //
 // Campaigns fork a compile-once root range per run; -per-run-compile restores
-// the reference behaviour of compiling a fresh range for every run.
+// the reference behaviour of compiling a fresh range for every run. With
+// -store every completed run is checkpointed into the durable result store
+// under DIR as it finishes, and a fully-clean sweep is sealed under a Merkle
+// root; -resume restores the store's records and executes only the missing
+// cells, so an interrupted sweep pays only for what it never finished.
+//
+// Audit a result store — recompute the Merkle root from the records and
+// check it against the seal (or check one run's inclusion proof):
+//
+//	rangectl campaign verify DIR [-run variant:seed:attempt]
+//
+// Any damaged frame, missing record or root mismatch exits non-zero.
 //
 // Both scenario and campaign runs exit non-zero when any scenario event fails
 // validation or execution, with the per-event outcome table on stdout.
@@ -30,6 +42,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -136,25 +149,42 @@ func scenarioMain(args []string) error {
 	return nil
 }
 
-// campaignMain implements "rangectl campaign run <model-dir> <campaign-file>".
+// campaignMain dispatches "rangectl campaign run|verify".
 func campaignMain(args []string) error {
-	if len(args) < 1 || args[0] != "run" {
-		return fmt.Errorf("usage: rangectl campaign run <model-dir> <campaign-file> [-workers N] [-json out.json]")
+	if len(args) < 1 {
+		return fmt.Errorf("usage: rangectl campaign run|verify ...")
 	}
+	switch args[0] {
+	case "run":
+		return campaignRunMain(args[1:])
+	case "verify":
+		return campaignVerifyMain(args[1:])
+	default:
+		return fmt.Errorf("usage: rangectl campaign run|verify ... (unknown subcommand %q)", args[0])
+	}
+}
+
+// campaignRunMain implements "rangectl campaign run <model-dir> <campaign-file>".
+func campaignRunMain(args []string) error {
 	fs := flag.NewFlagSet("campaign run", flag.ExitOnError)
 	workers := fs.Int("workers", 0, "concurrent runs (0 uses the campaign file's value, then GOMAXPROCS)")
 	perRunCompile := fs.Bool("per-run-compile", false, "compile a fresh range per run instead of forking a compile-once root")
 	jsonOut := fs.String("json", "", "also write the machine-readable report to this file")
+	storeDir := fs.String("store", "", "checkpoint every completed run into the durable result store under this directory")
+	resume := fs.Bool("resume", false, "restore the store's records and execute only the missing cells (requires -store)")
 	name := fs.String("name", "range", "default model name")
 	fs.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: rangectl campaign run <model-dir> <campaign-file> [flags]")
 		fs.PrintDefaults()
 	}
-	positionals, err := parsePositionals(fs, args[1:], 2)
+	positionals, err := parsePositionals(fs, args, 2)
 	if err != nil {
 		return err
 	}
 	modelDir, campaignFile := positionals[0], positionals[1]
+	if *resume && *storeDir == "" {
+		return fmt.Errorf("-resume requires -store")
+	}
 	ms, err := sgml.LoadModelDir(*name, modelDir)
 	if err != nil {
 		return err
@@ -169,6 +199,12 @@ func campaignMain(args []string) error {
 	}
 	if *perRunCompile {
 		opts = append(opts, sgml.WithPerRunCompile())
+	}
+	if *storeDir != "" {
+		opts = append(opts, sgml.WithStore(*storeDir))
+	}
+	if *resume {
+		opts = append(opts, sgml.WithResume())
 	}
 	rep, err := sgml.RunCampaign(context.Background(), c, opts...)
 	if err != nil {
@@ -202,6 +238,64 @@ func campaignMain(args []string) error {
 		return fmt.Errorf("%d determinism mismatch(es)", len(rep.Determinism))
 	}
 	return nil
+}
+
+// campaignVerifyMain implements "rangectl campaign verify DIR [-run v:s:a]".
+func campaignVerifyMain(args []string) error {
+	fs := flag.NewFlagSet("campaign verify", flag.ExitOnError)
+	runCell := fs.String("run", "", "verify one run's Merkle inclusion proof (variant:seed:attempt)")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: rangectl campaign verify <store-dir> [-run variant:seed:attempt]")
+		fs.PrintDefaults()
+	}
+	positionals, err := parsePositionals(fs, args, 1)
+	if err != nil {
+		return err
+	}
+	dir := positionals[0]
+	if *runCell != "" {
+		variant, seed, attempt, err := parseRunCell(*runCell)
+		if err != nil {
+			return err
+		}
+		v, err := sgml.VerifyStoreRun(dir, variant, seed, attempt)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("run %s verified: campaign %q (%d runs) root %s\n", *runCell, v.Campaign, v.Runs, v.Root)
+		return nil
+	}
+	vs, err := sgml.VerifyStore(dir)
+	if err != nil {
+		return err
+	}
+	for _, v := range vs {
+		fmt.Printf("campaign %q verified: %d runs, root %s\n", v.Campaign, v.Runs, v.Root)
+	}
+	return nil
+}
+
+// parseRunCell splits "variant:seed:attempt", tolerating colons inside the
+// variant name by taking the two numeric fields from the right.
+func parseRunCell(s string) (variant string, seed int64, attempt int, err error) {
+	bad := func() (string, int64, int, error) {
+		return "", 0, 0, fmt.Errorf("-run wants variant:seed:attempt, got %q", s)
+	}
+	i := strings.LastIndex(s, ":")
+	if i < 0 {
+		return bad()
+	}
+	attempt64, aerr := strconv.ParseInt(s[i+1:], 10, 32)
+	rest := s[:i]
+	j := strings.LastIndex(rest, ":")
+	if aerr != nil || j < 0 {
+		return bad()
+	}
+	seed, serr := strconv.ParseInt(rest[j+1:], 10, 64)
+	if serr != nil || rest[:j] == "" {
+		return bad()
+	}
+	return rest[:j], seed, int(attempt64), nil
 }
 
 // runMain implements the real-time mode (and the legacy flag form).

@@ -94,6 +94,37 @@
 //
 //	rangectl campaign run models/epic sweep.campaign.xml -workers 4 -json out.json
 //
+// # Result store
+//
+// Campaign results stream: RunCampaign delivers each completed run to its
+// sinks (WithRunSink) the moment it finishes, and the aggregated
+// CampaignReport is itself built by the default in-memory sink. WithStore
+// attaches a durable sink — an append-only, fsync-per-record JSONL store
+// keyed by campaign name plus a content hash of the campaign spec, so
+// distinct sweeps (or edited specs) never collide in one directory. Each
+// record is length- and CRC-framed; a sweep killed mid-write loses at most
+// the torn tail, never a completed run. WithResume restores every persisted
+// cell from the store (marked CampaignRun.Resumed, counted in
+// CampaignReport.Resumed) and executes only the missing ones; an
+// interrupted-then-resumed sweep yields run fingerprints byte-identical to
+// the same sweep run uninterrupted, across both provisioning paths and both
+// step engines.
+//
+// When a sweep completes cleanly, the store seals it: a Merkle root over the
+// run fingerprints, sorted by (variant, seed, attempt), is written alongside
+// the records and stamped into CampaignReport.MerkleRoot. VerifyStore
+// re-derives the root from the raw bytes on disk and VerifyStoreRun checks a
+// single cell's inclusion proof, so any flipped byte, dropped record or
+// forged report is detected after the fact:
+//
+//	rangectl campaign run models/epic sweep.campaign.xml -store results/
+//	rangectl campaign run models/epic sweep.campaign.xml -store results/ -resume
+//	rangectl campaign verify results/                    # whole-store audit
+//	rangectl campaign verify results/ -run parallel:7:1  # one inclusion proof
+//
+// Migration note: CampaignReport.Runs keeps its spec-expansion order —
+// completion order, worker count and resume never reorder it.
+//
 // # Forking
 //
 // Compile separates the expensive, immutable half of range construction —

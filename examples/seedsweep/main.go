@@ -20,11 +20,21 @@
 // solver) are shared read-only, everything mutable is per-fork. A preview run
 // goes through the same machinery explicitly via Compile + RunCompiled.
 //
+// The second half of the example makes the sweep durable: the same campaign
+// runs again with sgml.WithStore, is interrupted mid-flight (a RunSink
+// cancels the context after two completed runs — the in-process stand-in for
+// kill -9), and is then resumed with sgml.WithResume. The resumed report
+// restores the already-persisted cells without re-executing them, seals the
+// sweep under a Merkle root, and sgml.VerifyStore re-derives that root from
+// the bytes on disk.
+//
 // The same sweep in declarative form lives next to this file
 // (sweep.campaign.xml + drill.scenario.xml) and runs headlessly with:
 //
 //	go run ./cmd/sclgen -out models/epic
-//	go run ./cmd/rangectl campaign run models/epic examples/seedsweep/sweep.campaign.xml
+//	go run ./cmd/rangectl campaign run models/epic examples/seedsweep/sweep.campaign.xml \
+//	  -store results/
+//	go run ./cmd/rangectl campaign verify results/
 package main
 
 import (
@@ -32,12 +42,28 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"sync/atomic"
 
 	sgml "repro"
 
 	"repro/mms"
 	"repro/netem"
 )
+
+// interruptSink cancels the campaign after `after` completed runs have been
+// delivered — simulating a sweep killed mid-flight.
+type interruptSink struct {
+	cancel context.CancelFunc
+	after  int32
+	n      int32
+}
+
+func (s *interruptSink) Put(sgml.CampaignRun) error {
+	if atomic.AddInt32(&s.n, 1) == s.after {
+		s.cancel()
+	}
+	return nil
+}
 
 func main() {
 	ms, err := sgml.EPICModelSet()
@@ -109,4 +135,56 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println("\nall runs clean; repeated seeds reproduced identical fingerprints")
+
+	// --- Durable sweep: store, interrupt, resume, verify -------------------
+	//
+	// Run the same campaign into an append-only store and kill it after two
+	// completed runs. Every finished cell is already fsync'd, so nothing is
+	// lost; the interrupted sweep simply is not sealed yet.
+	storeDir, err := os.MkdirTemp("", "seedsweep-store-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(storeDir)
+
+	ctx, cancelSweep := context.WithCancel(context.Background())
+	defer cancelSweep()
+	sink := &interruptSink{cancel: cancelSweep, after: 2}
+	interrupted, err := sgml.RunCampaign(ctx, campaign,
+		sgml.WithWorkers(2), sgml.WithStore(storeDir), sgml.WithRunSink(sink))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ninterrupted sweep: %d/%d cells persisted before the kill\n",
+		interrupted.TotalRuns-interrupted.Failures, interrupted.TotalRuns)
+
+	// Resume from the store: persisted cells are restored (and marked
+	// Resumed), only the missing ones execute, and the complete sweep is
+	// sealed under a Merkle root over every run fingerprint.
+	resumed, err := sgml.RunCampaign(context.Background(), campaign,
+		sgml.WithWorkers(2), sgml.WithStore(storeDir), sgml.WithResume())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("resumed sweep: %d cells restored from the store, %d executed\n",
+		resumed.Resumed, resumed.TotalRuns-resumed.Resumed)
+	fmt.Printf("merkle root: %s\n", resumed.MerkleRoot)
+	if !resumed.OK() || resumed.MerkleRoot == "" {
+		fmt.Println("resumed sweep not clean/sealed")
+		os.Exit(1)
+	}
+
+	// Independent audit: re-derive the root from the bytes on disk. Any
+	// flipped byte, dropped record or forged report fails this check.
+	audits, err := sgml.VerifyStore(storeDir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, a := range audits {
+		if a.Root != resumed.MerkleRoot {
+			fmt.Printf("store root %s != report root %s\n", a.Root, resumed.MerkleRoot)
+			os.Exit(1)
+		}
+		fmt.Printf("store verified: %s (%d runs) root matches\n", a.Campaign, a.Runs)
+	}
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"crypto/sha256"
 	"errors"
 	"fmt"
 	"runtime"
@@ -59,6 +60,60 @@ type CampaignVariant struct {
 	FramePooling *bool
 }
 
+// RunSink observes completed campaign runs as they finish — the streaming
+// half of the campaign result path. RunCampaign delivers every executed run
+// to every attached sink from worker goroutines, in completion order (which
+// is scheduling-dependent; CampaignReport.Runs keeps declaration order
+// regardless). Cells that were cancelled before they executed are recorded
+// in the report but never delivered to sinks, so a persistent sink only ever
+// checkpoints real outcomes. Implementations must be safe for concurrent
+// use; the first Put error fails the sweep (the report is still returned).
+//
+// The in-memory aggregation behind CampaignReport is itself just the default
+// sink; stores (internal/store) are sinks with a resume/verify surface.
+type RunSink interface {
+	Put(run CampaignRun) error
+}
+
+// CampaignStore is the persistence contract RunCampaign drives when a store
+// is attached (WithCampaignStore, surfaced publicly as sgml.WithStore): a
+// RunSink whose records survive the process, plus the resume surface. The
+// backends live in internal/store, which core must not import; they satisfy
+// this interface structurally.
+//
+// A store may additionally implement
+//
+//	Finish(rep *CampaignReport) error
+//	Close() error
+//
+// Finish is called exactly once, after aggregation, when the sweep completed
+// with every cell executed cleanly (no cancellation, no failed run, no sink
+// error) — the point at which a store commits the result set, e.g. seals it
+// under its Merkle root and stamps CampaignReport.MerkleRoot. Close is
+// called when RunCampaign returns.
+type CampaignStore interface {
+	RunSink
+	// Done reports whether a clean record for the (variant, seed, attempt)
+	// cell is already persisted.
+	Done(variant string, seed int64, attempt int) bool
+	// Load reconstructs the persisted population as a partial
+	// CampaignReport: one entry per stored cell, full RunReports attached
+	// and fingerprints rehydrated, sorted by (variant, seed, attempt).
+	Load() (*CampaignReport, error)
+}
+
+// StoreOpener opens a CampaignStore for a specific campaign — deferred to
+// RunCampaign time because durable stores key their layout by the campaign's
+// name and SpecHash, which only exist once the campaign is assembled.
+type StoreOpener func(c *Campaign) (CampaignStore, error)
+
+// cellKey identifies one cell of the sweep matrix.
+type cellKey struct {
+	variant string
+	seed    int64
+	attempt int
+}
+
 // campaignRunSpec is one expanded run of the sweep.
 type campaignRunSpec struct {
 	variant *CampaignVariant
@@ -70,6 +125,10 @@ type campaignRunSpec struct {
 	// the root compile failed (rootErr carries the error to every run).
 	root    *CyberRange
 	rootErr error
+	// rootErrTime is what the failed root compile cost: attributed as the
+	// CompileTime of every run the failure propagates to, so failed runs
+	// stay accountable in sinks and store records.
+	rootErrTime time.Duration
 }
 
 // normalizedVariants validates the campaign and expands defaults: variant
@@ -119,9 +178,80 @@ func (c *Campaign) normalizedVariants() ([]CampaignVariant, error) {
 	return out, nil
 }
 
+// SpecHash returns the hex SHA-256 content hash of the campaign's normalized
+// declarative spec: every variant's name, model name, seed list, repeat
+// count and engine/data-plane toggles, plus its scenario's attackers and
+// typed events in their canonical one-line descriptions. The hash is a pure
+// function of the declaration — independent of the process, pointer
+// identity or run order — so durable stores key their on-disk layout by it
+// and an edited campaign can never resume into a stale record set.
+//
+// The hash covers the declarative sweep surface, not the model file bytes:
+// pointing the same-named model directory at different content is the
+// operator's responsibility (and surfaces as fingerprint divergence in the
+// determinism verdict).
+func (c *Campaign) SpecHash() (string, error) {
+	variants, err := c.normalizedVariants()
+	if err != nil {
+		return "", err
+	}
+	name := c.Name
+	if name == "" {
+		name = "campaign"
+	}
+	h := sha256.New()
+	fmt.Fprintf(h, "campaign %q\n", name)
+	for i := range variants {
+		v := &variants[i]
+		engine := "parallel"
+		if v.Sequential {
+			engine = "sequential"
+		}
+		pooling := "default"
+		if v.FramePooling != nil {
+			pooling = fmt.Sprintf("%t", *v.FramePooling)
+		}
+		fmt.Fprintf(h, "variant %q model=%q seeds=%v repeat=%d engine=%s pooling=%s\n",
+			v.Name, v.Model.Name, v.Seeds, v.Repeat, engine, pooling)
+		sc := v.Scenario
+		fmt.Fprintf(h, "  scenario %q steps=%d seed=%d\n", sc.Name, sc.Steps, sc.Seed)
+		for _, a := range sc.Attackers {
+			fmt.Fprintf(h, "  attacker %q switch=%q ip=%v mac=%v\n", a.Name, a.Switch, a.IP, a.MAC)
+		}
+		for _, ev := range sc.Events {
+			action := "<nil>"
+			if ev.Action != nil {
+				action = ev.Action.describe()
+			}
+			fmt.Fprintf(h, "  event %q trigger=%q action=%q\n", ev.Name, ev.Trigger.describe(), action)
+		}
+	}
+	return fmt.Sprintf("%x", h.Sum(nil)), nil
+}
+
+// memorySink is the default RunSink: it places each completed run at its
+// expansion index in the report, so CampaignReport.Runs keeps declaration
+// order no matter which worker finishes which cell first (completion order
+// is only observable through additional sinks).
+type memorySink struct {
+	mu    sync.Mutex
+	rep   *CampaignReport
+	index map[cellKey]int
+}
+
+func (s *memorySink) Put(run CampaignRun) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if idx, ok := s.index[cellKey{run.Variant, run.Seed, run.Attempt}]; ok {
+		s.rep.Runs[idx] = run
+	}
+	return nil
+}
+
 // RunCampaign executes the campaign's full sweep — every (variant, seed,
-// attempt) triple — on a bounded worker pool and aggregates the per-run
-// RunReports into a CampaignReport: per-variant score and performance
+// attempt) triple — on a bounded worker pool, streaming each completed
+// CampaignRun through the attached RunSinks as it finishes and aggregating
+// the population into a CampaignReport: per-variant score and performance
 // distributions, cross-seed determinism checks, and both machine-readable
 // (WriteJSON) and human (String) renderings.
 //
@@ -140,6 +270,14 @@ func (c *Campaign) normalizedVariants() ([]CampaignVariant, error) {
 // WithPerRunCompile restores the old compile-every-run behaviour; the two
 // paths produce byte-identical run fingerprints (pinned by the campaign fork
 // tests and BenchmarkScale_CampaignThroughput).
+//
+// With a store attached (WithCampaignStore / sgml.WithStore) every executed
+// run is checkpointed as it completes, and WithResume pre-loads the store's
+// records: already-done cells are restored into the report (marked Resumed)
+// and excluded from dispatch, so an interrupted sweep pays only for the
+// cells it never finished. Cancellation is prompt: the dispatcher watches
+// ctx and marks every not-yet-dispatched cell "cancelled before run" in bulk
+// instead of feeding the whole matrix through the pool.
 func RunCampaign(ctx context.Context, c *Campaign, opts ...CampaignOption) (*CampaignReport, error) {
 	cfg := optionSet{workers: c.Workers}
 	applyCampaign(opts, &cfg)
@@ -163,23 +301,96 @@ func RunCampaign(ctx context.Context, c *Campaign, opts ...CampaignOption) (*Cam
 		}
 	}
 
-	// Compile each distinct model once, up front. A root compile failure is
-	// not fatal to the sweep: it is recorded on every run of the affected
-	// variants, exactly as the per-run compile error used to be.
+	// Attach the store, if any. Opening is deferred to here because durable
+	// stores key their layout by the campaign's name and SpecHash.
+	var st CampaignStore
+	if cfg.storeOpen != nil {
+		if st, err = cfg.storeOpen(c); err != nil {
+			return nil, err
+		}
+		if cl, ok := st.(interface{ Close() error }); ok {
+			defer cl.Close()
+		}
+	}
+	if cfg.resume && st == nil {
+		return nil, fmt.Errorf("%w: WithResume needs a store to resume from (WithStore)", ErrCampaign)
+	}
+
+	// Expand the sweep matrix. rep.Runs is indexed by expansion order; the
+	// cell index lets sinks and the resume path address cells by identity.
+	var specs []campaignRunSpec
+	for i := range variants {
+		v := &variants[i]
+		for _, seed := range v.Seeds {
+			for attempt := 1; attempt <= v.Repeat; attempt++ {
+				specs = append(specs, campaignRunSpec{variant: v, model: v.Model, seed: seed, attempt: attempt})
+			}
+		}
+	}
+	rep := &CampaignReport{
+		Campaign: name,
+		Workers:  cfg.workers,
+		Runs:     make([]CampaignRun, len(specs)),
+	}
+	index := make(map[cellKey]int, len(specs))
+	for idx := range specs {
+		s := &specs[idx]
+		index[cellKey{s.variant.Name, s.seed, s.attempt}] = idx
+	}
+
+	// Resume: restore the store's records into the report and build the
+	// skip-set — restored cells are never dispatched, let alone re-executed.
+	var pending []int
+	if cfg.resume {
+		stored, err := st.Load()
+		if err != nil {
+			return nil, fmt.Errorf("resume: %w", err)
+		}
+		restored := make(map[cellKey]*CampaignRun, len(stored.Runs))
+		for i := range stored.Runs {
+			run := &stored.Runs[i]
+			restored[cellKey{run.Variant, run.Seed, run.Attempt}] = run
+		}
+		for idx := range specs {
+			s := &specs[idx]
+			prior, ok := restored[cellKey{s.variant.Name, s.seed, s.attempt}]
+			if !ok {
+				pending = append(pending, idx)
+				continue
+			}
+			run := *prior
+			run.Resumed = true
+			rep.Runs[idx] = run
+			rep.Resumed++
+		}
+	} else {
+		pending = make([]int, len(specs))
+		for i := range pending {
+			pending[i] = i
+		}
+	}
+
+	// Compile each model with pending cells once, up front (a fully-resumed
+	// sweep compiles nothing). A root compile failure is not fatal to the
+	// sweep: it is recorded on every run of the affected variants, exactly
+	// as the per-run compile error used to be.
 	roots := make(map[*ModelSet]*CyberRange)
 	rootErrs := make(map[*ModelSet]error)
+	rootErrTimes := make(map[*ModelSet]time.Duration)
 	if !cfg.perRunCompile {
-		for i := range variants {
-			ms := variants[i].Model
+		for _, idx := range pending {
+			ms := specs[idx].model
 			if _, ok := roots[ms]; ok {
 				continue
 			}
 			if _, ok := rootErrs[ms]; ok {
 				continue
 			}
+			compileStart := time.Now()
 			root, err := Compile(ms)
 			if err != nil {
 				rootErrs[ms] = err
+				rootErrTimes[ms] = time.Since(compileStart)
 				continue
 			}
 			// The root exists only to be forked: donate its idle fabric
@@ -193,26 +404,39 @@ func RunCampaign(ctx context.Context, c *Campaign, opts ...CampaignOption) (*Cam
 				root.Stop()
 			}
 		}()
+		for _, idx := range pending {
+			s := &specs[idx]
+			s.root, s.rootErr = roots[s.model], rootErrs[s.model]
+			s.rootErrTime = rootErrTimes[s.model]
+		}
 	}
 
-	var specs []campaignRunSpec
-	for i := range variants {
-		v := &variants[i]
-		for _, seed := range v.Seeds {
-			for attempt := 1; attempt <= v.Repeat; attempt++ {
-				specs = append(specs, campaignRunSpec{
-					variant: v, model: v.Model, seed: seed, attempt: attempt,
-					root: roots[v.Model], rootErr: rootErrs[v.Model],
-				})
+	// The sink chain: the report's own in-memory aggregation first, then any
+	// extra observers, then the store. Cancelled cells reach only the memory
+	// sink — a store must never checkpoint a cell that did not execute.
+	mem := &memorySink{rep: rep, index: index}
+	ext := append([]RunSink(nil), cfg.sinks...)
+	if st != nil {
+		ext = append(ext, RunSink(st))
+	}
+	var sinkMu sync.Mutex
+	var sinkErr error
+	record := func(run CampaignRun) {
+		mem.Put(run)
+		if run.cancelled {
+			return
+		}
+		for _, s := range ext {
+			if err := s.Put(run); err != nil {
+				sinkMu.Lock()
+				if sinkErr == nil {
+					sinkErr = err
+				}
+				sinkMu.Unlock()
 			}
 		}
 	}
 
-	rep := &CampaignReport{
-		Campaign: name,
-		Workers:  cfg.workers,
-		Runs:     make([]CampaignRun, len(specs)),
-	}
 	start := time.Now()
 	jobs := make(chan int)
 	var wg sync.WaitGroup
@@ -221,24 +445,55 @@ func RunCampaign(ctx context.Context, c *Campaign, opts ...CampaignOption) (*Cam
 		go func() {
 			defer wg.Done()
 			for idx := range jobs {
-				rep.Runs[idx] = executeCampaignRun(ctx, specs[idx])
+				record(executeCampaignRun(ctx, specs[idx]))
 			}
 		}()
 	}
-	for idx := range specs {
-		jobs <- idx
+	// The dispatcher watches ctx alongside the unbuffered job channel: on
+	// cancellation it stops feeding immediately and stamps every cell it
+	// never handed out in one bulk pass, so a cancelled 10k-run sweep
+	// returns as soon as the in-flight runs notice, instead of funnelling
+	// every remaining cell through a worker just to mark it cancelled.
+	cancelledAt := -1
+	for i, idx := range pending {
+		select {
+		case jobs <- idx:
+			continue
+		case <-ctx.Done():
+			cancelledAt = i
+		}
+		break
 	}
 	close(jobs)
+	if cancelledAt >= 0 {
+		cause := ctx.Err()
+		for _, idx := range pending[cancelledAt:] {
+			record(cancelledRun(&specs[idx], cause))
+		}
+	}
 	wg.Wait()
 	rep.WallTime = time.Since(start)
 	rep.aggregate(variants)
+	if sinkErr != nil {
+		return rep, fmt.Errorf("campaign sink: %w", sinkErr)
+	}
+	// Commit the finished sweep. Only a complete, fully-clean population is
+	// committed: a cancelled or partially-failed sweep stays open so a later
+	// resume can finish (or retry) the missing cells.
+	if st != nil && cancelledAt < 0 && rep.Failures == 0 {
+		if fin, ok := st.(interface{ Finish(*CampaignReport) error }); ok {
+			if err := fin.Finish(rep); err != nil {
+				return rep, fmt.Errorf("campaign store commit: %w", err)
+			}
+		}
+	}
 	return rep, nil
 }
 
-// executeCampaignRun performs one isolated run: obtain a private range — a
-// fork of the model's compile-once root, or a fresh compile under
-// WithPerRunCompile — execute the scenario, tear down, record.
-func executeCampaignRun(ctx context.Context, spec campaignRunSpec) CampaignRun {
+// cancelledRun stamps a cell that will never execute because the context was
+// cancelled first. Cancelled cells are recorded in the report (the operator
+// sees exactly which cells are missing) but withheld from sinks.
+func cancelledRun(spec *campaignRunSpec, cause error) CampaignRun {
 	v := spec.variant
 	run := CampaignRun{
 		Variant: v.Name,
@@ -250,30 +505,55 @@ func executeCampaignRun(ctx context.Context, spec campaignRunSpec) CampaignRun {
 		run.Engine = "sequential"
 	}
 	run.FramePooling = v.FramePooling == nil || *v.FramePooling
+	run.Err = fmt.Sprintf("cancelled before run: %v", cause)
+	run.cancelled = true
+	return run
+}
+
+// executeCampaignRun performs one isolated run: obtain a private range — a
+// fork of the model's compile-once root, or a fresh compile under
+// WithPerRunCompile — execute the scenario, tear down, record.
+func executeCampaignRun(ctx context.Context, spec campaignRunSpec) CampaignRun {
 	if err := ctx.Err(); err != nil {
-		run.Err = fmt.Sprintf("cancelled before run: %v", err)
-		return run
+		return cancelledRun(&spec, err)
 	}
+	v := spec.variant
+	run := CampaignRun{
+		Variant: v.Name,
+		Seed:    spec.seed,
+		Attempt: spec.attempt,
+		Engine:  "parallel",
+	}
+	if v.Sequential {
+		run.Engine = "sequential"
+	}
+	run.FramePooling = v.FramePooling == nil || *v.FramePooling
 
 	// CompileTime records what this run paid to obtain its range: the fork
-	// (fast path) or the full compile (per-run-compile reference path).
+	// (fast path) or the full compile (per-run-compile reference path) — on
+	// the failure paths too, so failed runs stay attributable in sinks and
+	// store records.
+	if spec.rootErr != nil {
+		// The shared root failed to compile once, up front; every run of the
+		// model inherits the error and is attributed the compile's real cost.
+		run.CompileTime = spec.rootErrTime
+		run.Err = fmt.Sprintf("compile: %v", spec.rootErr)
+		return run
+	}
 	compileStart := time.Now()
 	var r *CyberRange
 	var err error
-	switch {
-	case spec.rootErr != nil:
-		err = spec.rootErr
-	case spec.root != nil:
+	if spec.root != nil {
 		r, err = spec.root.Fork()
-	default:
+	} else {
 		r, err = Compile(spec.model)
 	}
+	run.CompileTime = time.Since(compileStart)
 	if err != nil {
 		run.Err = fmt.Sprintf("compile: %v", err)
 		return run
 	}
 	defer r.Stop()
-	run.CompileTime = time.Since(compileStart)
 
 	opts := []RunOption{WithSeed(spec.seed)}
 	if v.Sequential {

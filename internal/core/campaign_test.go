@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -144,6 +145,111 @@ func TestCampaignAggregateDeterminismMismatch(t *testing.T) {
 	}
 	if !strings.Contains(rep.String(), "MISMATCH") {
 		t.Error("human summary does not surface the mismatch")
+	}
+}
+
+// cancelSink cancels the campaign's context on the first delivered run and
+// counts what reaches it — the streaming-sink view of a cancelled sweep.
+type cancelSink struct {
+	cancel context.CancelFunc
+	mu     sync.Mutex
+	puts   int
+}
+
+func (s *cancelSink) Put(run CampaignRun) error {
+	if run.cancelled {
+		panic("cancelled cell delivered to an external sink")
+	}
+	s.mu.Lock()
+	s.puts++
+	s.mu.Unlock()
+	s.cancel()
+	return nil
+}
+
+func TestCampaignCancellation(t *testing.T) {
+	// Cancelling mid-sweep must stop the dispatcher promptly: the cells
+	// never handed out are bulk-marked "cancelled before run" instead of
+	// each being funnelled through a worker, and none of them reach sinks.
+	ms := epicModelSet(t)
+	sc := &Scenario{Name: "drill", Steps: 3}
+	seeds := make([]int64, 24)
+	for i := range seeds {
+		seeds[i] = int64(i + 1)
+	}
+	c := &Campaign{Name: "cancel", Model: ms, Variants: []CampaignVariant{
+		{Name: "only", Scenario: sc, Seeds: seeds},
+	}}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sink := &cancelSink{cancel: cancel}
+	rep, err := RunCampaign(ctx, c, WithWorkers(2), WithRunSink(sink))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TotalRuns != len(seeds) {
+		t.Fatalf("TotalRuns = %d, want %d", rep.TotalRuns, len(seeds))
+	}
+	cancelled := 0
+	for i := range rep.Runs {
+		if strings.Contains(rep.Runs[i].Err, "cancelled before run") {
+			cancelled++
+		}
+	}
+	if cancelled == 0 {
+		t.Fatal("no cells marked cancelled")
+	}
+	// Prompt return: after the first completed run triggers cancel, only
+	// the in-flight cells may still execute — the bulk of the sweep must
+	// have been cancelled without ever reaching a worker or a sink.
+	if sink.puts > 8 {
+		t.Errorf("%d runs executed after cancellation; dispatcher did not stop promptly", sink.puts)
+	}
+	if sink.puts+cancelled != rep.TotalRuns {
+		t.Errorf("executed (%d) + cancelled (%d) != total (%d): cancelled cells leaked to sinks or were lost",
+			sink.puts, cancelled, rep.TotalRuns)
+	}
+	if rep.Failures != cancelled {
+		t.Errorf("Failures = %d, want %d (the cancelled cells)", rep.Failures, cancelled)
+	}
+}
+
+func TestCampaignCompileTimeOnFailure(t *testing.T) {
+	// A failed provisioning step must still be attributed: the run records
+	// the compile error AND what the attempt cost, under both the shared
+	// compile-once root and the per-run-compile reference path.
+	bad := &ModelSet{Name: "bad"} // no SCDs: Compile fails
+	c := &Campaign{Name: "ct", Model: bad, Variants: []CampaignVariant{
+		{Name: "only", Scenario: &Scenario{Name: "s", Steps: 1}, Seeds: []int64{1}},
+	}}
+	paths := map[string][]CampaignOption{
+		"forked":          {WithWorkers(1)},
+		"per-run-compile": {WithWorkers(1), WithPerRunCompile()},
+	}
+	for name, opts := range paths {
+		t.Run(name, func(t *testing.T) {
+			rep, err := RunCampaign(context.Background(), c, opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			run := &rep.Runs[0]
+			if !strings.Contains(run.Err, "compile:") {
+				t.Fatalf("run.Err = %q, want a compile error", run.Err)
+			}
+			if run.CompileTime <= 0 {
+				t.Errorf("CompileTime = %v on the failure path, want > 0", run.CompileTime)
+			}
+		})
+	}
+}
+
+func TestCampaignResumeRequiresStore(t *testing.T) {
+	c := &Campaign{Name: "r", Model: &ModelSet{Name: "m"}, Variants: []CampaignVariant{
+		{Name: "v", Scenario: &Scenario{Name: "s", Steps: 1}},
+	}}
+	_, err := RunCampaign(context.Background(), c, WithResume())
+	if !errors.Is(err, ErrCampaign) || !strings.Contains(err.Error(), "store") {
+		t.Fatalf("err = %v, want ErrCampaign naming the missing store", err)
 	}
 }
 

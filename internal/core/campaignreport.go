@@ -38,12 +38,37 @@ type CampaignRun struct {
 	EventErrors []string `json:"eventErrors,omitempty"`
 	Err         string   `json:"err,omitempty"`
 
+	// Resumed marks a run restored from a store (WithResume) instead of
+	// executed by this process. A resumed run is indistinguishable from its
+	// original execution in every deterministic field; only its wall-clock
+	// timings are historical.
+	Resumed bool `json:"resumed,omitempty"`
+
 	// Report is the full structured run report, available in process for
 	// drill-down; excluded from the campaign JSON, which carries the
-	// aggregate view.
+	// aggregate view. Stores persist it separately so Load can rehydrate it.
 	Report *RunReport `json:"-"`
 
 	fingerprint string // full fingerprint text; determinism groups compare on it
+	cancelled   bool   // cell never executed (context cancelled); withheld from sinks
+}
+
+// FullFingerprint returns the run's full canonical fingerprint text (the
+// input of the displayed FNV hash). Determinism grouping and the store's
+// Merkle leaves are computed over this text; empty for runs that never
+// produced a report.
+func (cr *CampaignRun) FullFingerprint() string { return cr.fingerprint }
+
+// Rehydrate recomputes the run's fingerprint fields from its attached
+// Report. Stores use it after decoding a persisted record: the full
+// fingerprint text is derived state (a pure function of the report), so it
+// is recomputed on load rather than trusted from disk.
+func (cr *CampaignRun) Rehydrate() {
+	if cr.Report == nil {
+		return
+	}
+	cr.fingerprint = cr.Report.Fingerprint()
+	cr.Fingerprint = fingerprintHash(cr.fingerprint)
 }
 
 // Failed reports whether the run is unusable: it errored, aborted, or any of
@@ -100,10 +125,20 @@ type CampaignReport struct {
 	TotalRuns int           `json:"totalRuns"`
 	// Failures counts runs that errored or carried failing events; campaign
 	// callers (rangectl) exit non-zero when it is > 0.
-	Failures    int                   `json:"failures"`
+	Failures int `json:"failures"`
+	// Resumed counts runs restored from a store instead of executed.
+	Resumed     int                   `json:"resumed,omitempty"`
 	Runs        []CampaignRun         `json:"runs"`
 	Variants    []VariantSummary      `json:"variants"`
 	Determinism []DeterminismMismatch `json:"determinismMismatches,omitempty"`
+	// MerkleRoot is the hex SHA-256 Merkle root over the sweep's run
+	// fingerprints sorted by (variant, seed, attempt), stamped by the store
+	// when a complete clean sweep is committed (sealed). Empty for sweeps
+	// run without a store, cancelled sweeps and sweeps with failures. The
+	// root is a pure function of the deterministic run outcomes, so an
+	// interrupted-then-resumed sweep commits to the same root as an
+	// uninterrupted one.
+	MerkleRoot string `json:"merkleRoot,omitempty"`
 }
 
 // EventFailures returns every failed scenario event across the sweep, as
@@ -304,8 +339,15 @@ func (rep *CampaignReport) WriteJSON(w io.Writer) error {
 func (rep *CampaignReport) String() string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "=== campaign %q ===\n", rep.Campaign)
-	fmt.Fprintf(&sb, "%d runs · %d variants · %d workers · wall %v · %d failures\n",
+	fmt.Fprintf(&sb, "%d runs · %d variants · %d workers · wall %v · %d failures",
 		rep.TotalRuns, len(rep.Variants), rep.Workers, rep.WallTime.Round(time.Millisecond), rep.Failures)
+	if rep.Resumed > 0 {
+		fmt.Fprintf(&sb, " · %d resumed", rep.Resumed)
+	}
+	sb.WriteString("\n")
+	if rep.MerkleRoot != "" {
+		fmt.Fprintf(&sb, "merkle root %s\n", rep.MerkleRoot)
+	}
 	sb.WriteString("\n--- variants ---\n")
 	fmt.Fprintf(&sb, "%-16s %5s %5s %10s %8s %10s %10s %10s %-30s %s\n",
 		"variant", "runs", "fail", "precision", "recall", "alert-lat", "cache-hit", "pkts/s", "step p50/p90/max", "determinism")

@@ -21,6 +21,9 @@ type optionSet struct {
 	pooling       bool
 	poolingSet    bool
 	perRunCompile bool
+	sinks         []RunSink   // extra streaming observers (WithRunSink)
+	storeOpen     StoreOpener // deferred store constructor (WithCampaignStore)
+	resume        bool        // skip cells the store already holds (WithResume)
 }
 
 // CompileOption tunes the compiled range (accepted by Compile).
@@ -115,6 +118,45 @@ func (perRunCompileOption) campaignOption()          {}
 // so this knob exists for ablation and as the conservative fallback, not for
 // correctness.
 func WithPerRunCompile() CampaignOption { return perRunCompileOption{} }
+
+type runSinkOption struct{ sink RunSink }
+
+func (s runSinkOption) applyOption(o *optionSet) { o.sinks = append(o.sinks, s.sink) }
+func (runSinkOption) campaignOption()            {}
+
+// WithRunSink attaches a streaming observer to RunCampaign: every executed
+// run is delivered to the sink as it completes, in completion order, from
+// worker goroutines (the sink must be safe for concurrent use). Cancelled
+// cells are recorded in the report but never delivered. May be repeated to
+// attach several sinks.
+func WithRunSink(s RunSink) CampaignOption { return runSinkOption{sink: s} }
+
+type storeOption struct{ open StoreOpener }
+
+func (s storeOption) applyOption(o *optionSet) { o.storeOpen = s.open }
+func (storeOption) campaignOption()            {}
+
+// WithCampaignStore attaches a persistent CampaignStore to RunCampaign. The
+// opener runs once the campaign is assembled (durable stores key their
+// layout by the campaign's name and SpecHash); the store then receives every
+// executed run like a RunSink, and — if the sweep completes with every cell
+// clean — its Finish commit, where it seals the result set under its Merkle
+// root and stamps CampaignReport.MerkleRoot. The public sgml.WithStore(dir)
+// wraps this with the JSONL directory backend from internal/store.
+func WithCampaignStore(open StoreOpener) CampaignOption { return storeOption{open: open} }
+
+type resumeOption struct{}
+
+func (resumeOption) applyOption(o *optionSet) { o.resume = true }
+func (resumeOption) campaignOption()          {}
+
+// WithResume makes RunCampaign load the attached store's records before
+// dispatch: cells with a clean persisted record are restored into the report
+// (marked Resumed) and never re-executed; only the missing cells run.
+// Requires a store (WithCampaignStore / sgml.WithStore); a resumed sweep's
+// fingerprint map and Merkle root are byte-identical to an uninterrupted
+// run's, pinned by the resume differential tests.
+func WithResume() CampaignOption { return resumeOption{} }
 
 // applyCompile/applyRun/applyCampaign adapt the narrowed slices to apply.
 func applyCompile(opts []CompileOption, o *optionSet) {

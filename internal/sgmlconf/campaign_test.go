@@ -61,6 +61,9 @@ func TestCampaignConfigValidation(t *testing.T) {
 		{"empty seeds", `<Campaign name="c"><Variant name="v" scenario="s.xml" seeds=""/></Campaign>`},
 		{"separator-only seeds", `<Campaign name="c"><Variant name="v" scenario="s.xml" seeds=" , "/></Campaign>`},
 		{"bad framePooling", `<Campaign name="c"><Variant name="v" scenario="s.xml" framePooling="sometimes"/></Campaign>`},
+		{"double-dash range", `<Campaign name="c"><Variant name="v" scenario="s.xml" seeds="1--3"/></Campaign>`},
+		{"open-ended range", `<Campaign name="c"><Variant name="v" scenario="s.xml" seeds="3-"/></Campaign>`},
+		{"range in garbage", `<Campaign name="c"><Variant name="v" scenario="s.xml" seeds="1,2-b"/></Campaign>`},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

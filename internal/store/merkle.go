@@ -1,0 +1,114 @@
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+)
+
+// Merkle commitment over a campaign's run fingerprints.
+//
+// The tree is the textbook binary hash tree with two standard hardenings:
+// leaf and interior hashes are domain-separated (0x00 / 0x01 prefixes, so a
+// crafted leaf can never impersonate an interior node), and an odd node at
+// any level is promoted unchanged rather than paired with itself (no
+// CVE-2012-2459-style duplicate-leaf ambiguity). Leaves are the runs'
+// leafContent byte strings sorted by (variant, seed, attempt), making the
+// root a pure function of the sweep's deterministic outcomes — independent
+// of completion order, worker count, interruption or resume.
+
+// merkleLeaf hashes a leaf: SHA-256(0x00 || data).
+func merkleLeaf(data []byte) [sha256.Size]byte {
+	h := sha256.New()
+	h.Write([]byte{0x00})
+	h.Write(data)
+	var out [sha256.Size]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// merkleNode hashes an interior node: SHA-256(0x01 || left || right).
+func merkleNode(left, right [sha256.Size]byte) [sha256.Size]byte {
+	h := sha256.New()
+	h.Write([]byte{0x01})
+	h.Write(left[:])
+	h.Write(right[:])
+	var out [sha256.Size]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// MerkleRoot returns the hex root committing to the ordered leaves. The
+// empty set has no root (campaign stores never seal empty sweeps).
+func MerkleRoot(leaves [][]byte) string {
+	if len(leaves) == 0 {
+		return ""
+	}
+	level := make([][sha256.Size]byte, len(leaves))
+	for i, l := range leaves {
+		level[i] = merkleLeaf(l)
+	}
+	for len(level) > 1 {
+		level = foldLevel(level)
+	}
+	return hex.EncodeToString(level[0][:])
+}
+
+// ProofStep is one level of a Merkle inclusion proof: the sibling hash and
+// which side it combines on.
+type ProofStep struct {
+	Sibling [sha256.Size]byte
+	// Right is true when the sibling is the right operand of the parent
+	// hash (i.e. the proven node is on the left).
+	Right bool
+}
+
+// MerkleProve builds the inclusion proof for leaves[idx] against
+// MerkleRoot(leaves). Levels where the node is the promoted odd node
+// contribute no step.
+func MerkleProve(leaves [][]byte, idx int) ([]ProofStep, error) {
+	if idx < 0 || idx >= len(leaves) {
+		return nil, fmt.Errorf("store: merkle proof index %d out of range [0,%d)", idx, len(leaves))
+	}
+	level := make([][sha256.Size]byte, len(leaves))
+	for i, l := range leaves {
+		level[i] = merkleLeaf(l)
+	}
+	var proof []ProofStep
+	pos := idx
+	for len(level) > 1 {
+		if sib := pos ^ 1; sib < len(level) {
+			proof = append(proof, ProofStep{Sibling: level[sib], Right: sib > pos})
+		}
+		level = foldLevel(level)
+		pos /= 2
+	}
+	return proof, nil
+}
+
+// foldLevel hashes one tree level into the next: adjacent pairs combine, an
+// odd trailing node promotes unchanged.
+func foldLevel(level [][sha256.Size]byte) [][sha256.Size]byte {
+	next := make([][sha256.Size]byte, 0, (len(level)+1)/2)
+	for i := 0; i+1 < len(level); i += 2 {
+		next = append(next, merkleNode(level[i], level[i+1]))
+	}
+	if len(level)%2 == 1 {
+		next = append(next, level[len(level)-1])
+	}
+	return next
+}
+
+// MerkleVerify checks an inclusion proof: that leaf, combined up through the
+// proof's siblings, reproduces the hex root.
+func MerkleVerify(root string, leaf []byte, proof []ProofStep) bool {
+	h := merkleLeaf(leaf)
+	for _, step := range proof {
+		if step.Right {
+			h = merkleNode(h, step.Sibling)
+		} else {
+			h = merkleNode(step.Sibling, h)
+		}
+	}
+	return hex.EncodeToString(h[:]) == root
+}

@@ -1,0 +1,82 @@
+package store
+
+import (
+	"fmt"
+	"testing"
+)
+
+func synthLeaves(n int) [][]byte {
+	leaves := make([][]byte, n)
+	for i := range leaves {
+		leaves[i] = []byte(fmt.Sprintf("leaf-%d", i))
+	}
+	return leaves
+}
+
+func TestMerkleRootDeterministic(t *testing.T) {
+	leaves := synthLeaves(5)
+	if MerkleRoot(leaves) != MerkleRoot(synthLeaves(5)) {
+		t.Fatal("root not deterministic")
+	}
+	if MerkleRoot(nil) != "" {
+		t.Fatal("empty set must have no root")
+	}
+	// Order and content sensitivity.
+	swapped := synthLeaves(5)
+	swapped[0], swapped[1] = swapped[1], swapped[0]
+	if MerkleRoot(swapped) == MerkleRoot(leaves) {
+		t.Fatal("root insensitive to leaf order")
+	}
+	edited := synthLeaves(5)
+	edited[3][0] ^= 0x01
+	if MerkleRoot(edited) == MerkleRoot(leaves) {
+		t.Fatal("root insensitive to a flipped leaf byte")
+	}
+}
+
+func TestMerkleOddPromotionUnambiguous(t *testing.T) {
+	// The classic duplicate-last-leaf ambiguity: a 3-leaf tree must not
+	// share its root with the 4-leaf tree that repeats the last leaf.
+	three := synthLeaves(3)
+	four := append(synthLeaves(3), []byte("leaf-2"))
+	if MerkleRoot(three) == MerkleRoot(four) {
+		t.Fatal("odd promotion is ambiguous against duplicated leaves")
+	}
+	// Domain separation: a single leaf's root is not the bare leaf hash of
+	// an interior encoding (indirectly: 1-leaf and 2-equal-leaf differ).
+	one := synthLeaves(1)
+	two := [][]byte{[]byte("leaf-0"), []byte("leaf-0")}
+	if MerkleRoot(one) == MerkleRoot(two) {
+		t.Fatal("leaf/node domain separation failed")
+	}
+}
+
+func TestMerkleInclusionProofs(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 5, 7, 8, 13} {
+		leaves := synthLeaves(n)
+		root := MerkleRoot(leaves)
+		for idx := 0; idx < n; idx++ {
+			proof, err := MerkleProve(leaves, idx)
+			if err != nil {
+				t.Fatalf("n=%d idx=%d: %v", n, idx, err)
+			}
+			if !MerkleVerify(root, leaves[idx], proof) {
+				t.Fatalf("n=%d idx=%d: valid proof rejected", n, idx)
+			}
+			// The proof must not verify a different leaf, nor against a
+			// different root.
+			if MerkleVerify(root, []byte("forged"), proof) {
+				t.Fatalf("n=%d idx=%d: proof verified a forged leaf", n, idx)
+			}
+			if n > 1 {
+				other := (idx + 1) % n
+				if MerkleVerify(root, leaves[other], proof) {
+					t.Fatalf("n=%d idx=%d: proof verified the wrong leaf", n, idx)
+				}
+			}
+		}
+		if _, err := MerkleProve(leaves, n); err == nil {
+			t.Fatalf("n=%d: out-of-range index accepted", n)
+		}
+	}
+}

@@ -1,0 +1,173 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/core"
+)
+
+// Verification is the audit result for one sealed campaign in a store
+// directory: its identity, record count and recomputed (and matching)
+// Merkle root.
+type Verification struct {
+	Campaign string `json:"campaign"`
+	SpecHash string `json:"specHash"`
+	Dir      string `json:"dir"`
+	Runs     int    `json:"runs"`
+	Root     string `json:"root"`
+}
+
+// Verify audits every campaign under the store directory: each record file
+// must parse strictly (any damaged frame — a single flipped byte — fails),
+// every campaign must be sealed, the seal's distinct-cell count must match
+// the records, and the Merkle root recomputed from the records must equal
+// the sealed root. The first violation aborts with a non-nil error naming
+// the campaign and cause.
+func Verify(dir string) ([]Verification, error) {
+	dirs, err := campaignDirs(dir)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Verification, 0, len(dirs))
+	for _, sub := range dirs {
+		v, err := verifyCampaign(sub)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, *v)
+	}
+	return out, nil
+}
+
+// VerifyRun audits one cell: it locates the sealed campaign(s) holding the
+// (variant, seed, attempt) record, builds the record's Merkle inclusion
+// proof and checks it against the sealed root. Every campaign containing
+// the cell must verify; an absent cell is an error.
+func VerifyRun(dir, variant string, seed int64, attempt int) (*Verification, error) {
+	dirs, err := campaignDirs(dir)
+	if err != nil {
+		return nil, err
+	}
+	key := cellKey{variant, seed, attempt}
+	var found *Verification
+	for _, sub := range dirs {
+		v, runs, seal, err := loadSealed(sub)
+		if err != nil {
+			return nil, err
+		}
+		idx := -1
+		leaves := make([][]byte, len(runs))
+		for i := range runs {
+			leaves[i] = leafContent(&runs[i])
+			if (cellKey{runs[i].Variant, runs[i].Seed, runs[i].Attempt}) == key {
+				idx = i
+			}
+		}
+		if idx < 0 {
+			continue
+		}
+		proof, err := MerkleProve(leaves, idx)
+		if err != nil {
+			return nil, fmt.Errorf("store: %s: %w", filepath.Base(sub), err)
+		}
+		if !MerkleVerify(seal.Root, leaves[idx], proof) {
+			return nil, fmt.Errorf("store: %s: inclusion proof for run %s does not verify against sealed root %s",
+				filepath.Base(sub), key, seal.Root)
+		}
+		found = v
+	}
+	if found == nil {
+		return nil, fmt.Errorf("store: no sealed campaign under %s holds run %s", dir, key)
+	}
+	return found, nil
+}
+
+// campaignDirs lists the campaign subdirectories (those holding a record
+// file) of a store directory, sorted for deterministic audit order.
+func campaignDirs(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	var out []string
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		sub := filepath.Join(dir, e.Name())
+		if _, err := os.Stat(filepath.Join(sub, runsFile)); err == nil {
+			out = append(out, sub)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("store: no campaign records under %s", dir)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// verifyCampaign audits one campaign subdirectory end to end.
+func verifyCampaign(sub string) (*Verification, error) {
+	v, runs, seal, err := loadSealed(sub)
+	if err != nil {
+		return nil, err
+	}
+	if seal.Runs != len(runs) {
+		return nil, fmt.Errorf("store: %s: seal commits to %d runs but %d records are present",
+			filepath.Base(sub), seal.Runs, len(runs))
+	}
+	if root := rootOverRuns(runs); root != seal.Root {
+		return nil, fmt.Errorf("store: %s: recomputed Merkle root %s does not match sealed root %s",
+			filepath.Base(sub), root, seal.Root)
+	}
+	return v, nil
+}
+
+// loadSealed strict-parses a campaign subdirectory: every frame must be
+// intact and the seal present. Returns the deduplicated (last record wins)
+// population sorted by (variant, seed, attempt).
+func loadSealed(sub string) (*Verification, []core.CampaignRun, *sealRecord, error) {
+	name := filepath.Base(sub)
+	buf, err := os.ReadFile(filepath.Join(sub, runsFile))
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("store: %s: %w", name, err)
+	}
+	payloads, _, err := parseFrames(buf)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("store: %s: %s: %w", name, runsFile, err)
+	}
+	byCell := make(map[cellKey]core.CampaignRun, len(payloads))
+	for i, p := range payloads {
+		run, err := decodeRecord(p)
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("store: %s: %s record %d: %w", name, runsFile, i, err)
+		}
+		byCell[cellKey{run.Variant, run.Seed, run.Attempt}] = run
+	}
+	runs := make([]core.CampaignRun, 0, len(byCell))
+	for _, run := range byCell {
+		runs = append(runs, run)
+	}
+	sortRuns(runs)
+
+	sealBuf, err := os.ReadFile(filepath.Join(sub, sealFile))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil, nil, fmt.Errorf("store: %s: not sealed (no %s: the sweep never completed cleanly)", name, sealFile)
+		}
+		return nil, nil, nil, fmt.Errorf("store: %s: %w", name, err)
+	}
+	var seal sealRecord
+	if err := json.Unmarshal(sealBuf, &seal); err != nil {
+		return nil, nil, nil, fmt.Errorf("store: %s: %s: %w", name, sealFile, err)
+	}
+	if seal.Root == "" {
+		return nil, nil, nil, fmt.Errorf("store: %s: %s has no root", name, sealFile)
+	}
+	v := &Verification{Campaign: seal.Campaign, SpecHash: seal.SpecHash, Dir: sub, Runs: len(runs), Root: seal.Root}
+	return v, runs, &seal, nil
+}

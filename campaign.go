@@ -2,8 +2,10 @@ package sgml
 
 import (
 	"context"
+	"fmt"
 	"os"
 	"path/filepath"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/sgmlconf"
@@ -31,8 +33,16 @@ type (
 	// disagreed on their fingerprint.
 	DeterminismMismatch = core.DeterminismMismatch
 	// CampaignOption tunes a campaign execution (WithWorkers,
-	// WithPerRunCompile, WithStore, WithResume, WithRunSink).
+	// WithPerRunCompile, WithStore, WithResume, WithRunSink, WithRunTimeout,
+	// WithRetries).
 	CampaignOption = core.CampaignOption
+	// RunFailure classifies why a campaign run failed; see the Fail*
+	// constants and CampaignRun.Failure.
+	RunFailure = core.RunFailure
+	// RunRetry is one abandoned attempt in a retried cell's history
+	// (CampaignRun.Retries). Retry history never contributes to run
+	// fingerprints or the Merkle root.
+	RunRetry = core.RunRetry
 	// RunSink observes completed campaign runs as they finish — the
 	// streaming half of the campaign result path. See WithRunSink.
 	RunSink = core.RunSink
@@ -43,6 +53,18 @@ type (
 
 // ErrCampaign is returned when a campaign cannot be validated or executed.
 var ErrCampaign = core.ErrCampaign
+
+// Run-failure classes; see RunFailure and the package doc's "Fault
+// tolerance" section for which classes WithRetries re-executes.
+const (
+	FailNone      = core.FailNone
+	FailCompile   = core.FailCompile
+	FailPanic     = core.FailPanic
+	FailTimeout   = core.FailTimeout
+	FailStore     = core.FailStore
+	FailScenario  = core.FailScenario
+	FailCancelled = core.FailCancelled
+)
 
 // WithCampaignWorkers sets how many runs execute concurrently (default
 // runtime.GOMAXPROCS); 1 executes the sweep sequentially.
@@ -77,6 +99,21 @@ func WithStore(dir string) CampaignOption {
 		return store.OpenJSONL(dir, c)
 	})
 }
+
+// WithRunTimeout puts a wall-clock deadline on every individual campaign run:
+// a run that exceeds d is cancelled through its derived context and recorded
+// as a FailTimeout failure (retryable) instead of wedging its worker and the
+// sweep behind it. Zero (the default) means no per-run deadline.
+func WithRunTimeout(d time.Duration) CampaignOption { return core.WithRunTimeout(d) }
+
+// WithRetries re-executes failed campaign runs up to n extra attempts, on a
+// fresh fork, with capped exponential backoff — but only for
+// infrastructure-shaped failures (FailPanic, FailTimeout, FailStore).
+// Scenario-semantics failures are deterministic facts about the
+// (model, scenario, seed) cell and are never retried. A retried cell that
+// succeeds carries its abandoned attempts in CampaignRun.Retries and still
+// produces the cell's deterministic fingerprint.
+func WithRetries(n int) CampaignOption { return core.WithRetries(n) }
 
 // WithResume makes RunCampaign load the attached store's records before
 // dispatch: cells with a persisted record are restored into the report
@@ -139,13 +176,20 @@ func campaignFromConfig(cfg *sgmlconf.CampaignConfig, baseDir string, model *Mod
 	models := map[string]*ModelSet{}
 	for i := range cfg.Variants {
 		vc := &cfg.Variants[i]
-		v := CampaignVariant{Name: vc.Name, Repeat: vc.Repeat, Sequential: vc.Sequential}
+		// Every load/parse failure below is labelled with the variant it
+		// belongs to — a ten-variant campaign file otherwise reports "no such
+		// file" with no hint of which <Variant> referenced it.
+		label := vc.Name
+		if label == "" {
+			label = fmt.Sprintf("#%d", i+1)
+		}
+		v := CampaignVariant{Name: vc.Name, Repeat: vc.Repeat, Sequential: vc.Sequential, MaxSteps: vc.MaxSteps}
 		scPath := filepath.Join(baseDir, vc.Scenario)
 		sc, ok := scenarios[scPath]
 		if !ok {
 			var err error
 			if sc, err = LoadScenarioFile(scPath); err != nil {
-				return nil, err
+				return nil, fmt.Errorf("campaign variant %s: scenario %q: %w", label, vc.Scenario, err)
 			}
 			scenarios[scPath] = sc
 		}
@@ -156,7 +200,7 @@ func campaignFromConfig(cfg *sgmlconf.CampaignConfig, baseDir string, model *Mod
 			if !ok {
 				var err error
 				if ms, err = LoadModelDir(filepath.Base(vc.Model), dir); err != nil {
-					return nil, err
+					return nil, fmt.Errorf("campaign variant %s: model %q: %w", label, vc.Model, err)
 				}
 				models[dir] = ms
 			}
@@ -164,12 +208,12 @@ func campaignFromConfig(cfg *sgmlconf.CampaignConfig, baseDir string, model *Mod
 		}
 		seeds, err := vc.SeedList()
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("campaign variant %s: %w", label, err)
 		}
 		v.Seeds = seeds
 		pooling, err := vc.FramePoolingChoice()
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("campaign variant %s: %w", label, err)
 		}
 		v.FramePooling = pooling
 		c.Variants = append(c.Variants, v)

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	sgml "repro"
@@ -192,5 +193,82 @@ func TestCampaignXMLForm(t *testing.T) {
 		if _, err := sgml.ParseCampaign([]byte(bad), dir, ms); err == nil {
 			t.Errorf("malformed campaign accepted: %s", bad)
 		}
+	}
+}
+
+// TestCampaignXMLFaultAttributes covers the fault-tolerance additions to the
+// fifth schema: the maxSteps step budget threads from XML to the engine (a
+// budget-aborted run is a deterministic FailScenario, never retried), a
+// negative budget is rejected structurally, and load errors name the variant
+// that referenced the missing file.
+func TestCampaignXMLFaultAttributes(t *testing.T) {
+	ms, err := sgml.EPICModelSet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	scenarioXML := []byte(`<Scenario name="mini" steps="6" seed="1">
+  <Event name="trip" atStep="1" kind="openBreaker" element="CBMicro"/>
+</Scenario>`)
+	if err := os.WriteFile(filepath.Join(dir, "mini.scenario.xml"), scenarioXML, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	campaignXML := []byte(`<Campaign name="budget-sweep">
+  <Variant name="full"   scenario="mini.scenario.xml" seeds="1"/>
+  <Variant name="capped" scenario="mini.scenario.xml" seeds="1" maxSteps="2"/>
+</Campaign>`)
+	c, err := sgml.ParseCampaign(campaignXML, dir, ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Variants[0].MaxSteps != 0 || c.Variants[1].MaxSteps != 2 {
+		t.Fatalf("maxSteps threading = %d, %d", c.Variants[0].MaxSteps, c.Variants[1].MaxSteps)
+	}
+	rep, err := sgml.RunCampaign(context.Background(), c, sgml.WithRetries(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failures != 1 {
+		t.Fatalf("Failures = %d, want exactly the capped variant\n%s", rep.Failures, rep)
+	}
+	for i := range rep.Runs {
+		run := &rep.Runs[i]
+		switch run.Variant {
+		case "capped":
+			if run.Failure != sgml.FailScenario || len(run.Retries) != 0 {
+				t.Errorf("capped run = failure %q, %d retries; want deterministic unretried FailScenario",
+					run.Failure, len(run.Retries))
+			}
+		case "full":
+			if run.Err != "" {
+				t.Errorf("uncapped run failed: %s", run.Err)
+			}
+		}
+	}
+
+	// Negative budgets are structural errors.
+	bad := []byte(`<Campaign name="x"><Variant name="v" scenario="mini.scenario.xml" maxSteps="-1"/></Campaign>`)
+	if _, err := sgml.ParseCampaign(bad, dir, ms); err == nil {
+		t.Error("negative maxSteps accepted")
+	}
+
+	// A dangling scenario reference is attributed to its variant.
+	dangling := []byte(`<Campaign name="x">
+  <Variant name="ok"     scenario="mini.scenario.xml" seeds="1"/>
+  <Variant name="broken" scenario="nope.scenario.xml" seeds="1"/>
+</Campaign>`)
+	_, err = sgml.ParseCampaign(dangling, dir, ms)
+	if err == nil || !strings.Contains(err.Error(), `variant broken`) || !strings.Contains(err.Error(), "nope.scenario.xml") {
+		t.Errorf("dangling scenario error = %v, want the variant named", err)
+	}
+
+	// Same for a dangling model directory reference.
+	danglingModel := []byte(`<Campaign name="x">
+  <Variant name="m" scenario="mini.scenario.xml" seeds="1" model="no-such-dir"/>
+</Campaign>`)
+	_, err = sgml.ParseCampaign(danglingModel, dir, ms)
+	if err == nil || !strings.Contains(err.Error(), `variant m`) {
+		t.Errorf("dangling model error = %v, want the variant named", err)
 	}
 }

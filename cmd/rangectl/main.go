@@ -14,7 +14,7 @@
 // aggregated report (optionally also as JSON):
 //
 //	rangectl campaign run <model-dir> <campaign-file> [-workers N] [-json out.json]
-//	                      [-store DIR] [-resume]
+//	                      [-store DIR] [-resume] [-run-timeout D] [-retries N]
 //
 // Campaigns fork a compile-once root range per run; -per-run-compile restores
 // the reference behaviour of compiling a fresh range for every run. With
@@ -22,6 +22,13 @@
 // under DIR as it finishes, and a fully-clean sweep is sealed under a Merkle
 // root; -resume restores the store's records and executes only the missing
 // cells, so an interrupted sweep pays only for what it never finished.
+//
+// Campaign execution is fault tolerant: a run that panics or exceeds
+// -run-timeout fails alone (classified, with its panic stack on the record)
+// instead of taking the sweep down, and -retries re-executes runs with
+// infrastructure-shaped failures on a fresh fork. A failing store demotes the
+// sweep to a degraded report (warning on stderr, store unsealed) rather than
+// failing runs; finish it later with -resume.
 //
 // Audit a result store — recompute the Merkle root from the records and
 // check it against the seal (or check one run's inclusion proof):
@@ -172,6 +179,8 @@ func campaignRunMain(args []string) error {
 	jsonOut := fs.String("json", "", "also write the machine-readable report to this file")
 	storeDir := fs.String("store", "", "checkpoint every completed run into the durable result store under this directory")
 	resume := fs.Bool("resume", false, "restore the store's records and execute only the missing cells (requires -store)")
+	runTimeout := fs.Duration("run-timeout", 0, "wall-clock deadline per individual run (0 = none); a run over budget fails as a timeout")
+	retries := fs.Int("retries", 0, "re-execute runs with infrastructure-shaped failures (panic, timeout, store) up to N extra attempts")
 	name := fs.String("name", "range", "default model name")
 	fs.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: rangectl campaign run <model-dir> <campaign-file> [flags]")
@@ -184,6 +193,12 @@ func campaignRunMain(args []string) error {
 	modelDir, campaignFile := positionals[0], positionals[1]
 	if *resume && *storeDir == "" {
 		return fmt.Errorf("-resume requires -store")
+	}
+	if *runTimeout < 0 {
+		return fmt.Errorf("-run-timeout must be non-negative, got %v", *runTimeout)
+	}
+	if *retries < 0 {
+		return fmt.Errorf("-retries must be non-negative, got %d", *retries)
 	}
 	ms, err := sgml.LoadModelDir(*name, modelDir)
 	if err != nil {
@@ -206,11 +221,21 @@ func campaignRunMain(args []string) error {
 	if *resume {
 		opts = append(opts, sgml.WithResume())
 	}
+	if *runTimeout > 0 {
+		opts = append(opts, sgml.WithRunTimeout(*runTimeout))
+	}
+	if *retries > 0 {
+		opts = append(opts, sgml.WithRetries(*retries))
+	}
 	rep, err := sgml.RunCampaign(context.Background(), c, opts...)
 	if err != nil {
 		return err
 	}
 	fmt.Println(rep)
+	if rep.StoreDegraded {
+		fmt.Fprintf(os.Stderr, "rangectl: warning: result store degraded (%s); store left unsealed — re-run with -store %s -resume once the store is healthy\n",
+			rep.StoreErr, *storeDir)
+	}
 	if *jsonOut != "" {
 		f, err := os.Create(*jsonOut)
 		if err != nil {

@@ -211,7 +211,8 @@ func TestCampaignStoreTamperCLI(t *testing.T) {
 }
 
 // TestCampaignCLIFlagValidation covers the flag plumbing edges: -resume
-// without -store, and unknown campaign subcommands.
+// without -store, negative fault-tolerance knobs, and unknown campaign
+// subcommands.
 func TestCampaignCLIFlagValidation(t *testing.T) {
 	model := writeEPICModelDir(t)
 	dir := t.TempDir()
@@ -219,6 +220,14 @@ func TestCampaignCLIFlagValidation(t *testing.T) {
 	err := campaignMain([]string{"run", model, campaign, "-resume"})
 	if err == nil || !strings.Contains(err.Error(), "-store") {
 		t.Fatalf("-resume without -store: err = %v, want a -store complaint", err)
+	}
+	err = campaignMain([]string{"run", model, campaign, "-run-timeout", "-1s"})
+	if err == nil || !strings.Contains(err.Error(), "-run-timeout") {
+		t.Fatalf("negative -run-timeout: err = %v, want rejection", err)
+	}
+	err = campaignMain([]string{"run", model, campaign, "-retries", "-2"})
+	if err == nil || !strings.Contains(err.Error(), "-retries") {
+		t.Fatalf("negative -retries: err = %v, want rejection", err)
 	}
 	if err := campaignMain([]string{"audit", dir}); err == nil {
 		t.Fatal("unknown campaign subcommand accepted")

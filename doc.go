@@ -125,6 +125,40 @@
 // Migration note: CampaignReport.Runs keeps its spec-expansion order —
 // completion order, worker count and resume never reorder it.
 //
+// # Fault tolerance
+//
+// Campaign execution is hardened against the run that misbehaves, not just
+// the run that fails politely. A panic anywhere in a run's compile, fork or
+// step path is recovered at the worker boundary and converted into a failed
+// CampaignRun carrying the panic value and stack (CampaignRun.PanicStack) —
+// one broken device model can never crash the sweep or the process.
+// WithRunTimeout puts a wall-clock deadline on every individual run: a
+// wedged run is cancelled through its own derived context and recorded as a
+// timeout, leaving its worker free. A per-variant step budget (maxSteps in
+// the XML form, CampaignVariant.MaxSteps) bounds runaway variants
+// deterministically.
+//
+// Every failed run is classified (CampaignRun.Failure): FailPanic,
+// FailTimeout and FailStore are infrastructure-shaped — the kind of failure
+// a retry can plausibly cure — while FailCompile, FailScenario and
+// FailCancelled are deterministic facts about the cell or the sweep.
+// WithRetries(n) re-executes only the former, on a fresh fork with capped
+// exponential backoff, and keeps the abandoned attempts on the final run
+// (CampaignRun.Retries; retry history never contributes to fingerprints or
+// the Merkle root). The guarantee is differential: a sweep executed under an
+// aggressive fault plan — injected panics, wedged runs, failing store
+// appends — with retries enabled yields a fingerprint map and Merkle root
+// byte-identical to the same sweep run with no faults at all.
+//
+// The result store degrades rather than contaminates: if a store append
+// keeps failing after retries, no run is failed on its account — the sweep
+// completes, CampaignReport.StoreDegraded flags the loss (StoreErr carries
+// the cause), and the store is left unsealed so WithResume can re-execute
+// the unpersisted cells once the store is healthy. Fault plans themselves
+// live in internal/faultinject: seeded, deterministic schedules (panic in
+// run X's step M, delay run J past its deadline, fail the Nth append)
+// threaded through test-only hooks in the engine and the store.
+//
 // # Forking
 //
 // Compile separates the expensive, immutable half of range construction —

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"time"
 )
@@ -58,6 +59,10 @@ type CampaignVariant struct {
 	// FramePooling selects the pooled (true) or reference copy-per-publish
 	// (false) data plane; nil keeps the network's default (pooled).
 	FramePooling *bool
+	// MaxSteps caps each run of the variant at this many executed steps
+	// (0 = no budget): a scenario stepping past it aborts with a
+	// deterministic "step budget" error. See WithMaxSteps.
+	MaxSteps int
 }
 
 // RunSink observes completed campaign runs as they finish — the streaming
@@ -87,10 +92,13 @@ type RunSink interface {
 //	Close() error
 //
 // Finish is called exactly once, after aggregation, when the sweep completed
-// with every cell executed cleanly (no cancellation, no failed run, no sink
-// error) — the point at which a store commits the result set, e.g. seals it
-// under its Merkle root and stamps CampaignReport.MerkleRoot. Close is
-// called when RunCampaign returns.
+// with every cell executed cleanly and every record persisted (no
+// cancellation, no failed run, no store degradation) — the point at which a
+// store commits the result set, e.g. seals it under its Merkle root and
+// stamps CampaignReport.MerkleRoot. A store whose Put keeps failing after
+// retries does not fail the sweep: the report is flagged StoreDegraded and
+// the store is left unsealed so WithResume can re-execute the unpersisted
+// cells. Close is called when RunCampaign returns.
 type CampaignStore interface {
 	RunSink
 	// Done reports whether a clean record for the (variant, seed, attempt)
@@ -211,8 +219,14 @@ func (c *Campaign) SpecHash() (string, error) {
 		if v.FramePooling != nil {
 			pooling = fmt.Sprintf("%t", *v.FramePooling)
 		}
-		fmt.Fprintf(h, "variant %q model=%q seeds=%v repeat=%d engine=%s pooling=%s\n",
+		fmt.Fprintf(h, "variant %q model=%q seeds=%v repeat=%d engine=%s pooling=%s",
 			v.Name, v.Model.Name, v.Seeds, v.Repeat, engine, pooling)
+		if v.MaxSteps > 0 {
+			// Appended only when set, so pre-existing campaigns keep their
+			// store keys.
+			fmt.Fprintf(h, " maxsteps=%d", v.MaxSteps)
+		}
+		fmt.Fprintf(h, "\n")
 		sc := v.Scenario
 		fmt.Fprintf(h, "  scenario %q steps=%d seed=%d\n", sc.Name, sc.Steps, sc.Seed)
 		for _, a := range sc.Attackers {
@@ -414,11 +428,16 @@ func RunCampaign(ctx context.Context, c *Campaign, opts ...CampaignOption) (*Cam
 	// The sink chain: the report's own in-memory aggregation first, then any
 	// extra observers, then the store. Cancelled cells reach only the memory
 	// sink — a store must never checkpoint a cell that did not execute.
+	//
+	// The store is handled apart from the other sinks because its failure
+	// mode differs: a sink error is a caller bug and fails the sweep, while a
+	// store append error is infrastructure — the write is retried with
+	// backoff, and if it keeps failing the sweep is demoted to a flagged
+	// StoreDegraded report (results intact in memory, store left unsealed so
+	// WithResume can re-execute the unpersisted cells) instead of failing
+	// runs that actually succeeded.
 	mem := &memorySink{rep: rep, index: index}
 	ext := append([]RunSink(nil), cfg.sinks...)
-	if st != nil {
-		ext = append(ext, RunSink(st))
-	}
 	var sinkMu sync.Mutex
 	var sinkErr error
 	record := func(run CampaignRun) {
@@ -435,6 +454,45 @@ func RunCampaign(ctx context.Context, c *Campaign, opts ...CampaignOption) (*Cam
 				sinkMu.Unlock()
 			}
 		}
+		if st != nil {
+			err := st.Put(run)
+			for try := 1; err != nil && try <= cfg.retries && ctx.Err() == nil; try++ {
+				if !sleepBackoff(ctx, try) {
+					break
+				}
+				err = st.Put(run)
+			}
+			if err != nil {
+				sinkMu.Lock()
+				if !rep.StoreDegraded {
+					rep.StoreDegraded = true
+					rep.StoreErr = fmt.Sprintf("%s: %v", FailStore, err)
+				}
+				sinkMu.Unlock()
+			}
+		}
+	}
+
+	// executeCell is the worker's unit of work: one run, retried on a fresh
+	// fork for infrastructure-shaped failures (RunFailure.Retryable) with
+	// capped exponential backoff, the attempt history kept on the final run.
+	executeCell := func(spec campaignRunSpec) CampaignRun {
+		run := executeCampaignRun(ctx, spec, &cfg, 1)
+		var history []RunRetry
+		for try := 1; try <= cfg.retries; try++ {
+			if !run.Failure.Retryable() || ctx.Err() != nil {
+				break
+			}
+			history = append(history, RunRetry{
+				Try: try, Failure: run.Failure, Err: run.Err, Backoff: retryBackoff(try),
+			})
+			if !sleepBackoff(ctx, try) {
+				break
+			}
+			run = executeCampaignRun(ctx, spec, &cfg, try+1)
+		}
+		run.Retries = history
+		return run
 	}
 
 	start := time.Now()
@@ -445,7 +503,7 @@ func RunCampaign(ctx context.Context, c *Campaign, opts ...CampaignOption) (*Cam
 		go func() {
 			defer wg.Done()
 			for idx := range jobs {
-				record(executeCampaignRun(ctx, specs[idx]))
+				record(executeCell(specs[idx]))
 			}
 		}()
 	}
@@ -477,10 +535,11 @@ func RunCampaign(ctx context.Context, c *Campaign, opts ...CampaignOption) (*Cam
 	if sinkErr != nil {
 		return rep, fmt.Errorf("campaign sink: %w", sinkErr)
 	}
-	// Commit the finished sweep. Only a complete, fully-clean population is
-	// committed: a cancelled or partially-failed sweep stays open so a later
-	// resume can finish (or retry) the missing cells.
-	if st != nil && cancelledAt < 0 && rep.Failures == 0 {
+	// Commit the finished sweep. Only a complete, fully-clean, fully-persisted
+	// population is committed: a cancelled, partially-failed or store-degraded
+	// sweep stays open so a later resume can finish (or retry) the missing
+	// cells.
+	if st != nil && cancelledAt < 0 && rep.Failures == 0 && !rep.StoreDegraded {
 		if fin, ok := st.(interface{ Finish(*CampaignReport) error }); ok {
 			if err := fin.Finish(rep); err != nil {
 				return rep, fmt.Errorf("campaign store commit: %w", err)
@@ -506,19 +565,25 @@ func cancelledRun(spec *campaignRunSpec, cause error) CampaignRun {
 	}
 	run.FramePooling = v.FramePooling == nil || *v.FramePooling
 	run.Err = fmt.Sprintf("cancelled before run: %v", cause)
+	run.Failure = FailCancelled
 	run.cancelled = true
 	return run
 }
 
-// executeCampaignRun performs one isolated run: obtain a private range — a
-// fork of the model's compile-once root, or a fresh compile under
-// WithPerRunCompile — execute the scenario, tear down, record.
-func executeCampaignRun(ctx context.Context, spec campaignRunSpec) CampaignRun {
-	if err := ctx.Err(); err != nil {
-		return cancelledRun(&spec, err)
-	}
+// executeCampaignRun performs one isolated attempt of a run: obtain a private
+// range — a fork of the model's compile-once root, or a fresh compile under
+// WithPerRunCompile — execute the scenario under its own deadline, tear down,
+// record, classify. try is the 1-based attempt number (see WithRetries); the
+// fault-injection probe receives it so injected faults can target one
+// attempt.
+//
+// The function is the worker boundary for panic isolation: a panic anywhere
+// in the fork/start/step/teardown path is recovered here and converted into a
+// FailPanic run carrying the panic value and stack, so one broken device
+// model can never crash the sweep.
+func executeCampaignRun(ctx context.Context, spec campaignRunSpec, cfg *optionSet, try int) (run CampaignRun) {
 	v := spec.variant
-	run := CampaignRun{
+	run = CampaignRun{
 		Variant: v.Name,
 		Seed:    spec.seed,
 		Attempt: spec.attempt,
@@ -528,6 +593,21 @@ func executeCampaignRun(ctx context.Context, spec campaignRunSpec) CampaignRun {
 		run.Engine = "sequential"
 	}
 	run.FramePooling = v.FramePooling == nil || *v.FramePooling
+	defer func() {
+		if p := recover(); p != nil {
+			// Identity fields are already set; scrub any partial outcome so
+			// a panicked attempt can never masquerade as a result.
+			run.Err = fmt.Sprintf("panic: %v", p)
+			run.Failure = FailPanic
+			run.PanicStack = string(debug.Stack())
+			run.Report = nil
+			run.fingerprint = ""
+			run.Fingerprint = ""
+		}
+	}()
+	if err := ctx.Err(); err != nil {
+		return cancelledRun(&spec, err)
+	}
 
 	// CompileTime records what this run paid to obtain its range: the fork
 	// (fast path) or the full compile (per-run-compile reference path) — on
@@ -538,6 +618,7 @@ func executeCampaignRun(ctx context.Context, spec campaignRunSpec) CampaignRun {
 		// model inherits the error and is attributed the compile's real cost.
 		run.CompileTime = spec.rootErrTime
 		run.Err = fmt.Sprintf("compile: %v", spec.rootErr)
+		run.Failure = FailCompile
 		return run
 	}
 	compileStart := time.Now()
@@ -551,9 +632,21 @@ func executeCampaignRun(ctx context.Context, spec campaignRunSpec) CampaignRun {
 	run.CompileTime = time.Since(compileStart)
 	if err != nil {
 		run.Err = fmt.Sprintf("compile: %v", err)
+		run.Failure = FailCompile
 		return run
 	}
 	defer r.Stop()
+
+	// The run's own deadline (WithRunTimeout): a wedged or diverging run is
+	// cancelled through its private context, leaving the rest of the sweep
+	// untouched. classifyRunFailure distinguishes this from campaign
+	// cancellation by checking which context died.
+	runCtx := ctx
+	if cfg.runTimeout > 0 {
+		var cancel context.CancelFunc
+		runCtx, cancel = context.WithTimeout(ctx, cfg.runTimeout)
+		defer cancel()
+	}
 
 	opts := []RunOption{WithSeed(spec.seed)}
 	if v.Sequential {
@@ -562,11 +655,22 @@ func executeCampaignRun(ctx context.Context, spec campaignRunSpec) CampaignRun {
 	if v.FramePooling != nil {
 		opts = append(opts, WithFramePooling(*v.FramePooling))
 	}
+	if v.MaxSteps > 0 {
+		opts = append(opts, WithMaxSteps(v.MaxSteps))
+	}
+	if cfg.runProbe != nil {
+		probe := cfg.runProbe
+		variant, seed, attempt := v.Name, spec.seed, spec.attempt
+		opts = append(opts, withStepProbe(func(ctx context.Context, step int) error {
+			return probe(ctx, variant, seed, attempt, try, step)
+		}))
+	}
 	runStart := time.Now()
-	report, err := RunScenario(ctx, r, v.Scenario, opts...)
+	report, err := RunScenario(runCtx, r, v.Scenario, opts...)
 	run.Duration = time.Since(runStart)
 	if err != nil {
 		run.Err = err.Error()
+		run.Failure = classifyRunFailure(ctx, runCtx)
 		return run
 	}
 	run.Report = report
@@ -580,6 +684,7 @@ func executeCampaignRun(ctx context.Context, spec campaignRunSpec) CampaignRun {
 	run.Recall = report.Recall
 	if report.Err != "" {
 		run.Err = report.Err
+		run.Failure = classifyRunFailure(ctx, runCtx)
 	}
 	run.EventErrors = report.FailedEvents()
 	return run

@@ -1,0 +1,354 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// faultCampaign is a small two-seed sweep on the EPIC model, cheap enough to
+// run many times per test.
+func faultCampaign(t *testing.T, seeds ...int64) *Campaign {
+	t.Helper()
+	if len(seeds) == 0 {
+		seeds = []int64{1, 2}
+	}
+	return &Campaign{
+		Name:  "fault-sweep",
+		Model: epicModelSet(t),
+		Variants: []CampaignVariant{
+			{Name: "v", Seeds: seeds, Scenario: &Scenario{
+				Name:  "fault-drill",
+				Steps: 4,
+				Events: []ScenarioEvent{
+					{Name: "trip", Trigger: At(1), Action: OpenBreaker("CBMicro")},
+				},
+			}},
+		},
+	}
+}
+
+// findRun returns the (variant, seed, attempt) run from the report.
+func findRun(t *testing.T, rep *CampaignReport, variant string, seed int64, attempt int) *CampaignRun {
+	t.Helper()
+	for i := range rep.Runs {
+		r := &rep.Runs[i]
+		if r.Variant == variant && r.Seed == seed && r.Attempt == attempt {
+			return r
+		}
+	}
+	t.Fatalf("run %s:%d:%d not in report", variant, seed, attempt)
+	return nil
+}
+
+// TestCampaignFaultPanicIsolation checks that a panic inside a run's step
+// path — retries disabled — is absorbed at the worker boundary: the run fails
+// as FailPanic carrying the panic value and stack, every other run completes,
+// and the process obviously survives.
+func TestCampaignFaultPanicIsolation(t *testing.T) {
+	c := faultCampaign(t)
+	rep, err := RunCampaign(context.Background(), c, WithRunProbe(
+		func(ctx context.Context, variant string, seed int64, attempt, try, step int) error {
+			if seed == 1 && step == 2 {
+				panic("injected device-model explosion")
+			}
+			return nil
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failures != 1 {
+		t.Fatalf("Failures = %d, want 1\n%s", rep.Failures, rep)
+	}
+	bad := findRun(t, rep, "v", 1, 1)
+	if bad.Failure != FailPanic {
+		t.Fatalf("failed run classified %q, want %q", bad.Failure, FailPanic)
+	}
+	if !strings.Contains(bad.Err, "panic") || !strings.Contains(bad.Err, "injected device-model explosion") {
+		t.Errorf("run error %q does not carry the panic value", bad.Err)
+	}
+	if !strings.Contains(bad.PanicStack, "goroutine") {
+		t.Errorf("run carries no panic stack: %q", bad.PanicStack)
+	}
+	if bad.Report != nil || bad.Fingerprint != "" {
+		t.Error("panicked run kept a partial report/fingerprint")
+	}
+	good := findRun(t, rep, "v", 2, 1)
+	if good.Err != "" || good.Fingerprint == "" {
+		t.Errorf("unfaulted sibling run was damaged: err=%q fp=%q", good.Err, good.Fingerprint)
+	}
+}
+
+// TestCampaignFaultRunTimeout checks WithRunTimeout: a wedged run (its probe
+// blocks until the context dies) is cancelled by its private deadline and
+// classified FailTimeout, without wedging the sweep.
+func TestCampaignFaultRunTimeout(t *testing.T) {
+	c := faultCampaign(t)
+	rep, err := RunCampaign(context.Background(), c,
+		WithRunTimeout(150*time.Millisecond),
+		WithRunProbe(func(ctx context.Context, variant string, seed int64, attempt, try, step int) error {
+			if seed == 1 && step == 1 {
+				<-ctx.Done()
+				return ctx.Err()
+			}
+			return nil
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failures != 1 {
+		t.Fatalf("Failures = %d, want 1\n%s", rep.Failures, rep)
+	}
+	bad := findRun(t, rep, "v", 1, 1)
+	if bad.Failure != FailTimeout {
+		t.Fatalf("wedged run classified %q, want %q (err %q)", bad.Failure, FailTimeout, bad.Err)
+	}
+	good := findRun(t, rep, "v", 2, 1)
+	if good.Err != "" {
+		t.Errorf("unfaulted sibling run failed: %q", good.Err)
+	}
+}
+
+// TestCampaignRetryRecoversFaultedRun checks the retry loop end to end: a
+// panic on the cell's first try is retried on a fresh fork, the retried
+// attempt succeeds, the abandoned attempt is kept in the run's history, and
+// the recovered fingerprint is identical to an unfaulted sweep's.
+func TestCampaignRetryRecoversFaultedRun(t *testing.T) {
+	clean, err := RunCampaign(context.Background(), faultCampaign(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.Failures != 0 {
+		t.Fatalf("clean sweep failed:\n%s", clean)
+	}
+
+	rep, err := RunCampaign(context.Background(), faultCampaign(t),
+		WithRetries(2),
+		WithRunProbe(func(ctx context.Context, variant string, seed int64, attempt, try, step int) error {
+			if seed == 1 && try == 1 && step == 2 {
+				panic("transient blowup")
+			}
+			return nil
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failures != 0 {
+		t.Fatalf("retried sweep still has %d failures:\n%s", rep.Failures, rep)
+	}
+	if rep.Retried != 1 {
+		t.Fatalf("Retried = %d, want 1", rep.Retried)
+	}
+	recovered := findRun(t, rep, "v", 1, 1)
+	if len(recovered.Retries) != 1 {
+		t.Fatalf("retry history = %+v, want one abandoned attempt", recovered.Retries)
+	}
+	h := recovered.Retries[0]
+	if h.Try != 1 || h.Failure != FailPanic || !strings.Contains(h.Err, "transient blowup") {
+		t.Errorf("history entry = %+v", h)
+	}
+	if h.Backoff != retryBackoff(1) {
+		t.Errorf("history backoff = %v, want %v", h.Backoff, retryBackoff(1))
+	}
+	// The recovered cell reproduces the deterministic result.
+	want := findRun(t, clean, "v", 1, 1)
+	if recovered.Fingerprint == "" || recovered.Fingerprint != want.Fingerprint {
+		t.Errorf("recovered fingerprint %q != clean %q", recovered.Fingerprint, want.Fingerprint)
+	}
+}
+
+// TestCampaignRetryNeverRepeatsScenarioFailures checks the classification
+// boundary: a deterministic scenario failure (here a MaxSteps budget abort)
+// is never retried, no matter how many retries are allowed.
+func TestCampaignRetryNeverRepeatsScenarioFailures(t *testing.T) {
+	c := faultCampaign(t, 1)
+	c.Variants[0].MaxSteps = 2
+	var attempts int32
+	var mu sync.Mutex
+	rep, err := RunCampaign(context.Background(), c,
+		WithRetries(5),
+		WithRunProbe(func(ctx context.Context, variant string, seed int64, attempt, try, step int) error {
+			mu.Lock()
+			if int32(try) > attempts {
+				attempts = int32(try)
+			}
+			mu.Unlock()
+			return nil
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failures != 1 {
+		t.Fatalf("Failures = %d, want 1 (budget abort)\n%s", rep.Failures, rep)
+	}
+	bad := findRun(t, rep, "v", 1, 1)
+	if bad.Failure != FailScenario {
+		t.Fatalf("budget abort classified %q, want %q (err %q)", bad.Failure, FailScenario, bad.Err)
+	}
+	if !strings.Contains(bad.Err, "step budget 2") {
+		t.Errorf("budget abort error = %q", bad.Err)
+	}
+	if len(bad.Retries) != 0 {
+		t.Errorf("deterministic failure was retried: %+v", bad.Retries)
+	}
+	if attempts != 1 {
+		t.Errorf("observed %d attempts, want 1", attempts)
+	}
+}
+
+// flakyStore is a CampaignStore stub whose Put fails a configured number of
+// times (or forever), for degradation tests without a filesystem.
+type flakyStore struct {
+	mu       sync.Mutex
+	puts     int
+	failures int // fail the first N puts; -1 fails every put
+	finished bool
+	closed   bool
+	blockCtx context.Context // if set, Put blocks here until the ctx dies
+}
+
+func (s *flakyStore) Put(run CampaignRun) error {
+	if s.blockCtx != nil {
+		<-s.blockCtx.Done()
+		return fmt.Errorf("store offline: %w", s.blockCtx.Err())
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.puts++
+	if s.failures < 0 || s.puts <= s.failures {
+		return errors.New("disk on fire")
+	}
+	return nil
+}
+
+func (s *flakyStore) Done(string, int64, int) bool { return false }
+
+func (s *flakyStore) Load() (*CampaignReport, error) { return &CampaignReport{}, nil }
+
+func (s *flakyStore) Finish(rep *CampaignReport) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.finished = true
+	return nil
+}
+
+func (s *flakyStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	return nil
+}
+
+// TestCampaignFaultStoreDegradation checks the degradation contract: a store
+// whose Put keeps failing does not fail any run — the sweep completes, the
+// report is flagged StoreDegraded, and the store is never sealed.
+func TestCampaignFaultStoreDegradation(t *testing.T) {
+	st := &flakyStore{failures: -1}
+	rep, err := RunCampaign(context.Background(), faultCampaign(t),
+		WithRetries(1),
+		WithCampaignStore(func(*Campaign) (CampaignStore, error) { return st, nil }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failures != 0 {
+		t.Fatalf("store failure leaked into run failures: %d\n%s", rep.Failures, rep)
+	}
+	if !rep.StoreDegraded {
+		t.Fatal("report not flagged StoreDegraded")
+	}
+	if !strings.Contains(rep.StoreErr, string(FailStore)) || !strings.Contains(rep.StoreErr, "disk on fire") {
+		t.Errorf("StoreErr = %q", rep.StoreErr)
+	}
+	if st.finished {
+		t.Error("degraded store was sealed")
+	}
+	if !st.closed {
+		t.Error("degraded store was not closed")
+	}
+	if !strings.Contains(rep.String(), "STORE DEGRADED") {
+		t.Error("report text does not surface the degradation")
+	}
+}
+
+// TestCampaignFaultStorePutRetried checks that a transiently failing Put is
+// retried under WithRetries and a later success clears the degradation path.
+func TestCampaignFaultStorePutRetried(t *testing.T) {
+	st := &flakyStore{failures: 1}
+	rep, err := RunCampaign(context.Background(), faultCampaign(t, 1),
+		WithRetries(2),
+		WithCampaignStore(func(*Campaign) (CampaignStore, error) { return st, nil }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.StoreDegraded {
+		t.Fatalf("transient store fault degraded the sweep: %s", rep.StoreErr)
+	}
+	if !st.finished {
+		t.Error("healthy sweep was not sealed")
+	}
+	if st.puts < 2 {
+		t.Errorf("puts = %d, want the failed append retried", st.puts)
+	}
+}
+
+// TestCampaignFaultCancellationDuringPersistence cancels the campaign while a
+// store Put is in flight: RunCampaign must neither deadlock nor seal the
+// partial store.
+func TestCampaignFaultCancellationDuringPersistence(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	st := &flakyStore{blockCtx: ctx}
+	done := make(chan struct{})
+	var rep *CampaignReport
+	var err error
+	go func() {
+		defer close(done)
+		rep, err = RunCampaign(ctx, faultCampaign(t), WithRetries(3),
+			WithCampaignStore(func(*Campaign) (CampaignStore, error) { return st, nil }))
+	}()
+	// Give the sweep time to reach the blocking Put, then kill it.
+	time.Sleep(200 * time.Millisecond)
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("RunCampaign deadlocked on a blocked store Put after cancellation")
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.finished {
+		t.Error("cancelled sweep sealed the store")
+	}
+	if rep.MerkleRoot != "" {
+		t.Error("cancelled sweep stamped a Merkle root")
+	}
+}
+
+// TestRetryClassification pins the Retryable table and the backoff schedule.
+func TestRetryClassification(t *testing.T) {
+	retryable := map[RunFailure]bool{
+		FailNone: false, FailCompile: false, FailPanic: true, FailTimeout: true,
+		FailStore: true, FailScenario: false, FailCancelled: false,
+	}
+	for f, want := range retryable {
+		if got := f.Retryable(); got != want {
+			t.Errorf("%s.Retryable() = %v, want %v", f, got, want)
+		}
+	}
+	if retryBackoff(1) != retryBackoffBase {
+		t.Errorf("backoff(1) = %v", retryBackoff(1))
+	}
+	if retryBackoff(2) != 2*retryBackoffBase {
+		t.Errorf("backoff(2) = %v", retryBackoff(2))
+	}
+	if retryBackoff(20) != retryBackoffCap {
+		t.Errorf("backoff(20) = %v, want cap %v", retryBackoff(20), retryBackoffCap)
+	}
+	if retryBackoff(200) != retryBackoffCap {
+		t.Errorf("backoff(200) = %v, want cap (shift overflow)", retryBackoff(200))
+	}
+}

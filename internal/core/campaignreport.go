@@ -37,6 +37,17 @@ type CampaignRun struct {
 	// surfaced here so a campaign can never bury a failed event.
 	EventErrors []string `json:"eventErrors,omitempty"`
 	Err         string   `json:"err,omitempty"`
+	// Failure classifies a non-empty Err (panic, timeout, compile, scenario,
+	// cancelled) and drives the retry policy; FailNone for clean runs and for
+	// runs failed only through deterministic event errors.
+	Failure RunFailure `json:"failure,omitempty"`
+	// PanicStack is the recovered goroutine stack of a FailPanic run — the
+	// sweep survives the panic, the evidence survives with the run.
+	PanicStack string `json:"panicStack,omitempty"`
+	// Retries is the attempt history of a retried cell (WithRetries): one
+	// entry per failed attempt that was re-executed. Wall-clock bookkeeping
+	// only — never part of the fingerprint or the store's Merkle leaves.
+	Retries []RunRetry `json:"retries,omitempty"`
 
 	// Resumed marks a run restored from a store (WithResume) instead of
 	// executed by this process. A resumed run is indistinguishable from its
@@ -127,10 +138,21 @@ type CampaignReport struct {
 	// callers (rangectl) exit non-zero when it is > 0.
 	Failures int `json:"failures"`
 	// Resumed counts runs restored from a store instead of executed.
-	Resumed     int                   `json:"resumed,omitempty"`
-	Runs        []CampaignRun         `json:"runs"`
-	Variants    []VariantSummary      `json:"variants"`
-	Determinism []DeterminismMismatch `json:"determinismMismatches,omitempty"`
+	Resumed int `json:"resumed,omitempty"`
+	// Retried counts runs that needed at least one retry (WithRetries) before
+	// reaching their recorded outcome.
+	Retried int `json:"retried,omitempty"`
+	// StoreDegraded flags a sweep whose attached store stopped accepting
+	// appends (after in-place retries): the runs themselves are intact in
+	// this report, but the store holds an incomplete record set and was left
+	// unsealed — re-run with WithResume once the store is healthy to persist
+	// the missing cells and seal. StoreErr carries the classified append
+	// error.
+	StoreDegraded bool                  `json:"storeDegraded,omitempty"`
+	StoreErr      string                `json:"storeErr,omitempty"`
+	Runs          []CampaignRun         `json:"runs"`
+	Variants      []VariantSummary      `json:"variants"`
+	Determinism   []DeterminismMismatch `json:"determinismMismatches,omitempty"`
 	// MerkleRoot is the hex SHA-256 Merkle root over the sweep's run
 	// fingerprints sorted by (variant, seed, attempt), stamped by the store
 	// when a complete clean sweep is committed (sealed). Empty for sweeps
@@ -175,11 +197,15 @@ func fingerprintHash(fp string) string {
 func (rep *CampaignReport) aggregate(variants []CampaignVariant) {
 	rep.TotalRuns = len(rep.Runs)
 	rep.Failures = 0
+	rep.Retried = 0
 	byVariant := make(map[string][]*CampaignRun, len(variants))
 	for i := range rep.Runs {
 		run := &rep.Runs[i]
 		if run.Failed() {
 			rep.Failures++
+		}
+		if len(run.Retries) > 0 {
+			rep.Retried++
 		}
 		byVariant[run.Variant] = append(byVariant[run.Variant], run)
 	}
@@ -344,9 +370,15 @@ func (rep *CampaignReport) String() string {
 	if rep.Resumed > 0 {
 		fmt.Fprintf(&sb, " · %d resumed", rep.Resumed)
 	}
+	if rep.Retried > 0 {
+		fmt.Fprintf(&sb, " · %d retried", rep.Retried)
+	}
 	sb.WriteString("\n")
 	if rep.MerkleRoot != "" {
 		fmt.Fprintf(&sb, "merkle root %s\n", rep.MerkleRoot)
+	}
+	if rep.StoreDegraded {
+		fmt.Fprintf(&sb, "STORE DEGRADED: %s (store unsealed; resume once healthy)\n", rep.StoreErr)
 	}
 	sb.WriteString("\n--- variants ---\n")
 	fmt.Fprintf(&sb, "%-16s %5s %5s %10s %8s %10s %10s %10s %-30s %s\n",
@@ -381,7 +413,14 @@ func (rep *CampaignReport) String() string {
 		for _, run := range failed {
 			fmt.Fprintf(&sb, "%s seed=%d attempt=%d", run.Variant, run.Seed, run.Attempt)
 			if run.Err != "" {
-				fmt.Fprintf(&sb, "  ERROR: %s", run.Err)
+				if run.Failure != FailNone {
+					fmt.Fprintf(&sb, "  ERROR(%s): %s", run.Failure, run.Err)
+				} else {
+					fmt.Fprintf(&sb, "  ERROR: %s", run.Err)
+				}
+			}
+			if len(run.Retries) > 0 {
+				fmt.Fprintf(&sb, "  [%d retries]", len(run.Retries))
 			}
 			sb.WriteString("\n")
 			for _, e := range run.EventErrors {

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"context"
+	"time"
+)
+
+// RunFailure classifies why a campaign run (or one of its attempts) failed.
+// The classification drives the retry policy (WithRetries): infrastructure-
+// shaped failures — a panicking device model, a run that outlived its
+// deadline, a store append that could not be written — are transient from the
+// sweep's point of view and are retried on a fresh fork; scenario-semantics
+// failures (a compile error, a diverging solver, a failing event) are
+// deterministic properties of the (model, scenario, seed) cell and re-running
+// them could only reproduce the same outcome.
+type RunFailure string
+
+const (
+	// FailNone marks a run whose Err is empty. A run may still be Failed()
+	// through deterministic event errors; those are real experiment outcomes,
+	// not infrastructure faults, and are never retried.
+	FailNone RunFailure = ""
+	// FailCompile is a model compile or fork error: deterministic, never
+	// retried.
+	FailCompile RunFailure = "compile"
+	// FailPanic is a panic recovered at the worker boundary — anywhere in the
+	// run's fork/start/step/teardown path. Retryable.
+	FailPanic RunFailure = "panic"
+	// FailTimeout is a run cancelled by its own WithRunTimeout deadline while
+	// the campaign context was still live. Retryable.
+	FailTimeout RunFailure = "timeout"
+	// FailStore is a CampaignStore append that kept failing after retries.
+	// It never marks a run (the run itself succeeded); it classifies the
+	// sweep's StoreDegraded condition.
+	FailStore RunFailure = "store"
+	// FailScenario is a deterministic execution failure: an aborted step, a
+	// diverging solver, an exhausted MaxSteps budget. Never retried.
+	FailScenario RunFailure = "scenario"
+	// FailCancelled is a run stopped by campaign-context cancellation. Not an
+	// infrastructure fault of the cell; never retried (the sweep is ending).
+	FailCancelled RunFailure = "cancelled"
+)
+
+// Retryable reports whether the failure is infrastructure-shaped — the only
+// class WithRetries re-executes. Scenario semantics, compile errors and
+// cancellation are deterministic or terminal and are never retried.
+func (f RunFailure) Retryable() bool {
+	switch f {
+	case FailPanic, FailTimeout, FailStore:
+		return true
+	}
+	return false
+}
+
+// RunRetry records one failed attempt of a retried cell: what failed, how it
+// was classified, and the backoff paid before the next attempt. The final
+// (successful or abandoned) attempt is the CampaignRun itself; its Retries
+// slice holds the history. Retry history is wall-clock bookkeeping — it is
+// never part of the run fingerprint or the store's Merkle leaves, so a
+// retried cell that eventually succeeds is byte-identical to one that
+// succeeded first try.
+type RunRetry struct {
+	// Try is the 1-based attempt number that failed.
+	Try     int        `json:"try"`
+	Failure RunFailure `json:"failure"`
+	Err     string     `json:"err"`
+	// Backoff is the capped exponential delay slept before the next attempt.
+	Backoff time.Duration `json:"backoffNs"`
+}
+
+// Retry backoff: capped exponential, deterministic (no jitter — campaign
+// workers are already decorrelated by scheduling, and determinism keeps the
+// fault-injection differential reproducible).
+const (
+	retryBackoffBase = 5 * time.Millisecond
+	retryBackoffCap  = 200 * time.Millisecond
+)
+
+// retryBackoff returns the delay before attempt try+1 (try is 1-based).
+func retryBackoff(try int) time.Duration {
+	d := retryBackoffBase << uint(try-1)
+	if d > retryBackoffCap || d <= 0 {
+		d = retryBackoffCap
+	}
+	return d
+}
+
+// sleepBackoff sleeps the attempt's backoff, abandoning early (returning
+// false) if the campaign context is cancelled first.
+func sleepBackoff(ctx context.Context, try int) bool {
+	t := time.NewTimer(retryBackoff(try))
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// classifyRunFailure classifies a failed run by its contexts: a dead parent
+// context means the sweep is being cancelled; a dead run context with a live
+// parent means the per-run deadline fired; anything else is scenario
+// semantics.
+func classifyRunFailure(parent, runCtx context.Context) RunFailure {
+	switch {
+	case parent.Err() != nil:
+		return FailCancelled
+	case runCtx.Err() == context.DeadlineExceeded:
+		return FailTimeout
+	default:
+		return FailScenario
+	}
+}

@@ -1,5 +1,10 @@
 package core
 
+import (
+	"context"
+	"time"
+)
+
 // Unified option surface for Compile, RunScenario and RunCampaign.
 //
 // The three entry points historically took three unrelated function-typed
@@ -24,6 +29,15 @@ type optionSet struct {
 	sinks         []RunSink   // extra streaming observers (WithRunSink)
 	storeOpen     StoreOpener // deferred store constructor (WithCampaignStore)
 	resume        bool        // skip cells the store already holds (WithResume)
+
+	// Fault-tolerance knobs (WithRunTimeout / WithRetries) and the
+	// fault-injection seams (WithRunProbe at campaign level, stepProbe as its
+	// per-run projection; maxSteps carries the variant's step budget).
+	runTimeout time.Duration
+	retries    int
+	runProbe   RunProbe
+	stepProbe  func(ctx context.Context, step int) error
+	maxSteps   int
 }
 
 // CompileOption tunes the compiled range (accepted by Compile).
@@ -157,6 +171,81 @@ func (resumeOption) campaignOption()          {}
 // fingerprint map and Merkle root are byte-identical to an uninterrupted
 // run's, pinned by the resume differential tests.
 func WithResume() CampaignOption { return resumeOption{} }
+
+type runTimeoutOption time.Duration
+
+func (d runTimeoutOption) applyOption(o *optionSet) { o.runTimeout = time.Duration(d) }
+func (runTimeoutOption) campaignOption()            {}
+
+// WithRunTimeout gives every campaign run its own deadline, derived from the
+// campaign context: a run that has not finished within d — a wedged scenario,
+// a diverging solver — is cancelled via its private context and recorded as a
+// FailTimeout run instead of stalling its worker forever. Zero (the default)
+// means no per-run deadline. Timed-out runs are retryable (WithRetries) and
+// are never persisted, so their cells re-execute on resume.
+func WithRunTimeout(d time.Duration) CampaignOption { return runTimeoutOption(d) }
+
+type retriesOption int
+
+func (n retriesOption) applyOption(o *optionSet) { o.retries = int(n) }
+func (retriesOption) campaignOption()            {}
+
+// WithRetries re-executes a failed campaign run up to n extra times, on a
+// fresh fork, with capped exponential backoff between attempts — but only
+// when the failure is infrastructure-shaped (RunFailure.Retryable: panic,
+// timeout; store appends are retried in place). Scenario-semantics failures
+// (compile errors, step failures, failing events) are deterministic and are
+// never retried. The attempt history is kept on CampaignRun.Retries; a
+// retried cell that succeeds reproduces the same fingerprint it would have
+// produced first try, so retries never perturb the determinism contract or
+// the store's Merkle root.
+func WithRetries(n int) CampaignOption { return retriesOption(n) }
+
+// RunProbe is the campaign fault-injection seam: when attached with
+// WithRunProbe it is called at the top of every step of every run, with the
+// run's cell identity, the 1-based retry attempt and the step index. A probe
+// may return an error (aborting the step like a step failure), block on ctx
+// (wedging the run against its deadline) or panic (exercising worker-boundary
+// recovery). ctx is the run's own context — the campaign context plus any
+// WithRunTimeout deadline. Probes exist for the fault-injection tests
+// (internal/faultinject); production sweeps run without one.
+type RunProbe func(ctx context.Context, variant string, seed int64, attempt, try, step int) error
+
+type runProbeOption struct{ probe RunProbe }
+
+func (p runProbeOption) applyOption(o *optionSet) { o.runProbe = p.probe }
+func (runProbeOption) campaignOption()            {}
+
+// WithRunProbe attaches a fault-injection probe to every run of the campaign.
+// Test-only seam; see RunProbe.
+func WithRunProbe(p RunProbe) CampaignOption { return runProbeOption{probe: p} }
+
+type stepProbeOption struct {
+	probe func(ctx context.Context, step int) error
+}
+
+func (p stepProbeOption) applyOption(o *optionSet) { o.stepProbe = p.probe }
+func (stepProbeOption) runOption()                 {}
+
+// withStepProbe is the per-run projection of WithRunProbe: the campaign
+// worker binds the cell identity and attempt number into a closure invoked at
+// each step of the run loop. Unexported — fault injection enters through the
+// campaign-level option.
+func withStepProbe(p func(ctx context.Context, step int) error) RunOption {
+	return stepProbeOption{probe: p}
+}
+
+type maxStepsOption int
+
+func (n maxStepsOption) applyOption(o *optionSet) { o.maxSteps = int(n) }
+func (maxStepsOption) runOption()                 {}
+
+// WithMaxSteps caps the run at n executed steps: a scenario that would step
+// past the budget is aborted with a deterministic "step budget" error
+// (classified FailScenario — exceeding a fixed budget reproduces on every
+// retry). Zero means no budget. Campaigns set it per variant
+// (CampaignVariant.MaxSteps, maxSteps in the XML schema).
+func WithMaxSteps(n int) RunOption { return maxStepsOption(n) }
 
 // applyCompile/applyRun/applyCampaign adapt the narrowed slices to apply.
 func applyCompile(opts []CompileOption, o *optionSet) {

@@ -804,6 +804,21 @@ func RunScenario(ctx context.Context, r *CyberRange, sc *Scenario, opts ...RunOp
 			rt.report.Err = fmt.Sprintf("run cancelled at step %d", i)
 			break
 		}
+		if cfg.maxSteps > 0 && i >= cfg.maxSteps {
+			// A deterministic budget abort (WithMaxSteps): the run asked for
+			// more steps than its variant allows.
+			rt.report.Err = fmt.Sprintf("step budget %d exhausted at step %d", cfg.maxSteps, i)
+			break
+		}
+		if cfg.stepProbe != nil {
+			// Fault-injection seam (campaign WithRunProbe): may error, block
+			// on ctx, or panic. Runs before the step so an injected fault
+			// lands at a deterministic point.
+			if err := cfg.stepProbe(ctx, i); err != nil {
+				rt.report.Err = fmt.Sprintf("step %d: %v", i, err)
+				break
+			}
+		}
 		now = now.Add(r.interval)
 		if err := stepFn(now); err != nil {
 			rt.report.Err = fmt.Sprintf("step %d: %v", i, err)

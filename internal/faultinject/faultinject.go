@@ -1,0 +1,184 @@
+// Package faultinject builds seeded, deterministic fault plans for the
+// campaign engine's chaos suites: panic in the Kth run's step M, wedge run J
+// against its deadline, fail the Nth store append. A Plan compiles into the
+// two closures the engine exposes as test-only seams — a step probe
+// (core.WithRunProbe) and a store append hook (store JSONL.SetAppendHook) —
+// and keeps an account of every fault it actually fired, so a test can assert
+// its chaos happened before asserting the sweep survived it.
+//
+// The package deliberately imports neither internal/core nor internal/store:
+// the closures it produces use only plain types, so they plug into both
+// packages' hook points without creating an import cycle (core must not
+// import store, and nothing may import a test harness back).
+//
+// Determinism: faults fire at plan-specified (cell, step) coordinates, on the
+// first attempt of a cell only — a retried attempt runs clean, which is
+// exactly the contract the chaos differential pins (the retried sweep's
+// fingerprints and Merkle root must match the clean sweep's byte for byte).
+// The seed feeds an internal RNG (RandomStep) so randomized plans replay.
+package faultinject
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+)
+
+// cell identifies one campaign run: the (variant, seed, attempt) triple.
+type cell struct {
+	variant string
+	seed    int64
+	attempt int
+}
+
+func (c cell) String() string {
+	return fmt.Sprintf("%s:%d:%d", c.variant, c.seed, c.attempt)
+}
+
+// Plan is a deterministic fault schedule. Build it with the chained
+// PanicRun/DelayRun/FailStoreAppends declarations, then thread Probe() into
+// core.WithRunProbe and AppendHook() into the JSONL store. A Plan is safe for
+// concurrent use by the campaign worker pool.
+type Plan struct {
+	seed int64
+	rng  *rand.Rand
+
+	mu         sync.Mutex
+	panics     map[cell]int // step at which attempt 1 panics
+	delays     map[cell]int // step at which attempt 1 wedges until ctx death
+	storeFails map[int]bool // 1-based append indices that fail
+	appends    int          // appends observed so far
+	fired      []string     // account of every fault that actually fired
+
+	panicsFired int
+	delaysFired int
+	storeFired  int
+}
+
+// NewPlan creates an empty fault plan. The seed drives RandomStep (and any
+// future randomized builders); two plans built identically from the same seed
+// inject identical faults.
+func NewPlan(seed int64) *Plan {
+	return &Plan{
+		seed:       seed,
+		rng:        rand.New(rand.NewSource(seed)),
+		panics:     make(map[cell]int),
+		delays:     make(map[cell]int),
+		storeFails: make(map[int]bool),
+	}
+}
+
+// Seed returns the plan's seed.
+func (p *Plan) Seed() int64 { return p.seed }
+
+// RandomStep draws a deterministic step index in [min, max] from the plan's
+// seeded RNG — for plans that want seed-derived fault coordinates.
+func (p *Plan) RandomStep(min, max int) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if max <= min {
+		return min
+	}
+	return min + p.rng.Intn(max-min+1)
+}
+
+// PanicRun schedules a panic in the given run's step (first attempt only):
+// the device-model-blew-up fault the worker boundary must absorb.
+func (p *Plan) PanicRun(variant string, seed int64, attempt, step int) *Plan {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.panics[cell{variant, seed, attempt}] = step
+	return p
+}
+
+// DelayRun schedules the given run to wedge at a step (first attempt only):
+// the probe blocks until the run's context dies, so the run can only end by
+// deadline (WithRunTimeout) or campaign cancellation.
+func (p *Plan) DelayRun(variant string, seed int64, attempt, step int) *Plan {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.delays[cell{variant, seed, attempt}] = step
+	return p
+}
+
+// FailStoreAppends schedules the given 1-based store append attempts to fail.
+// Append numbering is global across the sweep (the store hook serializes
+// under the store lock); an engine-level Put retry is a new append number, so
+// a single scheduled failure is exactly one transient fault.
+func (p *Plan) FailStoreAppends(ns ...int) *Plan {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, n := range ns {
+		p.storeFails[n] = true
+	}
+	return p
+}
+
+// Probe compiles the plan's run faults into a step-probe closure matching
+// core.RunProbe's shape. Faults target the first attempt of their cell only;
+// retried attempts run clean.
+func (p *Plan) Probe() func(ctx context.Context, variant string, seed int64, attempt, try, step int) error {
+	return func(ctx context.Context, variant string, seed int64, attempt, try, step int) error {
+		if try != 1 {
+			return nil
+		}
+		c := cell{variant, seed, attempt}
+		p.mu.Lock()
+		panicAt, doPanic := p.panics[c]
+		delayAt, doDelay := p.delays[c]
+		if doPanic && step == panicAt {
+			p.panicsFired++
+			p.fired = append(p.fired, fmt.Sprintf("panic run=%s step=%d", c, step))
+			p.mu.Unlock()
+			panic(fmt.Sprintf("faultinject: planned panic in %s step %d", c, step))
+		}
+		if doDelay && step == delayAt {
+			p.delaysFired++
+			p.fired = append(p.fired, fmt.Sprintf("delay run=%s step=%d", c, step))
+			p.mu.Unlock()
+			// Wedge: hold the run until its own context dies. Blocking
+			// happens outside the plan lock so other runs keep injecting.
+			<-ctx.Done()
+			return ctx.Err()
+		}
+		p.mu.Unlock()
+		return nil
+	}
+}
+
+// AppendHook compiles the plan's store faults into an append-hook closure for
+// the JSONL store (SetAppendHook): the scheduled append numbers fail with a
+// transient-looking error, every other append proceeds.
+func (p *Plan) AppendHook() func() error {
+	return func() error {
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		p.appends++
+		if p.storeFails[p.appends] {
+			p.storeFired++
+			p.fired = append(p.fired, fmt.Sprintf("store-append n=%d", p.appends))
+			return fmt.Errorf("faultinject: planned append failure (append %d)", p.appends)
+		}
+		return nil
+	}
+}
+
+// Fired returns the account of every fault that actually fired, in firing
+// order.
+func (p *Plan) Fired() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]string(nil), p.fired...)
+}
+
+// PanicsFired, DelaysFired and StoreFailsFired report how many faults of each
+// kind actually fired — the preconditions a chaos test asserts before trusting
+// that the sweep survived anything at all.
+func (p *Plan) PanicsFired() int { p.mu.Lock(); defer p.mu.Unlock(); return p.panicsFired }
+
+// DelaysFired reports the number of delay faults that fired.
+func (p *Plan) DelaysFired() int { p.mu.Lock(); defer p.mu.Unlock(); return p.delaysFired }
+
+// StoreFailsFired reports the number of store append failures injected.
+func (p *Plan) StoreFailsFired() int { p.mu.Lock(); defer p.mu.Unlock(); return p.storeFired }

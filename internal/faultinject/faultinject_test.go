@@ -1,0 +1,118 @@
+package faultinject
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestFaultPlanPanicFiresOnce checks a scheduled panic fires at exactly its
+// (cell, step) coordinate on try 1 and never on a retry attempt.
+func TestFaultPlanPanicFiresOnce(t *testing.T) {
+	plan := NewPlan(1).PanicRun("v", 3, 1, 2)
+	probe := plan.Probe()
+	ctx := context.Background()
+
+	// Wrong cell, wrong step, wrong try: all silent.
+	if err := probe(ctx, "v", 3, 1, 1, 1); err != nil {
+		t.Fatalf("off-coordinate probe errored: %v", err)
+	}
+	if err := probe(ctx, "other", 3, 1, 1, 2); err != nil {
+		t.Fatalf("off-cell probe errored: %v", err)
+	}
+	if err := probe(ctx, "v", 3, 1, 2, 2); err != nil {
+		t.Fatalf("retry-attempt probe errored: %v", err)
+	}
+	if got := plan.PanicsFired(); got != 0 {
+		t.Fatalf("panics fired early: %d", got)
+	}
+
+	didPanic := func() (p any) {
+		defer func() { p = recover() }()
+		probe(ctx, "v", 3, 1, 1, 2)
+		return nil
+	}()
+	if didPanic == nil {
+		t.Fatal("scheduled panic did not fire")
+	}
+	if got := plan.PanicsFired(); got != 1 {
+		t.Fatalf("PanicsFired = %d, want 1", got)
+	}
+	if fired := plan.Fired(); len(fired) != 1 || !strings.Contains(fired[0], "panic run=v:3:1 step=2") {
+		t.Fatalf("fired log = %v", fired)
+	}
+}
+
+// TestFaultPlanDelayBlocksUntilContextDies checks the delay fault wedges the
+// run until its context dies and returns the context's error.
+func TestFaultPlanDelayBlocksUntilContextDies(t *testing.T) {
+	plan := NewPlan(1).DelayRun("v", 1, 1, 0)
+	probe := plan.Probe()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+
+	start := time.Now()
+	err := probe(ctx, "v", 1, 1, 1, 0)
+	if err != context.DeadlineExceeded {
+		t.Fatalf("delay probe returned %v, want DeadlineExceeded", err)
+	}
+	if time.Since(start) < 20*time.Millisecond {
+		t.Fatal("delay probe returned before the context died")
+	}
+	if plan.DelaysFired() != 1 {
+		t.Fatalf("DelaysFired = %d, want 1", plan.DelaysFired())
+	}
+}
+
+// TestFaultPlanStoreAppendFailsScheduledIndices checks the append hook fails
+// exactly the scheduled 1-based append numbers, so an engine-level retry (a
+// fresh append number) goes through.
+func TestFaultPlanStoreAppendFailsScheduledIndices(t *testing.T) {
+	plan := NewPlan(1).FailStoreAppends(2, 4)
+	hook := plan.AppendHook()
+
+	var errs []bool
+	for i := 0; i < 5; i++ {
+		errs = append(errs, hook() != nil)
+	}
+	want := []bool{false, true, false, true, false}
+	for i := range want {
+		if errs[i] != want[i] {
+			t.Fatalf("append %d: failed=%v, want %v (all: %v)", i+1, errs[i], want[i], errs)
+		}
+	}
+	if plan.StoreFailsFired() != 2 {
+		t.Fatalf("StoreFailsFired = %d, want 2", plan.StoreFailsFired())
+	}
+}
+
+// TestFaultPlanRandomStepIsSeeded checks two same-seed plans draw identical
+// step sequences and a different seed diverges.
+func TestFaultPlanRandomStepIsSeeded(t *testing.T) {
+	a, b, c := NewPlan(7), NewPlan(7), NewPlan(8)
+	var sa, sb, sc []int
+	for i := 0; i < 16; i++ {
+		sa = append(sa, a.RandomStep(0, 1000))
+		sb = append(sb, b.RandomStep(0, 1000))
+		sc = append(sc, c.RandomStep(0, 1000))
+	}
+	for i := range sa {
+		if sa[i] != sb[i] {
+			t.Fatalf("same-seed plans diverged at draw %d: %d vs %d", i, sa[i], sb[i])
+		}
+	}
+	same := true
+	for i := range sa {
+		if sa[i] != sc[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical draws")
+	}
+	if got := a.RandomStep(5, 5); got != 5 {
+		t.Fatalf("degenerate range draw = %d, want 5", got)
+	}
+}

@@ -1,0 +1,102 @@
+// Command smoke is the process-level chaos check run by CI: it executes a
+// small campaign whose fault plan injects a mid-run panic and a store append
+// failure, with retries enabled, and exits non-zero unless the process
+// survives, every faulted cell recovers to a clean run, and the store still
+// seals under a verifiable Merkle root. It proves the panic-isolation
+// boundary at the level that matters — a real process that must not crash —
+// where an in-process test's recover could mask a broken one.
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+
+	sgml "repro"
+
+	"repro/internal/core"
+	"repro/internal/faultinject"
+	"repro/internal/store"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "faultinject smoke:", err)
+		os.Exit(1)
+	}
+	fmt.Println("faultinject smoke OK: panic + store fault absorbed, sweep sealed and verified")
+}
+
+func run() error {
+	ms, err := sgml.EPICModelSet()
+	if err != nil {
+		return err
+	}
+	c := &sgml.Campaign{
+		Name:  "chaos-smoke",
+		Model: ms,
+		Variants: []sgml.CampaignVariant{
+			{Name: "smoke", Seeds: []int64{1, 2}, Scenario: &sgml.Scenario{
+				Name:  "smoke-drill",
+				Steps: 4,
+				Events: []sgml.Event{
+					{Name: "trip", Trigger: sgml.At(1), Action: sgml.OpenBreaker("CBMicro")},
+				},
+			}},
+		},
+	}
+
+	// The plan: seed 1's first attempt panics in step 2, and the sweep's
+	// first store append fails once. Both must be absorbed by retries.
+	plan := faultinject.NewPlan(42).
+		PanicRun("smoke", 1, 1, 2).
+		FailStoreAppends(1)
+
+	dir, err := os.MkdirTemp("", "chaos-smoke-store-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	rep, err := core.RunCampaign(context.Background(), c,
+		core.WithRetries(2),
+		core.WithRunProbe(plan.Probe()),
+		core.WithCampaignStore(func(c *core.Campaign) (core.CampaignStore, error) {
+			s, err := store.OpenJSONL(dir, c)
+			if err != nil {
+				return nil, err
+			}
+			s.SetAppendHook(plan.AppendHook())
+			return s, nil
+		}))
+	if err != nil {
+		return err
+	}
+
+	if rep.Failures != 0 {
+		return fmt.Errorf("%d of %d runs failed despite retries:\n%s", rep.Failures, rep.TotalRuns, rep)
+	}
+	if plan.PanicsFired() == 0 {
+		return fmt.Errorf("planned panic never fired — the smoke tested nothing")
+	}
+	if plan.StoreFailsFired() == 0 {
+		return fmt.Errorf("planned store fault never fired — the smoke tested nothing")
+	}
+	if rep.StoreDegraded {
+		return fmt.Errorf("store degraded despite retries: %s", rep.StoreErr)
+	}
+	if rep.Retried == 0 {
+		return fmt.Errorf("no run carries retry history although faults fired")
+	}
+	if rep.MerkleRoot == "" {
+		return fmt.Errorf("clean retried sweep was not sealed")
+	}
+	vs, err := sgml.VerifyStore(dir)
+	if err != nil {
+		return fmt.Errorf("store verification: %w", err)
+	}
+	if len(vs) != 1 || vs[0].Root != rep.MerkleRoot {
+		return fmt.Errorf("store verification disagrees with the report (%v vs %s)", vs, rep.MerkleRoot)
+	}
+	return nil
+}

@@ -53,6 +53,11 @@ type CampaignVariantConfig struct {
 	Sequential bool `xml:"sequential,attr"`
 	// FramePooling is "on"/"off" ("" keeps the range default, pooled).
 	FramePooling string `xml:"framePooling,attr"`
+	// MaxSteps caps each run of this variant to the first N scenario steps
+	// (0 = the scenario's full horizon). A run that exhausts the budget is
+	// aborted deterministically and recorded as a scenario failure — a cheap
+	// guard against runaway variants in a shared sweep.
+	MaxSteps int `xml:"maxSteps,attr"`
 }
 
 // SeedList parses the seeds attribute into the expanded seed slice. An
@@ -139,6 +144,9 @@ func (c *CampaignConfig) Validate() error {
 		}
 		if v.Repeat < 0 {
 			return fmt.Errorf("%w: variant %s: negative repeat", ErrConfig, label)
+		}
+		if v.MaxSteps < 0 {
+			return fmt.Errorf("%w: variant %s: negative maxSteps", ErrConfig, label)
 		}
 		if _, err := v.SeedList(); err != nil {
 			return fmt.Errorf("%w: variant %s: %v", ErrConfig, label, err)

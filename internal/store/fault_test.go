@@ -1,0 +1,94 @@
+package store
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestStoreFaultAppendHook checks the fault-injection seam: a hooked append
+// failure aborts the Put before anything reaches disk — the cell stays
+// pending, the file stays append-clean — and clearing the hook restores
+// normal appends. A failed hooked Put must look exactly like a failed write:
+// retryable, with nothing half-committed.
+func TestStoreFaultAppendHook(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenJSONL(dir, synthCampaign("hooked"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	calls := 0
+	boom := errors.New("injected append fault")
+	s.SetAppendHook(func() error {
+		calls++
+		if calls == 1 {
+			return boom
+		}
+		return nil
+	})
+
+	run := synthRun("v", 1, 1)
+	if err := s.Put(run); !errors.Is(err, boom) {
+		t.Fatalf("hooked Put error = %v, want the injected fault", err)
+	}
+	if err := s.Put(run); err != nil {
+		t.Fatalf("second Put (hook passes) failed: %v", err)
+	}
+	if calls != 2 {
+		t.Fatalf("hook called %d times, want 2", calls)
+	}
+
+	// The failed append left no trace: exactly one record on disk, and the
+	// cell was not marked done by the failed attempt (it is by the retry).
+	if !s.Done("v", 1, 1) {
+		t.Fatal("retried Put did not mark the cell done")
+	}
+	rep, err := s.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Runs) != 1 {
+		t.Fatalf("store holds %d records, want 1", len(rep.Runs))
+	}
+
+	// Non-storable runs never reach the hook: the hook guards real appends
+	// only, so fault plans count actual store traffic.
+	aborted := synthRun("v", 2, 1)
+	aborted.Err = "context canceled"
+	aborted.Report = nil
+	if err := s.Put(aborted); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 2 {
+		t.Fatalf("hook fired for a non-storable run (calls = %d)", calls)
+	}
+
+	s.SetAppendHook(nil)
+	if err := s.Put(synthRun("v", 3, 1)); err != nil {
+		t.Fatalf("Put after clearing the hook: %v", err)
+	}
+
+	// The file parses cleanly end to end — the aborted append wrote nothing.
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := OpenJSONL(dir, synthCampaign("hooked"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	rep2, err := s2.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep2.Runs) != 2 {
+		t.Fatalf("reopened store holds %d records, want 2", len(rep2.Runs))
+	}
+	for _, r := range rep2.Runs {
+		if strings.HasPrefix(r.Err, "panic") || r.FullFingerprint() == "" {
+			t.Fatalf("reopened record damaged: %+v", r)
+		}
+	}
+}

@@ -35,9 +35,10 @@ type JSONL struct {
 	campaign string
 	specHash string
 
-	mu   sync.Mutex
-	f    *os.File
-	runs map[cellKey]core.CampaignRun
+	mu         sync.Mutex
+	f          *os.File
+	runs       map[cellKey]core.CampaignRun
+	appendHook func() error // fault-injection seam; see SetAppendHook
 }
 
 // runRecord is the persisted form of one run: the run row plus its full
@@ -137,6 +138,17 @@ func (s *JSONL) Dir() string { return s.dir }
 // SpecHash returns the campaign spec hash keying this store.
 func (s *JSONL) SpecHash() string { return s.specHash }
 
+// SetAppendHook installs a fault-injection hook invoked (under the store
+// lock, so invocations are serialized) at the start of every storable Put: a
+// non-nil return aborts the append before anything is written, exactly as a
+// failing write would. Test-only seam for the chaos suites
+// (internal/faultinject); a nil hook (the default) costs nothing.
+func (s *JSONL) SetAppendHook(h func() error) {
+	s.mu.Lock()
+	s.appendHook = h
+	s.mu.Unlock()
+}
+
 // Put checkpoints one executed run: frame, append, fsync. Aborted runs are
 // skipped (see ReportStore), so their cells re-execute on resume.
 func (s *JSONL) Put(run core.CampaignRun) error {
@@ -150,6 +162,11 @@ func (s *JSONL) Put(run core.CampaignRun) error {
 	frame := encodeFrame(payload)
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.appendHook != nil {
+		if err := s.appendHook(); err != nil {
+			return fmt.Errorf("store: appending run: %w", err)
+		}
+	}
 	if _, err := s.f.Write(frame); err != nil {
 		return fmt.Errorf("store: appending run: %w", err)
 	}

@@ -37,6 +37,14 @@
 //
 // Any damaged frame, missing record or root mismatch exits non-zero.
 //
+// Hunt the scenario space for interesting outcomes — IDS blind spots,
+// dead-bus cascades, solver divergence, step-budget blowups — by seeded
+// mutation from a seed scenario, minimizing each find to a minimal
+// reproducing <Scenario> document (optionally pinned into a regression
+// corpus directory):
+//
+//	rangectl search <model-dir> <seed-scenario> [-search-seed N] [-budget R] [-out corpus/]
+//
 // Both scenario and campaign runs exit non-zero when any scenario event fails
 // validation or execution, with the per-event outcome table on stdout.
 //
@@ -64,6 +72,8 @@ func main() {
 		err = scenarioMain(args[1:])
 	case len(args) > 0 && args[0] == "campaign":
 		err = campaignMain(args[1:])
+	case len(args) > 0 && args[0] == "search":
+		err = searchMain(args[1:])
 	case len(args) > 0 && args[0] == "run":
 		err = runMain(args[1:])
 	default:
@@ -152,6 +162,59 @@ func scenarioMain(args []string) error {
 	}
 	if failed := rep.FailedEvents(); len(failed) > 0 {
 		return fmt.Errorf("%d scenario event(s) failed: %s", len(failed), strings.Join(failed, "; "))
+	}
+	return nil
+}
+
+// searchMain implements "rangectl search <model-dir> <seed-scenario>".
+func searchMain(args []string) error {
+	fs := flag.NewFlagSet("search", flag.ExitOnError)
+	searchSeed := fs.Int64("search-seed", 1, "mutation engine seed; fixed (model, seed scenario, search seed, budget) reproduces the same finds")
+	budget := fs.Int("budget", 0, "candidate evaluations (0 uses the library default)")
+	workers := fs.Int("workers", 0, "concurrent candidate evaluations (never changes the finds)")
+	maxSteps := fs.Int("max-steps", 0, "per-candidate step cap (0 uses the library default)")
+	sequential := fs.Bool("sequential", false, "evaluate candidates under the single-threaded reference step engine")
+	out := fs.String("out", "", "write each find's minimized repro into this corpus directory")
+	name := fs.String("name", "range", "range name")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: rangectl search <model-dir> <seed-scenario> [flags]")
+		fs.PrintDefaults()
+	}
+	positionals, err := parsePositionals(fs, args, 2)
+	if err != nil {
+		return err
+	}
+	modelDir, scenarioFile := positionals[0], positionals[1]
+	ms, err := sgml.LoadModelDir(*name, modelDir)
+	if err != nil {
+		return err
+	}
+	sc, err := sgml.LoadScenarioFile(scenarioFile)
+	if err != nil {
+		return err
+	}
+	res, err := sgml.Search(context.Background(), ms, sc, sgml.SearchOptions{
+		SearchSeed: *searchSeed,
+		Budget:     *budget,
+		Workers:    *workers,
+		MaxSteps:   *maxSteps,
+		Sequential: *sequential,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("search: %d candidates (%d invalid), %d novel behaviours, %d runs, %d find(s)\n",
+		res.Candidates, res.Invalid, res.Novel, res.Runs, len(res.Finds))
+	for _, f := range res.Finds {
+		fmt.Printf("\nfind %s (candidate %d, minimized to %d event(s) in %d runs, step cap %d)\n  %s\n%s",
+			f.Oracle, f.FoundAt, f.Events, f.MinimizeRuns, f.MaxSteps, f.Detail, f.XML)
+	}
+	if *out != "" {
+		if err := sgml.WriteSearchCorpus(*out, res.Finds); err != nil {
+			return err
+		}
+		fmt.Printf("\ncorpus: %d entr%s written to %s\n",
+			len(res.Finds), map[bool]string{true: "y", false: "ies"}[len(res.Finds) == 1], *out)
 	}
 	return nil
 }

@@ -55,7 +55,8 @@
 // supplementary XML's <Step> time series, which Compile validates and
 // schedules as the compile-time scenario source), network impairments
 // (LinkDown/LinkUp/LinkFlap/LinkLoss/LinkLatency), attack steps (PortScan,
-// FalseCommand, StartMITM/StopMITM) and blue-team instrumentation
+// FalseCommand, StartMITM/StopMITM, ModbusTamper — a forged write straight
+// to a PLC's southbound Modbus server) and blue-team instrumentation
 // (DeployIDS).
 //
 // The scheduler is deterministic: it is woven into the step loop as pre/post
@@ -158,6 +159,47 @@
 // live in internal/faultinject: seeded, deterministic schedules (panic in
 // run X's step M, delay run J past its deadline, fail the Nth append)
 // threaded through test-only hooks in the engine and the store.
+//
+// # Scenario search
+//
+// Search turns the replay contract into an offensive tool: a seeded,
+// deterministic mutation engine hunts the scenario space around a seed
+// scenario for interesting outcomes. Candidates are derived in the
+// declarative XML form — event insertion and deletion, trigger jitter,
+// target permutation drawn from the compiled model's inventory (breakers,
+// loads, generators, lines, IEDs, PLC register tables) — executed on forks
+// of one compiled root, and scored by pluggable interestingness Oracles:
+// missed detection (ground truth injected but never alerted — the IDS
+// blind-spot finder), dead-bus cascades past a threshold, solver divergence,
+// and step-budget blowups. Novel behaviour signatures (a projection of the
+// fingerprint) join the mutation pool, the scenario-space analogue of a
+// fuzzer's edge map.
+//
+// Each first find per oracle is delta-debugged to a minimal reproducing
+// scenario, serialized with MarshalScenario, and pinned: the find's XML
+// re-parses and replays to its recorded Fingerprint under the recorded
+// WithMaxSteps cap. A fixed (model, seed scenario, search seed, budget)
+// reproduces the same finds, minimized repros and fingerprints across both
+// step engines, both provisioning paths and any worker count:
+//
+//	res, _ := sgml.Search(ctx, ms, seed, sgml.SearchOptions{SearchSeed: 3, Budget: 16})
+//	for _, f := range res.Finds {
+//	    fmt.Printf("%s: %s\n%s", f.Oracle, f.Detail, f.XML)
+//	}
+//
+// Finds persist as a regression corpus (WriteSearchCorpus/ReadSearchCorpus;
+// testdata/corpus is the checked-in one, replayed by CI under both engines),
+// and the whole loop runs from the command line:
+//
+//	rangectl search models/epic seed.scenario.xml -search-seed 3 -budget 16 -out corpus/
+//
+// The canonical find on the EPIC model is the sensor's Modbus blind spot:
+// the IDS inspects MMS control writes, ARP, GOOSE and port scans, but a
+// ModbusTamper (TamperCoil/TamperRegister) reaches a PLC over port 502
+// unseen — forcing the coil bound to the PLC's manualTrip variable makes the
+// PLC's own authorized MMS write open the tie breaker, and the injected
+// ground truth stays undetected forever. The searcher discovers that from a
+// benign seed scenario and minimizes it to two events.
 //
 // # Forking
 //

@@ -13,6 +13,7 @@ import (
 	"repro/internal/attack"
 	"repro/internal/ids"
 	"repro/internal/mms"
+	"repro/internal/modbus"
 	"repro/internal/netem"
 	"repro/internal/sgmlconf"
 )
@@ -489,6 +490,104 @@ func (a StopMITM) apply(rt *scenarioRun, _ *eventState) (string, error) {
 	return "withdrawn", nil
 }
 
+// ModbusTamper injects a Modbus/TCP write from an attacker into a PLC's
+// northbound server — the logic-manipulation counterpart of FalseCommand.
+// Where FalseCommand speaks IEC 61850 MMS to an IED, ModbusTamper speaks the
+// SCADA protocol to the PLC layer (internal/modbus against the ST runtime):
+// a coil write lands in the PLC's pending-command queue and is applied by its
+// next scan, so a tampered command coil drives the control logic exactly as a
+// SCADA operator action would. Table selects what is written: "coil" (Value
+// != 0 asserts the coil) or "holding" (Value is the register word).
+//
+// The write is issued synchronously inside the firing step's pre-hook, so its
+// effect lands at a deterministic scan boundary under either engine.
+type ModbusTamper struct {
+	Attacker string
+	PLC      string // target PLC by its config name (e.g. "CPLC")
+	Table    string // "coil" (default) or "holding"
+	Address  uint16
+	Value    uint16
+}
+
+// TamperCoil builds a ModbusTamper that forces a PLC coil.
+func TamperCoil(attacker, plcName string, addr uint16, on bool) ModbusTamper {
+	var v uint16
+	if on {
+		v = 1
+	}
+	return ModbusTamper{Attacker: attacker, PLC: plcName, Table: "coil", Address: addr, Value: v}
+}
+
+// TamperRegister builds a ModbusTamper that overwrites a PLC holding register.
+func TamperRegister(attacker, plcName string, addr, value uint16) ModbusTamper {
+	return ModbusTamper{Attacker: attacker, PLC: plcName, Table: "holding", Address: addr, Value: value}
+}
+
+func (a ModbusTamper) table() string {
+	if a.Table == "" {
+		return "coil"
+	}
+	return a.Table
+}
+
+func (a ModbusTamper) describe() string {
+	return fmt.Sprintf("modbus tamper %s -> %s %s[%d]=%d", a.Attacker, a.PLC, a.table(), a.Address, a.Value)
+}
+
+// validate resolves the tamper against the compiled model's PLC inventory.
+// Failures wrap ErrModel (the target is a model element, like a power step's),
+// and the scenario wrapper adds the event name on top.
+func (a ModbusTamper) validate(v *scenarioValidator) error {
+	if err := v.attacker(a.Attacker); err != nil {
+		return err
+	}
+	p, ok := v.r.PLCs[a.PLC]
+	if !ok {
+		return fmt.Errorf("%w: modbus tamper target %q is not a PLC of the model", ErrModel, a.PLC)
+	}
+	cfg := p.Config()
+	switch a.table() {
+	case "coil":
+		if int(a.Address) >= cfg.Coils {
+			return fmt.Errorf("%w: modbus tamper coil %d outside PLC %q table (0..%d)",
+				ErrModel, a.Address, a.PLC, cfg.Coils-1)
+		}
+	case "holding":
+		if int(a.Address) >= cfg.Holding {
+			return fmt.Errorf("%w: modbus tamper holding register %d outside PLC %q table (0..%d)",
+				ErrModel, a.Address, a.PLC, cfg.Holding-1)
+		}
+	default:
+		return fmt.Errorf("%w: modbus tamper table %q (want coil or holding)", ErrModel, a.Table)
+	}
+	return nil
+}
+
+func (a ModbusTamper) apply(rt *scenarioRun, ev *eventState) (string, error) {
+	host := rt.attackers[a.Attacker]
+	p := rt.r.PLCs[a.PLC]
+	cli, err := modbus.DialClient(host, p.Host().IP(), p.Config().ModbusPort, 0)
+	if err != nil {
+		return "", err
+	}
+	defer cli.Close()
+	switch a.table() {
+	case "coil":
+		err = cli.WriteCoil(a.Address, a.Value != 0)
+	case "holding":
+		err = cli.WriteRegister(a.Address, a.Value)
+	}
+	if err != nil {
+		return "", err
+	}
+	// The IDS advertises coverage of unauthorized control writes, so a
+	// tampered PLC command is ground truth for that alert kind — but the
+	// sensor only inspects MMS towards port 102, never Modbus towards 502.
+	// This is the deliberate blind spot the scenario search hunts.
+	rt.expect(ev, ids.AlertUnauthorizedWrite, host.IP().String())
+	return fmt.Sprintf("%s[%d]=%d written", a.table(), a.Address, a.Value), nil
+}
+
 // --- sensor deployment -----------------------------------------------------
 
 // DeployIDS attaches a passive network IDS sensor to every link of the
@@ -599,8 +698,12 @@ func (sc *Scenario) validate(r *CyberRange) error {
 		if err := sc.validateTrigger(r, ev.Trigger); err != nil {
 			return fmt.Errorf("%w: event %q: %v", ErrScenario, ev.Name, err)
 		}
+		// Double-wrap so both sentinels survive: a failed action validation is
+		// always ErrScenario, and actions that resolve model elements (power
+		// steps via validatePowerAction, ModbusTamper via the PLC inventory)
+		// additionally surface ErrModel through the chain.
 		if err := ev.Action.validate(v); err != nil {
-			return fmt.Errorf("%w: event %q: %v", ErrScenario, ev.Name, err)
+			return fmt.Errorf("%w: event %q: %w", ErrScenario, ev.Name, err)
 		}
 	}
 	return nil
@@ -635,6 +738,21 @@ func (sc *Scenario) validateTrigger(r *CyberRange, t Trigger) error {
 		}
 	}
 	return nil
+}
+
+// ValidateScenario resolves a scenario against a compiled range without
+// running it: every referenced element, link, node, attacker, PLC and alert
+// kind must exist. It is the same check RunScenario performs before starting
+// the range, exposed so callers (the scenario search's mutation engine, CLI
+// dry runs) can reject a broken candidate without paying for a fork or a run.
+// Errors wrap ErrScenario; actions that resolve model elements (power steps,
+// ModbusTamper) additionally wrap ErrModel.
+func ValidateScenario(r *CyberRange, sc *Scenario) error {
+	norm, err := sc.normalized(r.interval)
+	if err != nil {
+		return err
+	}
+	return norm.validate(r)
 }
 
 // normalized returns a defaulted copy: event names filled in, timed triggers
@@ -1115,6 +1233,128 @@ func triggerFromConfig(e *sgmlconf.ScenarioEvent) (Trigger, error) {
 	return t.Plus(e.Plus), nil
 }
 
+// ScenarioToConfig renders a typed scenario into its declarative XML form —
+// the reverse of ScenarioFromConfig, and the serializer the scenario-search
+// minimizer and regression corpus stand on. The contract (pinned by the
+// round-trip property test) is behavioural equivalence: the emitted config
+// re-parses to a scenario whose run fingerprint matches the original for a
+// fixed (model, seed). Values without an XML form — sub-millisecond
+// durations, exotic MMS payload kinds, user-defined Action implementations —
+// return ErrScenario rather than serializing lossily.
+func ScenarioToConfig(sc *Scenario) (*sgmlconf.ScenarioConfig, error) {
+	c := &sgmlconf.ScenarioConfig{Name: sc.Name, Steps: sc.Steps, Seed: sc.Seed}
+	if c.Name == "" {
+		c.Name = "scenario"
+	}
+	for i := range sc.Attackers {
+		a := &sc.Attackers[i]
+		sa := sgmlconf.ScenarioAttacker{Name: a.Name, Switch: a.Switch, IP: a.IP.String()}
+		if a.MAC != (netem.MAC{}) {
+			sa.MAC = a.MAC.String()
+		}
+		c.Attackers = append(c.Attackers, sa)
+	}
+	for i := range sc.Events {
+		ev := &sc.Events[i]
+		if ev.Action == nil {
+			return nil, fmt.Errorf("%w: event %q has no action", ErrScenario, ev.Name)
+		}
+		e := sgmlconf.ScenarioEvent{Name: ev.Name}
+		if err := triggerToConfig(ev.Trigger, &e); err != nil {
+			return nil, fmt.Errorf("%w: event %q: %v", ErrScenario, ev.Name, err)
+		}
+		if err := actionToConfig(ev.Action, &e); err != nil {
+			return nil, fmt.Errorf("%w: event %q: %v", ErrScenario, ev.Name, err)
+		}
+		c.Events = append(c.Events, e)
+	}
+	return c, nil
+}
+
+func triggerToConfig(t Trigger, e *sgmlconf.ScenarioEvent) error {
+	switch t.kind {
+	case trigAtStep:
+		step := t.step
+		e.AtStep = &step
+	case trigAfter:
+		if t.offset%time.Millisecond != 0 {
+			return fmt.Errorf("trigger offset %v is not a whole millisecond", t.offset)
+		}
+		if ms := int(t.offset / time.Millisecond); ms > 0 {
+			e.AfterMS = ms
+		} else {
+			// After(0) and At(0) resolve identically; emit the explicit form.
+			zero := 0
+			e.AtStep = &zero
+		}
+	case trigBreakerOpen:
+		e.OnBreakerOpen = t.element
+	case trigBreakerClose:
+		e.OnBreakerClose = t.element
+	case trigAlert:
+		e.OnAlert = string(t.alert)
+	case trigDeadBuses:
+		e.OnDeadBuses = t.count
+	default:
+		return fmt.Errorf("trigger %q has no XML form", t.describe())
+	}
+	e.Plus = t.delay
+	return nil
+}
+
+func actionToConfig(a Action, e *sgmlconf.ScenarioEvent) error {
+	switch act := a.(type) {
+	case PowerStep:
+		e.Kind, e.Element, e.Value = act.Kind, act.Element, act.Value
+	case LinkDown:
+		e.Kind, e.LinkA, e.LinkB = "linkDown", act.A, act.B
+	case LinkUp:
+		e.Kind, e.LinkA, e.LinkB = "linkUp", act.A, act.B
+	case LinkFlap:
+		e.Kind, e.LinkA, e.LinkB, e.DownSteps = "linkFlap", act.A, act.B, act.DownSteps
+	case LinkLoss:
+		e.Kind, e.LinkA, e.LinkB, e.Rate = "linkLoss", act.A, act.B, act.Rate
+	case LinkLatency:
+		if act.Latency%time.Millisecond != 0 {
+			return fmt.Errorf("latency %v is not a whole millisecond", act.Latency)
+		}
+		e.Kind, e.LinkA, e.LinkB = "linkLatency", act.A, act.B
+		e.LatencyMS = int(act.Latency / time.Millisecond)
+	case PortScan:
+		e.Kind, e.Attacker, e.Target = "portScan", act.Attacker, act.Target
+		ports := make([]string, len(act.Ports))
+		for i, p := range act.Ports {
+			ports[i] = fmt.Sprintf("%d", p)
+		}
+		e.Ports = strings.Join(ports, ",")
+	case FalseCommand:
+		e.Kind, e.Attacker, e.Target, e.Ref = "falseCommand", act.Attacker, act.Target, act.Ref
+		switch act.Value.Kind {
+		case mms.KindBool:
+			b := act.Value.Bool
+			e.BoolValue = &b
+		case mms.KindFloat:
+			e.Value = act.Value.Float
+		default:
+			return fmt.Errorf("falseCommand value kind %v has no XML form", act.Value.Kind)
+		}
+	case StartMITM:
+		e.Kind, e.Attacker, e.VictimA, e.VictimB = "mitm", act.Attacker, act.VictimA, act.VictimB
+		e.ScaleFloats, e.Blackhole, e.ForSteps = act.ScaleFloats, act.Blackhole, act.ForSteps
+	case StopMITM:
+		e.Kind, e.Attacker = "stopMitm", act.Attacker
+	case ModbusTamper:
+		e.Kind, e.Attacker, e.Target = "modbusTamper", act.Attacker, act.PLC
+		e.Table, e.Address, e.Word = act.Table, int(act.Address), int(act.Value)
+	case DeployIDS:
+		e.Kind, e.Sensor, e.Threshold = "deployIDS", act.Name, act.PortScanThreshold
+		e.Writers = strings.Join(act.AuthorizedWriters, ",")
+	default:
+		return fmt.Errorf("action %T has no XML form", a)
+	}
+	return nil
+}
+
 func actionFromConfig(e *sgmlconf.ScenarioEvent) (Action, error) {
 	switch e.Kind {
 	case "loadScale", "loadP", "genP", "sgenP", "switch", "lineService":
@@ -1150,6 +1390,11 @@ func actionFromConfig(e *sgmlconf.ScenarioEvent) (Action, error) {
 		}, nil
 	case "stopMitm":
 		return StopMITM{Attacker: e.Attacker}, nil
+	case "modbusTamper":
+		return ModbusTamper{
+			Attacker: e.Attacker, PLC: e.Target,
+			Table: e.Table, Address: uint16(e.Address), Value: uint16(e.Word),
+		}, nil
 	case "deployIDS":
 		return DeployIDS{
 			Name:              e.SensorName(),

@@ -310,6 +310,14 @@ func (p *PLC) ensureModbus() error {
 // Modbus returns the northbound server (tests assert on its tables).
 func (p *PLC) Modbus() *modbus.Server { return p.mb }
 
+// Config returns a copy of the runtime's defaulted configuration. Callers use
+// it to validate northbound access before dialling: table sizes bound the
+// addressable coil/register space, ModbusPort is where the server listens.
+func (p *PLC) Config() Config { return p.cfg }
+
+// Host returns the fabric host the PLC runs on (its northbound address).
+func (p *PLC) Host() *netem.Host { return p.host }
+
 // Env returns the ST environment (tests inspect variables).
 func (p *PLC) Env() *st.Env { return p.env }
 

@@ -1,0 +1,92 @@
+package search
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/sgmlconf"
+)
+
+// minimize delta-debugs a flagged candidate down to a minimal reproducing
+// scenario: greedy single-event removal to a fixpoint (each attempt verified
+// by a full run that must keep the oracle's verdict), then removal of
+// attacker declarations no surviving event references — also run-verified,
+// since the attacker set feeds the seeded MAC derivation and therefore the
+// fingerprint. The result is serialized, re-parsed and re-run once, so the
+// pinned fingerprint is the one the corpus XML itself reproduces.
+func (s *searcher) minimize(ctx context.Context, cfg *sgmlconf.ScenarioConfig, o Oracle) (*Find, error) {
+	cur := cfg
+	runs := 0
+	verify := func(cand *sgmlconf.ScenarioConfig) bool {
+		if cand.Validate() != nil {
+			return false
+		}
+		res := s.evalOne(ctx, cand)
+		runs++
+		if res.err != nil {
+			return false
+		}
+		_, ok := o.Assess(res.sc, res.rep)
+		return ok
+	}
+
+	for improved := true; improved; {
+		improved = false
+		for i := len(cur.Events) - 1; i >= 0 && len(cur.Events) > 1; i-- {
+			cand := copyConfig(cur)
+			cand.Events = append(cand.Events[:i], cand.Events[i+1:]...)
+			if verify(cand) {
+				cur = cand
+				improved = true
+			}
+		}
+	}
+
+	for i := len(cur.Attackers) - 1; i >= 0; i-- {
+		referenced := false
+		for j := range cur.Events {
+			if cur.Events[j].Attacker == cur.Attackers[i].Name {
+				referenced = true
+				break
+			}
+		}
+		if referenced {
+			continue
+		}
+		cand := copyConfig(cur)
+		cand.Attackers = append(cand.Attackers[:i], cand.Attackers[i+1:]...)
+		if verify(cand) {
+			cur = cand
+		}
+	}
+
+	// Pin through the serializer: the corpus entry must reproduce from its
+	// own XML, not from the in-memory config that produced it.
+	xmlBytes, err := sgmlconf.MarshalScenarioConfig(cur)
+	if err != nil {
+		return nil, fmt.Errorf("%w: minimized scenario does not serialize: %v", ErrSearch, err)
+	}
+	parsed, err := sgmlconf.ParseScenarioConfig(xmlBytes)
+	if err != nil {
+		return nil, fmt.Errorf("%w: minimized scenario does not re-parse: %v", ErrSearch, err)
+	}
+	res := s.evalOne(ctx, parsed)
+	runs++
+	s.runs += runs
+	if res.err != nil {
+		return nil, fmt.Errorf("%w: minimized scenario does not replay: %v", ErrSearch, res.err)
+	}
+	detail, ok := o.Assess(res.sc, res.rep)
+	if !ok {
+		return nil, fmt.Errorf("%w: minimized scenario lost oracle %q on replay", ErrSearch, o.Key())
+	}
+	return &Find{
+		Oracle:       o.Key(),
+		Detail:       detail,
+		Events:       len(parsed.Events),
+		MinimizeRuns: runs,
+		XML:          xmlBytes,
+		Fingerprint:  res.rep.Fingerprint(),
+		MaxSteps:     s.opts.MaxSteps,
+	}, nil
+}

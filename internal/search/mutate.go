@@ -1,0 +1,275 @@
+package search
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/sgmlconf"
+)
+
+// inventory is the compiled model's addressable surface, extracted once and
+// sorted so every draw from it is deterministic. Mutations permute targets
+// within their class: a load-scale event re-targets another load, a Modbus
+// tamper another PLC.
+type inventory struct {
+	breakers []string
+	loads    []string
+	gens     []string
+	sgens    []string
+	lines    []string
+	nodes    []string // MMS-addressable device names (IEDs)
+	plcs     []string
+	coils    map[string]int // PLC -> coil table size
+	holding  map[string]int // PLC -> holding table size
+
+	attackers []string // declared by the seed scenario
+	kinds     []string // insertion vocabulary, weighted
+}
+
+func buildInventory(root *core.CyberRange, seed *sgmlconf.ScenarioConfig) *inventory {
+	inv := &inventory{coils: map[string]int{}, holding: map[string]int{}}
+	for _, sw := range root.Grid.Switches {
+		inv.breakers = append(inv.breakers, sw.Name)
+	}
+	for _, l := range root.Grid.Loads {
+		inv.loads = append(inv.loads, l.Name)
+	}
+	for _, g := range root.Grid.Gens {
+		inv.gens = append(inv.gens, g.Name)
+	}
+	for _, g := range root.Grid.SGens {
+		inv.sgens = append(inv.sgens, g.Name)
+	}
+	for _, l := range root.Grid.Lines {
+		inv.lines = append(inv.lines, l.Name)
+	}
+	for name := range root.IEDs {
+		inv.nodes = append(inv.nodes, name)
+	}
+	sort.Strings(inv.nodes)
+	for name, p := range root.PLCs {
+		inv.plcs = append(inv.plcs, name)
+		cfg := p.Config()
+		inv.coils[name] = cfg.Coils
+		inv.holding[name] = cfg.Holding
+	}
+	sort.Strings(inv.plcs)
+	for _, a := range seed.Attackers {
+		inv.attackers = append(inv.attackers, a.Name)
+	}
+
+	// The insertion vocabulary: only kinds whose targets exist in this model.
+	// modbusTamper is listed twice — the PLC attack surface is the newest and
+	// the one the blind-spot oracles care about most.
+	if len(inv.breakers) > 0 {
+		inv.kinds = append(inv.kinds, "openBreaker", "closeBreaker")
+	}
+	if len(inv.loads) > 0 {
+		inv.kinds = append(inv.kinds, "loadScale")
+	}
+	if len(inv.gens) > 0 {
+		inv.kinds = append(inv.kinds, "genP")
+	}
+	if len(inv.lines) > 0 {
+		inv.kinds = append(inv.kinds, "lineService")
+	}
+	if len(inv.attackers) > 0 {
+		if len(inv.nodes) > 0 {
+			inv.kinds = append(inv.kinds, "portScan", "falseCommand")
+		}
+		if len(inv.plcs) > 0 {
+			inv.kinds = append(inv.kinds, "modbusTamper", "modbusTamper")
+		}
+	}
+	return inv
+}
+
+func (s *searcher) pick(list []string) string { return list[s.rng.Intn(len(list))] }
+
+// mutate derives a new candidate from a parent: a deep copy with one or two
+// mutations applied. Every choice comes from the search rng; nothing reads
+// global state, so the candidate stream is a pure function of the search seed
+// and the processing order of earlier candidates.
+func (s *searcher) mutate(parent *sgmlconf.ScenarioConfig) *sgmlconf.ScenarioConfig {
+	c := copyConfig(parent)
+	s.farJump = false
+	for n := 1 + s.rng.Intn(2); n > 0; n-- {
+		s.mutateOnce(c)
+	}
+	if s.farJump {
+		c.Steps = 0
+	}
+	return c
+}
+
+func (s *searcher) mutateOnce(c *sgmlconf.ScenarioConfig) {
+	switch op := s.rng.Intn(10); {
+	case op < 4 && len(s.inv.kinds) > 0: // insert
+		s.insertEvent(c)
+	case op < 6 && len(c.Events) > 1: // delete
+		i := s.rng.Intn(len(c.Events))
+		c.Events = append(c.Events[:i], c.Events[i+1:]...)
+	case op < 8 && len(c.Events) > 0: // trigger jitter
+		s.jitterTrigger(&c.Events[s.rng.Intn(len(c.Events))])
+	case len(c.Events) > 0: // target permutation
+		s.retarget(&c.Events[s.rng.Intn(len(c.Events))])
+	}
+}
+
+// insertEvent appends a new timed event of a random vocabulary kind with
+// targets drawn from the inventory.
+func (s *searcher) insertEvent(c *sgmlconf.ScenarioConfig) {
+	s.nameSeq++
+	step := s.rng.Intn(s.maxTriggerStep(c) + 1)
+	e := sgmlconf.ScenarioEvent{
+		Name:   fmt.Sprintf("mut-%d", s.nameSeq),
+		AtStep: &step,
+		Kind:   s.inv.kinds[s.rng.Intn(len(s.inv.kinds))],
+	}
+	switch e.Kind {
+	case "openBreaker", "closeBreaker":
+		e.Element = s.pick(s.inv.breakers)
+	case "loadScale":
+		e.Element = s.pick(s.inv.loads)
+		e.Value = []float64{0, 0.25, 0.5, 2, 4}[s.rng.Intn(5)]
+	case "genP":
+		e.Element = s.pick(s.inv.gens)
+		e.Value = []float64{0, 0.5, 1, 2}[s.rng.Intn(4)]
+	case "lineService":
+		e.Element = s.pick(s.inv.lines)
+		e.Value = float64(s.rng.Intn(2))
+	case "portScan":
+		e.Attacker = s.pick(s.inv.attackers)
+		e.Target = s.pick(s.inv.nodes)
+	case "falseCommand":
+		e.Attacker = s.pick(s.inv.attackers)
+		e.Target = s.pick(s.inv.nodes)
+		e.Ref = "LD0/XCBR1.Pos.Oper"
+		open := s.rng.Intn(2) == 0
+		e.BoolValue = &open
+	case "modbusTamper":
+		e.Attacker = s.pick(s.inv.attackers)
+		e.Target = s.pick(s.inv.plcs)
+		if s.rng.Intn(4) == 0 {
+			e.Table = "holding"
+			e.Address = s.rng.Intn(maxInt(1, s.inv.holding[e.Target]))
+			e.Word = s.rng.Intn(1000)
+		} else {
+			e.Table = "coil"
+			e.Address = s.rng.Intn(minInt(8, maxInt(1, s.inv.coils[e.Target])))
+			e.Word = s.rng.Intn(2)
+		}
+	}
+	c.Events = append(c.Events, e)
+}
+
+// jitterTrigger nudges a timed trigger (or a condition trigger's Plus delay).
+// Rarely it jumps far past the run's step cap — the probe the step-budget
+// oracle exists for.
+func (s *searcher) jitterTrigger(e *sgmlconf.ScenarioEvent) {
+	if e.AtStep != nil {
+		var step int
+		if s.rng.Intn(8) == 0 {
+			step = s.opts.MaxSteps + 1 + s.rng.Intn(3*s.opts.MaxSteps)
+			// A fixed steps attribute would end the run before the far
+			// trigger; zero it so normalization extends the horizon past the
+			// step budget.
+			s.farJump = true
+		} else {
+			step = maxInt(0, *e.AtStep+s.rng.Intn(9)-4)
+		}
+		e.AtStep = &step
+		return
+	}
+	if e.AfterMS > 0 {
+		e.AfterMS = maxInt(1, e.AfterMS+100*(s.rng.Intn(9)-4))
+		return
+	}
+	e.Plus = maxInt(0, e.Plus+s.rng.Intn(5)-2)
+}
+
+// retarget re-draws an event's target within its element class.
+func (s *searcher) retarget(e *sgmlconf.ScenarioEvent) {
+	switch e.Kind {
+	case "switch", "openBreaker", "closeBreaker":
+		e.Element = s.pick(s.inv.breakers)
+	case "loadScale", "loadP":
+		e.Element = s.pick(s.inv.loads)
+	case "genP":
+		e.Element = s.pick(s.inv.gens)
+	case "sgenP":
+		if len(s.inv.sgens) > 0 {
+			e.Element = s.pick(s.inv.sgens)
+		}
+	case "lineService":
+		e.Element = s.pick(s.inv.lines)
+	case "portScan", "falseCommand":
+		e.Target = s.pick(s.inv.nodes)
+	case "modbusTamper":
+		e.Target = s.pick(s.inv.plcs)
+		if e.Table == "coil" {
+			e.Address = s.rng.Intn(minInt(8, maxInt(1, s.inv.coils[e.Target])))
+		} else {
+			e.Address = s.rng.Intn(maxInt(1, s.inv.holding[e.Target]))
+		}
+	default:
+		// Link impairments and sensor deployment keep their wiring; nudge the
+		// trigger instead so the mutation is never a silent no-op.
+		s.jitterTrigger(e)
+	}
+}
+
+// maxTriggerStep is the ceiling for inserted timed triggers: a little past
+// the scenario's own horizon, min 12, capped by the run's step budget.
+func (s *searcher) maxTriggerStep(c *sgmlconf.ScenarioConfig) int {
+	last := 0
+	for i := range c.Events {
+		e := &c.Events[i]
+		if e.AtStep != nil && *e.AtStep+e.Plus > last {
+			last = *e.AtStep + e.Plus
+		}
+	}
+	if c.Steps > last {
+		last = c.Steps
+	}
+	last += 4
+	if last < 12 {
+		last = 12
+	}
+	return minInt(last, s.opts.MaxSteps-1)
+}
+
+// copyConfig deep-copies a scenario config (slices and pointer attributes).
+func copyConfig(c *sgmlconf.ScenarioConfig) *sgmlconf.ScenarioConfig {
+	out := *c
+	out.Attackers = append([]sgmlconf.ScenarioAttacker(nil), c.Attackers...)
+	out.Events = make([]sgmlconf.ScenarioEvent, len(c.Events))
+	for i := range c.Events {
+		e := c.Events[i]
+		if e.AtStep != nil {
+			v := *e.AtStep
+			e.AtStep = &v
+		}
+		if e.BoolValue != nil {
+			v := *e.BoolValue
+			e.BoolValue = &v
+		}
+		out.Events[i] = e
+	}
+	return &out
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

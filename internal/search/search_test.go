@@ -1,0 +1,206 @@
+package search
+
+import (
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sgmlconf"
+)
+
+// testInventory is a hand-built model surface: mutation is a pure function
+// of (inventory, rng, options), so no compiled range is needed to pin it.
+func testInventory() *inventory {
+	return &inventory{
+		breakers:  []string{"CB1", "CB2", "CBTie"},
+		loads:     []string{"Home1", "Home2"},
+		gens:      []string{"Gen1"},
+		lines:     []string{"L1", "L2"},
+		nodes:     []string{"GIED1", "TIED1"},
+		plcs:      []string{"CPLC"},
+		coils:     map[string]int{"CPLC": 64},
+		holding:   map[string]int{"CPLC": 128},
+		attackers: []string{"redbox"},
+		kinds: []string{"openBreaker", "closeBreaker", "loadScale", "genP",
+			"lineService", "portScan", "falseCommand", "modbusTamper", "modbusTamper"},
+	}
+}
+
+func testSeedConfig() *sgmlconf.ScenarioConfig {
+	zero, two := 0, 2
+	return &sgmlconf.ScenarioConfig{
+		Name:  "unit-seed",
+		Steps: 12,
+		Seed:  11,
+		Attackers: []sgmlconf.ScenarioAttacker{
+			{Name: "redbox", Switch: "sw-TransLAN", IP: "10.0.1.13"},
+		},
+		Events: []sgmlconf.ScenarioEvent{
+			{Name: "blue", AtStep: &zero, Kind: "deployIDS", Writers: "SCADA,CPLC", Threshold: 5},
+			{Name: "nudge", AtStep: &two, Kind: "loadScale", Element: "Home1", Value: 0.8},
+		},
+	}
+}
+
+func newTestSearcher(seed int64) *searcher {
+	return &searcher{
+		opts: Options{SearchSeed: seed, Budget: 16, MaxSteps: 64, Workers: 4},
+		rng:  rand.New(rand.NewSource(seed)),
+		inv:  testInventory(),
+	}
+}
+
+// TestMutateDeterministicStream pins the mutation engine's replay contract:
+// one search seed, one candidate stream — and mutation never writes through
+// to the parent config.
+func TestMutateDeterministicStream(t *testing.T) {
+	const n = 64
+	gen := func() [][]byte {
+		s := newTestSearcher(42)
+		parent := testSeedConfig()
+		before, err := sgmlconf.MarshalScenarioConfig(parent)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out [][]byte
+		for i := 0; i < n; i++ {
+			c := s.mutate(parent)
+			b, err := sgmlconf.Marshal(c)
+			if err != nil {
+				t.Fatalf("candidate %d does not marshal: %v", i, err)
+			}
+			out = append(out, b)
+		}
+		after, err := sgmlconf.MarshalScenarioConfig(parent)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(before) != string(after) {
+			t.Fatalf("mutation wrote through to the parent:\nbefore %s\nafter  %s", before, after)
+		}
+		return out
+	}
+	a, b := gen(), gen()
+	for i := range a {
+		if string(a[i]) != string(b[i]) {
+			t.Fatalf("candidate %d diverged across identically-seeded searchers:\n%s\n---\n%s", i, a[i], b[i])
+		}
+	}
+	// A different seed must actually explore differently.
+	s2 := newTestSearcher(43)
+	same := 0
+	parent := testSeedConfig()
+	for i := 0; i < n; i++ {
+		c := s2.mutate(parent)
+		b2, err := sgmlconf.Marshal(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(b2) == string(a[i]) {
+			same++
+		}
+	}
+	if same == n {
+		t.Fatal("seeds 42 and 43 generated identical candidate streams")
+	}
+}
+
+// TestMutateStaysStructurallyValid: every mutated candidate must pass the
+// schema validator — the searcher burns budget on range-level rejections
+// (unknown element for this model), never on structural garbage it built
+// itself.
+func TestMutateStaysStructurallyValid(t *testing.T) {
+	s := newTestSearcher(7)
+	parent := testSeedConfig()
+	for i := 0; i < 256; i++ {
+		c := s.mutate(parent)
+		if err := c.Validate(); err != nil {
+			b, _ := sgmlconf.Marshal(c)
+			t.Fatalf("candidate %d structurally invalid: %v\n%s", i, err, b)
+		}
+	}
+}
+
+// TestSignatureIgnoresEventNames pins the novelty map's collapsing property:
+// two runs that behave alike hash to one signature even when their scenarios
+// are written differently.
+func TestSignatureIgnoresEventNames(t *testing.T) {
+	rep := func(event string) *core.RunReport {
+		return &core.RunReport{
+			Events: []core.EventOutcome{{Event: event, Fired: true, Step: 2}},
+			Truth:  []core.TruthEntry{{Event: event, Detected: false}},
+			Alerts: []core.AlertSummary{{Kind: "tcp-port-scan", Matched: true}},
+			Grid:   core.GridReport{Converged: true, Islands: 1, DeadBuses: 3, OpenBreakers: []string{"CBTie"}},
+		}
+	}
+	if signature(rep("mut-1")) != signature(rep("mut-99")) {
+		t.Error("signatures diverged on event names alone")
+	}
+	budget := rep("x")
+	budget.Err = "step budget 64 exhausted at step 64"
+	if signature(budget) == signature(rep("x")) {
+		t.Error("budget abort not distinguished from a clean run")
+	}
+}
+
+func TestOracleByKey(t *testing.T) {
+	for _, o := range DefaultOracles() {
+		got, err := OracleByKey(o.Key())
+		if err != nil {
+			t.Errorf("OracleByKey(%q): %v", o.Key(), err)
+		}
+		if got.Key() != o.Key() {
+			t.Errorf("OracleByKey(%q) resolved %q", o.Key(), got.Key())
+		}
+	}
+	if _, err := OracleByKey("nope"); !errors.Is(err, ErrSearch) {
+		t.Errorf("unknown key error = %v, want ErrSearch", err)
+	}
+}
+
+// TestCorpusWriteRead pins the three-file corpus layout round-trip and the
+// incomplete-sidecar rejection.
+func TestCorpusWriteRead(t *testing.T) {
+	dir := t.TempDir()
+	finds := []Find{
+		{Oracle: "missed-detection", Detail: "1 undetected", XML: []byte("<Scenario name=\"s\"/>\n"),
+			Fingerprint: "scenario \"s\" ...", MaxSteps: 64},
+		{Oracle: "step-budget", Detail: "blowup", XML: []byte("<Scenario name=\"t\"/>\n"),
+			Fingerprint: "scenario \"t\" ...", MaxSteps: 32},
+	}
+	if err := WriteCorpus(dir, finds); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := ReadCorpus(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("read %d entries, want 2", len(entries))
+	}
+	// ReadCorpus sorts by name: missed-detection before step-budget.
+	for i, want := range []Find{finds[0], finds[1]} {
+		e := entries[i]
+		if e.Oracle != want.Oracle || e.MaxSteps != want.MaxSteps ||
+			e.Detail != want.Detail || e.Fingerprint != want.Fingerprint ||
+			string(e.XML) != string(want.XML) {
+			t.Errorf("entry %d = %+v, want fields of %+v", i, e, want)
+		}
+	}
+	// A sidecar missing its step cap is unusable: the verdict depends on it.
+	if err := os.WriteFile(filepath.Join(dir, "broken.scenario.xml"), []byte("<Scenario/>"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "broken.oracle"), []byte("oracle: x\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "broken.fingerprint"), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadCorpus(dir); !errors.Is(err, ErrSearch) {
+		t.Errorf("incomplete sidecar error = %v, want ErrSearch", err)
+	}
+}

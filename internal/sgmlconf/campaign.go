@@ -60,10 +60,17 @@ type CampaignVariantConfig struct {
 	MaxSteps int `xml:"maxSteps,attr"`
 }
 
+// maxSeedExpansion bounds one seeds attribute's expanded length. A range
+// like "1-9223372036854775807" is a spec typo, not a request for a 9-EB
+// sweep; without the cap it would also hang expansion (and a range ending at
+// MaxInt64 would overflow the loop counter).
+const maxSeedExpansion = 1 << 20
+
 // SeedList parses the seeds attribute into the expanded seed slice. An
 // absent attribute returns (nil, nil) — the engine then defaults to the
 // scenario's own seed; a present attribute that expands to no seeds at all
-// (seeds="" or only separators) is an error.
+// (seeds="" or only separators) is an error, as is one expanding past
+// maxSeedExpansion.
 func (v *CampaignVariantConfig) SeedList() ([]int64, error) {
 	if v.Seeds == nil {
 		return nil, nil
@@ -75,15 +82,23 @@ func (v *CampaignVariantConfig) SeedList() ([]int64, error) {
 			continue
 		}
 		// An inclusive range "a-b" (negative seeds are not supported in the
-		// XML form, so the dash is unambiguous).
+		// XML form, so the dash is unambiguous — and a is never negative,
+		// Cut splits at the first dash).
 		if lo, hi, ok := strings.Cut(part, "-"); ok {
 			a, err1 := strconv.ParseInt(strings.TrimSpace(lo), 10, 64)
 			b, err2 := strconv.ParseInt(strings.TrimSpace(hi), 10, 64)
 			if err1 != nil || err2 != nil || a > b {
 				return nil, fmt.Errorf("bad seed range %q", part)
 			}
-			for s := a; s <= b; s++ {
+			// a >= 0 <= b here, so b-a cannot overflow.
+			if b-a >= maxSeedExpansion-int64(len(out)) {
+				return nil, fmt.Errorf("seed range %q expands past %d seeds", part, maxSeedExpansion)
+			}
+			for s := a; ; s++ {
 				out = append(out, s)
+				if s == b {
+					break
+				}
 			}
 			continue
 		}

@@ -26,12 +26,14 @@ import (
 //	         attacker="redbox" target="TIED1" ref="LD0/XCBR1.Pos.Oper" boolValue="false"/>
 //	</Scenario>
 
-// ScenarioConfig is the root of a Scenario XML file.
+// ScenarioConfig is the root of a Scenario XML file. The optional attributes
+// carry omitempty so the writer half (MarshalScenarioConfig) emits the same
+// sparse attribute style the examples are written in; parsing is unaffected.
 type ScenarioConfig struct {
 	XMLName   xml.Name           `xml:"Scenario"`
 	Name      string             `xml:"name,attr"`
-	Steps     int                `xml:"steps,attr"`
-	Seed      int64              `xml:"seed,attr"`
+	Steps     int                `xml:"steps,attr,omitempty"`
+	Seed      int64              `xml:"seed,attr,omitempty"`
 	Attackers []ScenarioAttacker `xml:"Attacker"`
 	Events    []ScenarioEvent    `xml:"Event"`
 }
@@ -41,55 +43,63 @@ type ScenarioAttacker struct {
 	Name   string `xml:"name,attr"`
 	Switch string `xml:"switch,attr"`
 	IP     string `xml:"ip,attr"`
-	MAC    string `xml:"mac,attr"` // optional; derived from the seed when empty
+	MAC    string `xml:"mac,attr,omitempty"` // optional; derived from the seed when empty
 }
 
 // ScenarioEvent is one trigger + action pair. Exactly one trigger attribute
 // may be set (none defaults to atStep="0"); the action attributes used depend
 // on kind.
 type ScenarioEvent struct {
-	Name string `xml:"name,attr"`
+	Name string `xml:"name,attr,omitempty"`
 
-	// Triggers (mutually exclusive).
-	AtStep         *int   `xml:"atStep,attr"`
-	AfterMS        int    `xml:"afterMs,attr"`
-	OnBreakerOpen  string `xml:"onBreakerOpen,attr"`
-	OnBreakerClose string `xml:"onBreakerClose,attr"`
-	OnAlert        string `xml:"onAlert,attr"`
-	OnDeadBuses    int    `xml:"onDeadBuses,attr"`
-	Plus           int    `xml:"plus,attr"` // extra step delay on any trigger
+	// Triggers (mutually exclusive). AtStep is a pointer so atStep="0" stays
+	// distinguishable from "no trigger attribute" on both passes: a non-nil
+	// pointer to zero survives omitempty, a nil one is omitted.
+	AtStep         *int   `xml:"atStep,attr,omitempty"`
+	AfterMS        int    `xml:"afterMs,attr,omitempty"`
+	OnBreakerOpen  string `xml:"onBreakerOpen,attr,omitempty"`
+	OnBreakerClose string `xml:"onBreakerClose,attr,omitempty"`
+	OnAlert        string `xml:"onAlert,attr,omitempty"`
+	OnDeadBuses    int    `xml:"onDeadBuses,attr,omitempty"`
+	Plus           int    `xml:"plus,attr,omitempty"` // extra step delay on any trigger
 
 	// Action selector.
 	Kind string `xml:"kind,attr"`
 
 	// Power actions: loadScale|loadP|genP|sgenP|switch|lineService (generic,
 	// element+value) and the openBreaker|closeBreaker sugar (element only).
-	Element string  `xml:"element,attr"`
-	Value   float64 `xml:"value,attr"`
+	Element string  `xml:"element,attr,omitempty"`
+	Value   float64 `xml:"value,attr,omitempty"`
 
 	// Network impairments: linkDown|linkUp|linkFlap|linkLoss|linkLatency.
-	LinkA     string  `xml:"linkA,attr"`
-	LinkB     string  `xml:"linkB,attr"`
-	DownSteps int     `xml:"downSteps,attr"`
-	Rate      float64 `xml:"rate,attr"`
-	LatencyMS int     `xml:"latencyMs,attr"`
+	LinkA     string  `xml:"linkA,attr,omitempty"`
+	LinkB     string  `xml:"linkB,attr,omitempty"`
+	DownSteps int     `xml:"downSteps,attr,omitempty"`
+	Rate      float64 `xml:"rate,attr,omitempty"`
+	LatencyMS int     `xml:"latencyMs,attr,omitempty"`
 
 	// Attack steps: portScan|falseCommand|mitm|stopMitm.
-	Attacker    string  `xml:"attacker,attr"`
-	Target      string  `xml:"target,attr"`
-	Ports       string  `xml:"ports,attr"` // comma-separated; empty = defaults
-	Ref         string  `xml:"ref,attr"`
-	BoolValue   *bool   `xml:"boolValue,attr"` // falseCommand payload; Value when absent
-	VictimA     string  `xml:"victimA,attr"`
-	VictimB     string  `xml:"victimB,attr"`
-	ScaleFloats float64 `xml:"scaleFloats,attr"`
-	Blackhole   bool    `xml:"blackhole,attr"`
-	ForSteps    int     `xml:"forSteps,attr"`
+	Attacker    string  `xml:"attacker,attr,omitempty"`
+	Target      string  `xml:"target,attr,omitempty"`
+	Ports       string  `xml:"ports,attr,omitempty"` // comma-separated; empty = defaults
+	Ref         string  `xml:"ref,attr,omitempty"`
+	BoolValue   *bool   `xml:"boolValue,attr,omitempty"` // falseCommand payload; Value when absent
+	VictimA     string  `xml:"victimA,attr,omitempty"`
+	VictimB     string  `xml:"victimB,attr,omitempty"`
+	ScaleFloats float64 `xml:"scaleFloats,attr,omitempty"`
+	Blackhole   bool    `xml:"blackhole,attr,omitempty"`
+	ForSteps    int     `xml:"forSteps,attr,omitempty"`
 
 	// Sensor deployment: deployIDS.
-	Sensor    string `xml:"sensor,attr"`
-	Writers   string `xml:"writers,attr"` // comma-separated node names
-	Threshold int    `xml:"threshold,attr"`
+	Sensor    string `xml:"sensor,attr,omitempty"`
+	Writers   string `xml:"writers,attr,omitempty"` // comma-separated node names
+	Threshold int    `xml:"threshold,attr,omitempty"`
+
+	// PLC tampering: modbusTamper (attacker + target select who and which
+	// PLC; these select what is written).
+	Table   string `xml:"table,attr,omitempty"`   // "coil" (default) or "holding"
+	Address int    `xml:"address,attr,omitempty"` // coil/register address
+	Word    int    `xml:"word,attr,omitempty"`    // value written (coil: 0 clears, else sets)
 }
 
 // PortList parses the comma-separated port list (nil when empty).
@@ -132,7 +142,8 @@ var scenarioActionKinds = map[string]bool{
 	"linkDown": true, "linkUp": true, "linkFlap": true,
 	"linkLoss": true, "linkLatency": true,
 	"portScan": true, "falseCommand": true, "mitm": true, "stopMitm": true,
-	"deployIDS": true,
+	"modbusTamper": true,
+	"deployIDS":    true,
 }
 
 // Validate checks the structural invariants: trigger exclusivity, known
@@ -265,12 +276,42 @@ func (e *ScenarioEvent) validateKind(label string, attackers map[string]bool) er
 		if err := needAttacker(); err != nil {
 			return err
 		}
+	case "modbusTamper":
+		if err := needAttacker(); err != nil {
+			return err
+		}
+		if e.Target == "" {
+			return fmt.Errorf("%w: event %s: modbusTamper needs target", ErrConfig, label)
+		}
+		switch e.Table {
+		case "", "coil", "holding":
+		default:
+			return fmt.Errorf("%w: event %s: modbusTamper table %q (want coil or holding)", ErrConfig, label, e.Table)
+		}
+		if e.Address < 0 || e.Address > 65535 {
+			return fmt.Errorf("%w: event %s: modbusTamper address %d outside 0..65535", ErrConfig, label, e.Address)
+		}
+		if e.Word < 0 || e.Word > 65535 {
+			return fmt.Errorf("%w: event %s: modbusTamper word %d outside 0..65535", ErrConfig, label, e.Word)
+		}
 	case "deployIDS":
 		if e.Threshold < 0 {
 			return fmt.Errorf("%w: event %s: negative threshold", ErrConfig, label)
 		}
 	}
 	return nil
+}
+
+// MarshalScenarioConfig validates and renders a Scenario config back to XML —
+// the writer half the scenario-search minimizer stands on. The output
+// re-parses under ParseScenarioConfig to an equivalent config: every emitted
+// attribute round-trips, and attributes at their parse-time defaults are
+// omitted.
+func MarshalScenarioConfig(c *ScenarioConfig) ([]byte, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return Marshal(c)
 }
 
 // ParseScenarioConfig decodes and validates a Scenario XML file.

@@ -56,6 +56,11 @@ type (
 	StartMITM = core.StartMITM
 	// StopMITM withdraws an attacker's active MITM.
 	StopMITM = core.StopMITM
+	// ModbusTamper injects a Modbus/TCP write from an attacker into a PLC's
+	// northbound server — the logic-manipulation counterpart of FalseCommand,
+	// reaching the ST/PLC runtime through the SCADA protocol. TamperCoil and
+	// TamperRegister construct the two forms.
+	ModbusTamper = core.ModbusTamper
 	// DeployIDS attaches a passive IDS sensor to every link of the fabric.
 	DeployIDS = core.DeployIDS
 
@@ -75,7 +80,7 @@ type (
 	RunDiagnostics = core.RunDiagnostics
 
 	// RunOption tunes a scenario run (WithSeed, WithSequential,
-	// WithFramePooling).
+	// WithFramePooling, WithMaxSteps).
 	RunOption = core.RunOption
 
 	// AlertKind classifies IDS alerts (see the repro/ids facade for the
@@ -137,6 +142,17 @@ func FailLine(line string) PowerStep { return core.FailLine(line) }
 // RestoreLine returns the named line to service.
 func RestoreLine(line string) PowerStep { return core.RestoreLine(line) }
 
+// TamperCoil builds a ModbusTamper that forces a PLC coil (a forged SCADA
+// command: the PLC's next scan applies it to the bound ST variable).
+func TamperCoil(attacker, plcName string, addr uint16, on bool) ModbusTamper {
+	return core.TamperCoil(attacker, plcName, addr, on)
+}
+
+// TamperRegister builds a ModbusTamper that overwrites a PLC holding register.
+func TamperRegister(attacker, plcName string, addr, value uint16) ModbusTamper {
+	return core.TamperRegister(attacker, plcName, addr, value)
+}
+
 // WithSeed overrides the scenario's replay seed: every randomised choice of
 // the run (attacker MAC derivation, port-scan order, the fabric's loss
 // generator) derives from it, so a fixed seed replays byte-identically.
@@ -149,6 +165,12 @@ func WithSequential() RunOption { return core.WithSequential() }
 // WithFramePooling selects the pooled (true) or reference copy-per-publish
 // (false) data plane for the run.
 func WithFramePooling(on bool) RunOption { return core.WithFramePooling(on) }
+
+// WithMaxSteps caps the run at n steps; a scenario asking for more aborts
+// deterministically with a "step budget" report error. Scenario search bounds
+// every candidate run with it, and corpus sidecars record the cap so replays
+// reproduce the verdict.
+func WithMaxSteps(n int) RunOption { return core.WithMaxSteps(n) }
 
 // Run compiles a model set, executes the scenario against it and tears the
 // range down, returning the structured report — the paper's "automated
@@ -205,4 +227,26 @@ func LoadScenarioFile(path string) (*Scenario, error) {
 		return nil, err
 	}
 	return ParseScenario(data)
+}
+
+// MarshalScenario renders a typed Scenario into its declarative XML form —
+// the reverse of ParseScenario. The round-trip contract: the emitted document
+// re-parses to a scenario whose RunReport.Fingerprint matches the original
+// for a fixed (model, seed). Scenarios using values without an XML form
+// (sub-millisecond durations, exotic MMS payloads, user-defined Action
+// implementations) return ErrScenario.
+func MarshalScenario(sc *Scenario) ([]byte, error) {
+	cfg, err := core.ScenarioToConfig(sc)
+	if err != nil {
+		return nil, err
+	}
+	return sgmlconf.MarshalScenarioConfig(cfg)
+}
+
+// ValidateScenario resolves a scenario against a compiled range without
+// running it — the pre-run check RunRange performs, exposed for cheap
+// candidate rejection. Errors wrap ErrScenario; actions that resolve model
+// elements (power steps, ModbusTamper) additionally wrap ErrModel.
+func ValidateScenario(r *CyberRange, sc *Scenario) error {
+	return core.ValidateScenario(r, sc)
 }
